@@ -1,0 +1,123 @@
+//! Detector micro-benchmarks: per-event cost of each algorithm on the
+//! proxy workload, and the effect of the interned-lockset representation
+//! (the Eraser-paper lockset-index scheme) exercised through deep lock
+//! nesting.
+//!
+//! Run with: `cargo bench -p race-bench --bench detectors`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, DjitDetector, EraserDetector, HybridDetector};
+use sipsim::proxy::{build_proxy, Dispatch, ProxyConfig};
+use std::hint::black_box;
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::ir::{Expr, Program};
+use vexec::sched::RoundRobin;
+use vexec::vm::run_program;
+
+fn proxy_program() -> vexec::Program {
+    build_proxy(&ProxyConfig {
+        bus_sites: 10,
+        dtor_sites: 20,
+        real_sites: 10,
+        touches_per_site: 2,
+        sites_per_handler: 10,
+        dispatch: Dispatch::ThreadPerRequest,
+        annotate_deletes: true,
+    })
+    .program
+}
+
+/// Workers repeatedly acquire a nested stack of locks around accesses:
+/// stresses lockset interning and the intersection cache.
+fn nested_locks_program(depth: u64, iters: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let cells = pb.global("g_locks", 8 * depth);
+    let data = pb.global("g_data", 8);
+
+    let wloc = pb.loc("nested.cpp", 5, "worker");
+    let mut w = ProcBuilder::new(0);
+    w.at(wloc);
+    let handles: Vec<_> = (0..depth)
+        .map(|i| w.load_new(Expr::Global(cells).add(Expr::Const(8 * i)), 8))
+        .collect();
+    w.begin_repeat(iters);
+    for &h in &handles {
+        w.lock(h);
+    }
+    let v = w.load_new(data, 8);
+    w.store(data, Expr::Reg(v).add(1u64.into()), 8);
+    for &h in handles.iter().rev() {
+        w.unlock(h);
+    }
+    w.end_repeat();
+    let worker = pb.add_proc("worker", w);
+
+    let mloc = pb.loc("nested.cpp", 30, "main");
+    let mut m = ProcBuilder::new(0);
+    m.at(mloc);
+    for i in 0..depth {
+        let mx = m.new_mutex();
+        m.store(Expr::Global(cells).add(Expr::Const(8 * i)), mx, 8);
+    }
+    let h1 = m.spawn(worker, vec![]);
+    let h2 = m.spawn(worker, vec![]);
+    m.join(h1);
+    m.join(h2);
+    let main_id = pb.add_proc("main", m);
+    pb.set_entry(main_id);
+    pb.finish()
+}
+
+fn bench_detectors_on_proxy(c: &mut Criterion) {
+    let prog = proxy_program();
+    let mut group = c.benchmark_group("proxy-workload");
+    group.sample_size(10);
+    group.bench_function("eraser-original", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::original());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+    group.bench_function("eraser-hwlc-dr", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+    group.bench_function("djit", |b| {
+        b.iter(|| {
+            let mut det = DjitDetector::new(DetectorConfig::djit());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+    group.bench_function("hybrid", |b| {
+        b.iter(|| {
+            let mut det = HybridDetector::new(DetectorConfig::hybrid_queue_hb());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+    group.finish();
+}
+
+fn bench_lockset_interning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lockset-nesting");
+    group.sample_size(10);
+    for depth in [1u64, 4, 8] {
+        let prog = nested_locks_program(depth, 200);
+        group.bench_function(format!("depth-{depth}"), |b| {
+            b.iter(|| {
+                let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                black_box(det.sink.location_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors_on_proxy, bench_lockset_interning);
+criterion_main!(benches);

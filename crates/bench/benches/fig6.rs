@@ -1,0 +1,45 @@
+//! E1 / Fig 6 as a benchmark: time to run one full evaluation test case
+//! (T3, the smallest) under each detector configuration — the cost of the
+//! debugging process itself, per configuration.
+//!
+//! Run with: `cargo bench -p race-bench --bench fig6`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, EraserDetector};
+use sipsim::testcases::testcases;
+use std::hint::black_box;
+use vexec::sched::RoundRobin;
+use vexec::vm::run_program;
+
+fn bench_fig6_case(c: &mut Criterion) {
+    let t3 = &testcases()[2];
+    assert_eq!(t3.name, "T3");
+    let built = t3.build();
+    let mut group = c.benchmark_group("fig6-T3");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("original", DetectorConfig::original()),
+        ("hwlc", DetectorConfig::hwlc()),
+        ("hwlc-dr", DetectorConfig::hwlc_dr()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut det = EraserDetector::new(cfg);
+                run_program(&built.program, &mut det, &mut RoundRobin::new());
+                black_box(det.sink.location_count())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_proxy_build(c: &mut Criterion) {
+    let t3 = &testcases()[2];
+    let mut group = c.benchmark_group("fig6-build");
+    group.sample_size(10);
+    group.bench_function("build-T3-program", |b| b.iter(|| black_box(t3.build().handlers)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_case, bench_proxy_build);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! E7 / §4.5 — execution overhead benchmark.
+//!
+//! The paper: "Execution of the program with analysis using the presented
+//! algorithm is 20-30 times slower than when run without Helgrind ... If
+//! run on Valgrind, the program is slowed down by a factor of 8-10 without
+//! instrumentation." The shape to reproduce: native < VM(no tool) <
+//! VM+detector, with analysis a small-integer multiple of the bare VM.
+//!
+//! Run with: `cargo bench -p race-bench --bench overhead`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, DjitDetector, EraserDetector, HybridDetector};
+use sipsim::native::{native_workload, vm_workload_program, WorkloadSpec};
+use std::hint::black_box;
+use vexec::sched::RoundRobin;
+use vexec::tool::NullTool;
+use vexec::vm::run_program;
+
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+
+fn bench_overhead(c: &mut Criterion) {
+    let prog = vm_workload_program(SPEC);
+    let mut group = c.benchmark_group("overhead");
+    group.sample_size(10);
+
+    group.bench_function("native-threads", |b| {
+        b.iter(|| black_box(native_workload(SPEC)))
+    });
+
+    group.bench_function("vm-no-tool", |b| {
+        b.iter(|| {
+            let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
+            black_box(r.stats.events)
+        })
+    });
+
+    group.bench_function("vm-eraser-original", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::original());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.bench_function("vm-eraser-hwlc-dr", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.bench_function("vm-djit", |b| {
+        b.iter(|| {
+            let mut det = DjitDetector::new(DetectorConfig::djit());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.bench_function("vm-hybrid", |b| {
+        b.iter(|| {
+            let mut det = HybridDetector::new(DetectorConfig::hybrid());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

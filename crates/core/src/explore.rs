@@ -1,0 +1,191 @@
+//! Schedule exploration: run a program under many seeded interleavings and
+//! aggregate the warnings.
+//!
+//! §2.3.2: "Repeated tests with different test data (resulting in
+//! different interleavings) could help find such data-races, if they
+//! exist." The explorer automates exactly that for the §4.3
+//! schedule-dependent cases: each seed produces a different serialisation,
+//! and the union of reported locations (with per-location hit counts)
+//! shows which warnings are schedule-robust and which only surface
+//! sometimes.
+
+use crate::config::DetectorConfig;
+use crate::detector::EraserDetector;
+use crate::report::Report;
+use vexec::ir::Program;
+use vexec::sched::SeededRandom;
+use vexec::util::FxHashMap;
+use vexec::vm::{run_program, Termination};
+
+/// One distinct warning location across the exploration.
+#[derive(Clone, Debug)]
+pub struct LocationHit {
+    /// A representative report from the first run that found it.
+    pub report: Report,
+    /// In how many runs this location was reported.
+    pub hits: usize,
+}
+
+impl LocationHit {
+    /// Fraction of runs that reported this location.
+    pub fn hit_rate(&self, runs: usize) -> f64 {
+        self.hits as f64 / runs.max(1) as f64
+    }
+}
+
+/// Aggregated exploration outcome.
+#[derive(Debug, Default)]
+pub struct ExploreSummary {
+    pub runs: usize,
+    pub clean_runs: usize,
+    pub deadlocked_runs: usize,
+    pub failed_runs: usize,
+    /// Distinct warning locations, most-frequently-hit first.
+    pub locations: Vec<LocationHit>,
+}
+
+impl ExploreSummary {
+    /// Locations found in *every* run (schedule-robust warnings).
+    pub fn robust(&self) -> impl Iterator<Item = &LocationHit> {
+        let runs = self.runs;
+        self.locations.iter().filter(move |l| l.hits == runs)
+    }
+
+    /// Locations found in some but not all runs — exactly the §4.3 class
+    /// that single-run testing can miss.
+    pub fn flaky(&self) -> impl Iterator<Item = &LocationHit> {
+        let runs = self.runs;
+        self.locations.iter().filter(move |l| l.hits > 0 && l.hits < runs)
+    }
+}
+
+/// Run `program` under `runs` different seeded-random schedules with a
+/// fresh detector per run and aggregate distinct warning locations.
+pub fn explore_schedules(
+    program: &Program,
+    cfg: DetectorConfig,
+    runs: usize,
+    base_seed: u64,
+) -> ExploreSummary {
+    let mut agg: FxHashMap<(String, u32, String), LocationHit> = FxHashMap::default();
+    let mut summary = ExploreSummary { runs, ..Default::default() };
+    for i in 0..runs {
+        let mut det = EraserDetector::new(cfg);
+        let mut sched = SeededRandom::new(base_seed.wrapping_add(i as u64));
+        let r = run_program(program, &mut det, &mut sched);
+        match r.termination {
+            Termination::AllExited => summary.clean_runs += 1,
+            Termination::Deadlock(_) => summary.deadlocked_runs += 1,
+            _ => summary.failed_runs += 1,
+        }
+        for report in det.sink.take_reports() {
+            let key = (report.file.clone(), report.line, report.func.clone());
+            agg.entry(key)
+                .and_modify(|l| l.hits += 1)
+                .or_insert(LocationHit { report, hits: 1 });
+        }
+    }
+    let mut locations: Vec<LocationHit> = agg.into_values().collect();
+    locations.sort_by(|a, b| {
+        b.hits
+            .cmp(&a.hits)
+            .then_with(|| a.report.file.cmp(&b.report.file))
+            .then_with(|| a.report.line.cmp(&b.report.line))
+    });
+    summary.locations = locations;
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+    use vexec::ir::Expr;
+
+    /// Program with one schedule-robust race (two unlocked writers) and
+    /// one schedule-dependent race (§4.3 unlocked-vs-locked pair).
+    fn mixed_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let robust = pb.global("g_robust", 8);
+        let flaky = pb.global("g_flaky", 8);
+        let m_cell = pb.global("g_mutex", 8);
+
+        let loc_r = pb.loc("mix.cpp", 5, "robust_writer");
+        let mut wr = ProcBuilder::new(0);
+        wr.at(loc_r);
+        wr.store(robust, 1u64, 8);
+        let robust_writer = pb.add_proc("robust_writer", wr);
+
+        let loc_u = pb.loc("mix.cpp", 15, "flaky_unlocked");
+        let mut wu = ProcBuilder::new(0);
+        wu.at(loc_u);
+        wu.yield_();
+        wu.store(flaky, 1u64, 8);
+        let flaky_unlocked = pb.add_proc("flaky_unlocked", wu);
+
+        let loc_l = pb.loc("mix.cpp", 25, "flaky_locked");
+        let mut wl = ProcBuilder::new(0);
+        wl.at(loc_l);
+        let mx = wl.load_new(m_cell, 8);
+        wl.lock(mx);
+        wl.store(flaky, 2u64, 8);
+        wl.unlock(mx);
+        let flaky_locked = pb.add_proc("flaky_locked", wl);
+
+        let mloc = pb.loc("mix.cpp", 40, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(mloc);
+        let mx = m.new_mutex();
+        m.store(m_cell, mx, 8);
+        let joins = vec![
+            m.spawn(robust_writer, vec![]),
+            m.spawn(robust_writer, vec![]),
+            m.spawn(flaky_unlocked, vec![]),
+            m.spawn(flaky_locked, vec![]),
+        ];
+        for h in joins {
+            m.join(h);
+        }
+        // Keep the robust race from depending on which writer goes first:
+        // both writers write without locks, so any order races.
+        let _ = Expr::Const(0);
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        pb.finish()
+    }
+
+    #[test]
+    fn explorer_separates_robust_from_flaky_warnings() {
+        let prog = mixed_program();
+        let summary = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 40, 0xDEED);
+        assert_eq!(summary.runs, 40);
+        assert_eq!(summary.clean_runs, 40);
+        let robust: Vec<_> = summary.robust().collect();
+        let flaky: Vec<_> = summary.flaky().collect();
+        assert!(
+            robust.iter().any(|l| l.report.func == "robust_writer"),
+            "two unlocked writers race under every schedule: {summary:?}"
+        );
+        assert!(
+            flaky.iter().any(|l| l.report.func == "flaky_unlocked"),
+            "the §4.3 pair must be schedule-dependent: {summary:?}"
+        );
+        for l in &summary.locations {
+            assert!(l.hit_rate(summary.runs) > 0.0 && l.hit_rate(summary.runs) <= 1.0);
+        }
+    }
+
+    #[test]
+    fn explorer_is_deterministic_per_base_seed() {
+        let prog = mixed_program();
+        let a = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 10, 7);
+        let b = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 10, 7);
+        let key = |s: &ExploreSummary| {
+            s.locations
+                .iter()
+                .map(|l| (l.report.file.clone(), l.report.line, l.hits))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+}

@@ -1,0 +1,236 @@
+//! Interned lock-sets with a memoised intersection, following the
+//! representation described in the Eraser paper: every distinct set of
+//! locks is stored once and named by a small index, so the per-access hot
+//! path `C(v) := C(v) ∩ locks_held(t)` is a single cache lookup.
+
+use vexec::event::SyncId;
+use vexec::util::FxHashMap;
+
+/// A lock identity inside lock-sets. `BUS` is the virtual hardware bus
+/// lock of §3.1/§4.2.2; guest sync objects map to `LockId(sync.0 + 1)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct LockId(pub u32);
+
+impl LockId {
+    /// The virtual x86 bus lock.
+    pub const BUS: LockId = LockId(0);
+
+    pub fn from_sync(s: SyncId) -> LockId {
+        LockId(s.0 + 1)
+    }
+
+    /// The guest sync object, unless this is the bus lock.
+    pub fn to_sync(self) -> Option<SyncId> {
+        (self != LockId::BUS).then(|| SyncId(self.0 - 1))
+    }
+}
+
+/// Handle to an interned lock-set. `LockSetId::EMPTY` (the `Default`) is
+/// always the empty set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct LockSetId(pub u32);
+
+impl LockSetId {
+    pub const EMPTY: LockSetId = LockSetId(0);
+}
+
+/// The lock-set interning table.
+#[derive(Debug)]
+pub struct LockSetTable {
+    sets: Vec<Box<[LockId]>>,
+    lookup: FxHashMap<Box<[LockId]>, LockSetId>,
+    intersect_cache: FxHashMap<(LockSetId, LockSetId), LockSetId>,
+}
+
+impl Default for LockSetTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockSetTable {
+    pub fn new() -> Self {
+        let mut t = LockSetTable {
+            sets: Vec::new(),
+            lookup: FxHashMap::default(),
+            intersect_cache: FxHashMap::default(),
+        };
+        let empty = t.intern_sorted(Vec::new());
+        debug_assert_eq!(empty, LockSetId::EMPTY);
+        t
+    }
+
+    fn intern_sorted(&mut self, locks: Vec<LockId>) -> LockSetId {
+        debug_assert!(locks.windows(2).all(|w| w[0] < w[1]), "set must be sorted+unique");
+        if let Some(&id) = self.lookup.get(locks.as_slice()) {
+            return id;
+        }
+        let id = LockSetId(self.sets.len() as u32);
+        let boxed: Box<[LockId]> = locks.into_boxed_slice();
+        self.sets.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        id
+    }
+
+    /// Intern an arbitrary collection of locks (sorted and deduped here).
+    pub fn intern(&mut self, mut locks: Vec<LockId>) -> LockSetId {
+        locks.sort_unstable();
+        locks.dedup();
+        self.intern_sorted(locks)
+    }
+
+    /// The members of a set, sorted.
+    pub fn elements(&self, id: LockSetId) -> &[LockId] {
+        &self.sets[id.0 as usize]
+    }
+
+    pub fn is_empty(&self, id: LockSetId) -> bool {
+        id == LockSetId::EMPTY
+    }
+
+    pub fn len(&self, id: LockSetId) -> usize {
+        self.sets[id.0 as usize].len()
+    }
+
+    pub fn contains(&self, id: LockSetId, lock: LockId) -> bool {
+        self.sets[id.0 as usize].binary_search(&lock).is_ok()
+    }
+
+    /// Memoised intersection. The hot-path operation: on a cache hit no
+    /// allocation or set walk happens.
+    pub fn intersect(&mut self, a: LockSetId, b: LockSetId) -> LockSetId {
+        if a == b {
+            return a;
+        }
+        if a == LockSetId::EMPTY || b == LockSetId::EMPTY {
+            return LockSetId::EMPTY;
+        }
+        let key = if a.0 <= b.0 { (a, b) } else { (b, a) };
+        if let Some(&id) = self.intersect_cache.get(&key) {
+            return id;
+        }
+        let (sa, sb) = (&self.sets[a.0 as usize], &self.sets[b.0 as usize]);
+        let mut out = Vec::with_capacity(sa.len().min(sb.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < sa.len() && j < sb.len() {
+            match sa[i].cmp(&sb[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(sa[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        let id = self.intern_sorted(out);
+        self.intersect_cache.insert(key, id);
+        id
+    }
+
+    /// Set with one extra member.
+    pub fn with(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
+        if self.contains(id, lock) {
+            return id;
+        }
+        let mut v: Vec<LockId> = self.sets[id.0 as usize].to_vec();
+        v.push(lock);
+        v.sort_unstable();
+        self.intern_sorted(v)
+    }
+
+    /// Set with one member removed.
+    pub fn without(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
+        if !self.contains(id, lock) {
+            return id;
+        }
+        let v: Vec<LockId> =
+            self.sets[id.0 as usize].iter().copied().filter(|&l| l != lock).collect();
+        self.intern_sorted(v)
+    }
+
+    /// Number of distinct sets interned (for stats/benches).
+    pub fn distinct_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u32]) -> Vec<LockId> {
+        v.iter().map(|&i| LockId(i)).collect()
+    }
+
+    #[test]
+    fn empty_set_is_id_zero() {
+        let mut t = LockSetTable::new();
+        assert_eq!(t.intern(vec![]), LockSetId::EMPTY);
+        assert!(t.is_empty(LockSetId::EMPTY));
+    }
+
+    #[test]
+    fn interning_is_canonical() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[3, 1, 2]));
+        let b = t.intern(ids(&[1, 2, 3]));
+        let c = t.intern(ids(&[2, 1, 3, 3]));
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(t.elements(a), &ids(&[1, 2, 3])[..]);
+    }
+
+    #[test]
+    fn intersection_basics() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1, 2, 3]));
+        let b = t.intern(ids(&[2, 3, 4]));
+        let i = t.intersect(a, b);
+        assert_eq!(t.elements(i), &ids(&[2, 3])[..]);
+        // Symmetric and cached.
+        assert_eq!(t.intersect(b, a), i);
+        // Identity and empty.
+        assert_eq!(t.intersect(a, a), a);
+        assert_eq!(t.intersect(a, LockSetId::EMPTY), LockSetId::EMPTY);
+    }
+
+    #[test]
+    fn disjoint_intersection_is_empty() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1]));
+        let b = t.intern(ids(&[2]));
+        assert_eq!(t.intersect(a, b), LockSetId::EMPTY);
+    }
+
+    #[test]
+    fn with_and_without() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1, 3]));
+        let b = t.with(a, LockId(2));
+        assert_eq!(t.elements(b), &ids(&[1, 2, 3])[..]);
+        assert_eq!(t.with(b, LockId(2)), b);
+        let c = t.without(b, LockId(1));
+        assert_eq!(t.elements(c), &ids(&[2, 3])[..]);
+        assert_eq!(t.without(c, LockId(9)), c);
+    }
+
+    #[test]
+    fn bus_lock_mapping() {
+        assert_eq!(LockId::from_sync(SyncId(0)), LockId(1));
+        assert_eq!(LockId(1).to_sync(), Some(SyncId(0)));
+        assert_eq!(LockId::BUS.to_sync(), None);
+    }
+
+    #[test]
+    fn intersect_cache_stable_under_many_ops() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1, 2, 3, 4, 5]));
+        let b = t.intern(ids(&[4, 5, 6]));
+        let first = t.intersect(a, b);
+        for _ in 0..100 {
+            assert_eq!(t.intersect(a, b), first);
+        }
+        assert_eq!(t.elements(first), &ids(&[4, 5])[..]);
+    }
+}

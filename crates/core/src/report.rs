@@ -1,0 +1,277 @@
+//! Warning reports and the report sink.
+//!
+//! Reports mirror Helgrind's output (Fig 9 of the paper): kind, acting
+//! thread, source location, a resolved backtrace, and — for data races —
+//! the shadow-state transition and allocation block containing the address.
+//! The sink deduplicates by *(kind, location)*, because the paper's
+//! headline numbers are counts of distinct "reported locations" (Fig 5/6),
+//! and applies Valgrind-style suppressions.
+
+use crate::suppress::SuppressionSet;
+use serde::{Deserialize, Serialize};
+use vexec::event::ThreadId;
+use vexec::ir::SrcLoc;
+use vexec::vm::VmView;
+use vexec::util::FxHashSet;
+
+/// The kind of a warning.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum ReportKind {
+    /// Lockset violation on a read (Eraser family).
+    RaceRead,
+    /// Lockset violation on a write (Eraser family).
+    RaceWrite,
+    /// Happens-before violation on a read (DJIT family).
+    HbRaceRead,
+    /// Happens-before violation on a write (DJIT family).
+    HbRaceWrite,
+    /// Cycle in the lock acquisition order graph (potential deadlock).
+    LockOrderCycle,
+}
+
+impl ReportKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportKind::RaceRead => "Race (read)",
+            ReportKind::RaceWrite => "Race (write)",
+            ReportKind::HbRaceRead => "HbRace (read)",
+            ReportKind::HbRaceWrite => "HbRace (write)",
+            ReportKind::LockOrderCycle => "LockOrder",
+        }
+    }
+
+    /// The suppression-file kind token (Valgrind writes `Helgrind:Race`).
+    pub fn suppression_token(self) -> &'static str {
+        match self {
+            ReportKind::RaceRead | ReportKind::RaceWrite => "Race",
+            ReportKind::HbRaceRead | ReportKind::HbRaceWrite => "HbRace",
+            ReportKind::LockOrderCycle => "LockOrder",
+        }
+    }
+}
+
+/// One frame of a resolved backtrace.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct StackFrame {
+    pub func: String,
+    pub file: String,
+    pub line: u32,
+}
+
+impl std::fmt::Display for StackFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({}:{})", self.func, self.file, self.line)
+    }
+}
+
+/// A fully resolved warning, self-contained (no interner needed).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Report {
+    pub kind: ReportKind,
+    pub tid: u32,
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+    /// Faulting address for races, 0 otherwise.
+    pub addr: u64,
+    /// Backtrace, innermost first.
+    pub stack: Vec<StackFrame>,
+    /// "Address is N bytes inside a block of size M alloc'd by thread T".
+    pub block: Option<String>,
+    /// Human-readable transition description ("Previous state: shared RO,
+    /// no locks" in Helgrind's output).
+    pub details: String,
+}
+
+impl Report {
+    /// The dedup key: kind + source location.
+    pub fn location_key(&self) -> (ReportKind, String, u32, String) {
+        (self.kind, self.file.clone(), self.line, self.func.clone())
+    }
+
+    /// Render in a Helgrind-like multi-line format.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Possible {} by thread {} at {:#x}\n   at {} ({}:{})\n",
+            self.kind.name(),
+            self.tid,
+            self.addr,
+            self.func,
+            self.file,
+            self.line
+        );
+        for f in self.stack.iter().skip(1) {
+            s.push_str(&format!("   by {f}\n"));
+        }
+        if let Some(b) = &self.block {
+            s.push_str(&format!("   {b}\n"));
+        }
+        if !self.details.is_empty() {
+            s.push_str(&format!("   {}\n", self.details));
+        }
+        s
+    }
+}
+
+/// Helper: build the resolved stack + block description from a [`VmView`].
+pub fn resolve_context(
+    vm: &VmView<'_>,
+    tid: ThreadId,
+    addr: u64,
+) -> (Vec<StackFrame>, Option<String>) {
+    let stack = vm
+        .stack(tid)
+        .into_iter()
+        .map(|f| StackFrame {
+            func: vm.resolve(f.func).to_string(),
+            file: vm.resolve(f.loc.file).to_string(),
+            line: f.loc.line,
+        })
+        .collect();
+    let block = vm.block_info(addr).map(|b| {
+        format!(
+            "Address {:#x} is {} bytes inside a block of size {} alloc'd by thread {}{}",
+            addr,
+            addr - b.addr,
+            b.size,
+            b.alloc_tid.0,
+            if b.freed { " (freed)" } else { "" }
+        )
+    });
+    (stack, block)
+}
+
+/// Collects reports, deduplicates by location, applies suppressions.
+#[derive(Debug, Default)]
+pub struct ReportSink {
+    reports: Vec<Report>,
+    seen: FxHashSet<(ReportKind, SrcLoc)>,
+    suppressions: SuppressionSet,
+    /// Reports dropped by suppressions.
+    pub suppressed: u64,
+    /// Reports dropped as duplicate locations.
+    pub duplicates: u64,
+}
+
+impl ReportSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_suppressions(suppressions: SuppressionSet) -> Self {
+        ReportSink { suppressions, ..Default::default() }
+    }
+
+    /// Offer a report keyed by its raw (interned) location. Returns `true`
+    /// if the report was recorded as a new distinct location.
+    pub fn add(&mut self, key_loc: SrcLoc, report: Report) -> bool {
+        if !self.seen.insert((report.kind, key_loc)) {
+            self.duplicates += 1;
+            return false;
+        }
+        if self.suppressions.matches(&report) {
+            self.suppressed += 1;
+            return false;
+        }
+        self.reports.push(report);
+        true
+    }
+
+    /// Has this (kind, location) already been recorded or suppressed?
+    pub fn seen(&self, kind: ReportKind, loc: SrcLoc) -> bool {
+        self.seen.contains(&(kind, loc))
+    }
+
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Number of distinct reported locations (the paper's metric).
+    pub fn location_count(&self) -> usize {
+        self.reports.len()
+    }
+
+    pub fn count_kind(&self, kind: ReportKind) -> usize {
+        self.reports.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Distinct race locations (read + write, lockset or HB family).
+    pub fn race_location_count(&self) -> usize {
+        self.reports
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.kind,
+                    ReportKind::RaceRead
+                        | ReportKind::RaceWrite
+                        | ReportKind::HbRaceRead
+                        | ReportKind::HbRaceWrite
+                )
+            })
+            .count()
+    }
+
+    pub fn take_reports(&mut self) -> Vec<Report> {
+        std::mem::take(&mut self.reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::util::Symbol;
+
+    fn mk_report(kind: ReportKind, line: u32) -> Report {
+        Report {
+            kind,
+            tid: 1,
+            file: "a.cpp".into(),
+            line,
+            func: "f".into(),
+            addr: 0x2000,
+            stack: vec![StackFrame { func: "f".into(), file: "a.cpp".into(), line }],
+            block: None,
+            details: String::new(),
+        }
+    }
+
+    fn loc(line: u32) -> SrcLoc {
+        SrcLoc { file: Symbol(1), line, func: Symbol(2) }
+    }
+
+    #[test]
+    fn dedup_by_kind_and_location() {
+        let mut sink = ReportSink::new();
+        assert!(sink.add(loc(3), mk_report(ReportKind::RaceWrite, 3)));
+        assert!(!sink.add(loc(3), mk_report(ReportKind::RaceWrite, 3)));
+        assert!(sink.add(loc(3), mk_report(ReportKind::RaceRead, 3)), "kinds dedup separately");
+        assert!(sink.add(loc(4), mk_report(ReportKind::RaceWrite, 4)));
+        assert_eq!(sink.location_count(), 3);
+        assert_eq!(sink.duplicates, 1);
+    }
+
+    #[test]
+    fn count_kind_filters() {
+        let mut sink = ReportSink::new();
+        sink.add(loc(1), mk_report(ReportKind::RaceWrite, 1));
+        sink.add(loc(2), mk_report(ReportKind::LockOrderCycle, 2));
+        assert_eq!(sink.count_kind(ReportKind::RaceWrite), 1);
+        assert_eq!(sink.count_kind(ReportKind::LockOrderCycle), 1);
+        assert_eq!(sink.race_location_count(), 1);
+    }
+
+    #[test]
+    fn render_is_helgrind_like() {
+        let r = mk_report(ReportKind::RaceWrite, 22);
+        let out = r.render();
+        assert!(out.contains("Possible Race (write) by thread 1"));
+        assert!(out.contains("a.cpp:22"));
+    }
+
+    #[test]
+    fn suppression_token_groups_race_kinds() {
+        assert_eq!(ReportKind::RaceRead.suppression_token(), "Race");
+        assert_eq!(ReportKind::RaceWrite.suppression_token(), "Race");
+        assert_eq!(ReportKind::LockOrderCycle.suppression_token(), "LockOrder");
+    }
+}

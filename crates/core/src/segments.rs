@@ -1,0 +1,245 @@
+//! Thread segments — the Visual Threads refinement of Eraser (§2.3.2,
+//! Fig 2 of the paper).
+//!
+//! A thread's execution is split into *segments* separated by thread-create
+//! and thread-join operations. A memory location in EXCLUSIVE state is owned
+//! by a segment, not a thread: when segment `TSi` owns data and `TSj`
+//! touches it with `TSi` happens-before `TSj`, ownership transfers and the
+//! state stays EXCLUSIVE instead of degrading to SHARED. This is what makes
+//! the thread-per-request pattern warning-free (Fig 10) while thread pools
+//! still produce false positives (Fig 11).
+//!
+//! Each segment stores its owner's scalar clock plus a full vector clock
+//! snapshot, so `happens_before` is an O(1) epoch test.
+
+use crate::vc::VectorClock;
+use vexec::event::ThreadId;
+
+/// Id of a thread segment.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SegmentId(pub u32);
+
+#[derive(Clone, Debug)]
+struct Segment {
+    owner: ThreadId,
+    /// The owner-thread clock value at which this segment was created.
+    own_clock: u32,
+    /// Everything this segment's start knows about.
+    vc: VectorClock,
+}
+
+/// The segment graph: tracks the current segment of each thread and answers
+/// happens-before queries between segments.
+#[derive(Debug, Default)]
+pub struct SegmentGraph {
+    segments: Vec<Segment>,
+    /// Current segment per thread (index = tid).
+    current: Vec<Option<SegmentId>>,
+    /// Final segment of exited threads (still available for joins).
+    /// When `split_on_sync` is false the graph degenerates to one segment
+    /// per thread — plain Eraser ownership semantics.
+    split_enabled: bool,
+}
+
+impl SegmentGraph {
+    /// `split_enabled = false` yields the plain-Eraser behaviour (one
+    /// segment per thread forever, no transfer of exclusivity).
+    pub fn new(split_enabled: bool) -> Self {
+        SegmentGraph { segments: Vec::new(), current: Vec::new(), split_enabled }
+    }
+
+    fn new_segment(&mut self, owner: ThreadId, vc: VectorClock) -> SegmentId {
+        let own_clock = vc.get(owner.index());
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment { owner, own_clock, vc });
+        id
+    }
+
+    fn set_current(&mut self, tid: ThreadId, seg: SegmentId) {
+        let idx = tid.index();
+        if self.current.len() <= idx {
+            self.current.resize(idx + 1, None);
+        }
+        self.current[idx] = Some(seg);
+    }
+
+    /// Current segment of `tid`, creating the initial one lazily.
+    pub fn current(&mut self, tid: ThreadId) -> SegmentId {
+        let idx = tid.index();
+        if idx < self.current.len() {
+            if let Some(s) = self.current[idx] {
+                return s;
+            }
+        }
+        let vc = VectorClock::singleton(idx, 1);
+        let seg = self.new_segment(tid, vc);
+        self.set_current(tid, seg);
+        seg
+    }
+
+    /// Record a thread-create: the child starts a fresh segment knowing
+    /// everything the parent knew, and the parent enters a new segment
+    /// (TS1 → TS2 in Fig 2).
+    pub fn on_create(&mut self, parent: ThreadId, child: ThreadId) {
+        let pseg = self.current(parent);
+        let parent_vc = self.segments[pseg.0 as usize].vc.clone();
+
+        // Child segment: parent's knowledge + its own first tick.
+        let mut child_vc = parent_vc.clone();
+        child_vc.set(child.index(), 1);
+        let cseg = self.new_segment(child, child_vc);
+        self.set_current(child, cseg);
+
+        if self.split_enabled {
+            // Parent's next segment.
+            let mut new_parent_vc = parent_vc;
+            let tick = new_parent_vc.get(parent.index()) + 1;
+            new_parent_vc.set(parent.index(), tick);
+            let nseg = self.new_segment(parent, new_parent_vc);
+            self.set_current(parent, nseg);
+        }
+    }
+
+    /// Record a join: the joiner enters a new segment that also knows
+    /// everything the joined thread's final segment knew.
+    pub fn on_join(&mut self, joiner: ThreadId, joined: ThreadId) {
+        let jseg = self.current(joiner);
+        let tseg = self.current(joined);
+        if !self.split_enabled {
+            return;
+        }
+        let mut vc = self.segments[jseg.0 as usize].vc.clone();
+        let joined_vc = self.segments[tseg.0 as usize].vc.clone();
+        vc.join(&joined_vc);
+        let tick = vc.get(joiner.index()) + 1;
+        vc.set(joiner.index(), tick);
+        let nseg = self.new_segment(joiner, vc);
+        self.set_current(joiner, nseg);
+    }
+
+    /// Does segment `a` happen before (or equal) segment `b`?
+    ///
+    /// O(1) epoch test. Invariant: a segment's vector-clock component for a
+    /// *different* thread `t` names the highest segment of `t` that had
+    /// fully ended before this segment began (knowledge only transfers at
+    /// create boundaries, where the parent's segment ends, and at joins,
+    /// where the joined thread has exited). So for different owners,
+    /// `a` hb `b` iff `b`'s snapshot covers `a`'s epoch.
+    pub fn happens_before(&self, a: SegmentId, b: SegmentId) -> bool {
+        if a == b {
+            return true;
+        }
+        let sa = &self.segments[a.0 as usize];
+        let sb = &self.segments[b.0 as usize];
+        if sa.owner == sb.owner {
+            // Same thread: segment order is creation order.
+            return sa.own_clock <= sb.own_clock;
+        }
+        if !self.split_enabled {
+            // Plain Eraser: exclusivity never transfers across threads.
+            return false;
+        }
+        sb.vc.get(sa.owner.index()) >= sa.own_clock
+    }
+
+    /// Owner thread of a segment.
+    pub fn owner(&self, s: SegmentId) -> ThreadId {
+        self.segments[s.0 as usize].owner
+    }
+
+    /// Number of segments created (for stats).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MAIN: ThreadId = ThreadId(0);
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn create_orders_parent_prefix_before_child() {
+        let mut g = SegmentGraph::new(true);
+        let before = g.current(MAIN);
+        g.on_create(MAIN, T1);
+        let child = g.current(T1);
+        let after = g.current(MAIN);
+        assert_ne!(before, after, "parent enters a new segment at create");
+        assert!(g.happens_before(before, child), "pre-create segment hb child");
+        assert!(!g.happens_before(child, after), "child concurrent with parent post-create");
+        assert!(!g.happens_before(after, child));
+        assert!(g.happens_before(before, after), "same-thread order");
+    }
+
+    #[test]
+    fn join_orders_child_before_joiner_suffix() {
+        let mut g = SegmentGraph::new(true);
+        g.on_create(MAIN, T1);
+        let child = g.current(T1);
+        let mid = g.current(MAIN);
+        g.on_join(MAIN, T1);
+        let after = g.current(MAIN);
+        assert!(g.happens_before(child, after), "child hb post-join segment");
+        assert!(!g.happens_before(child, mid), "child concurrent with pre-join segment");
+    }
+
+    #[test]
+    fn fork_join_diamond() {
+        // Fig 2: TS1 -> {child1, child2, TS2}; join both -> TS3.
+        let mut g = SegmentGraph::new(true);
+        let ts1 = g.current(MAIN);
+        g.on_create(MAIN, T1);
+        g.on_create(MAIN, T2);
+        let c1 = g.current(T1);
+        let c2 = g.current(T2);
+        assert!(g.happens_before(ts1, c1));
+        assert!(g.happens_before(ts1, c2));
+        assert!(!g.happens_before(c1, c2), "siblings are concurrent");
+        assert!(!g.happens_before(c2, c1));
+        g.on_join(MAIN, T1);
+        g.on_join(MAIN, T2);
+        let ts3 = g.current(MAIN);
+        assert!(g.happens_before(c1, ts3));
+        assert!(g.happens_before(c2, ts3));
+    }
+
+    #[test]
+    fn sequential_handoff_chain() {
+        // Fig 2's serialized pattern: create T1, join T1, create T2 — T1's
+        // segment must happen-before T2's.
+        let mut g = SegmentGraph::new(true);
+        g.on_create(MAIN, T1);
+        let c1 = g.current(T1);
+        g.on_join(MAIN, T1);
+        g.on_create(MAIN, T2);
+        let c2 = g.current(T2);
+        assert!(g.happens_before(c1, c2), "non-overlapping segments are ordered");
+    }
+
+    #[test]
+    fn disabled_split_keeps_one_segment_per_thread() {
+        let mut g = SegmentGraph::new(false);
+        let s0 = g.current(MAIN);
+        g.on_create(MAIN, T1);
+        assert_eq!(g.current(MAIN), s0, "no split when disabled");
+        let c = g.current(T1);
+        g.on_join(MAIN, T1);
+        assert_eq!(g.current(MAIN), s0);
+        // Plain Eraser semantics: no cross-thread ordering in either
+        // direction — exclusivity never transfers between threads.
+        assert!(!g.happens_before(c, s0));
+        assert!(!g.happens_before(s0, c));
+    }
+
+    #[test]
+    fn owner_and_counts() {
+        let mut g = SegmentGraph::new(true);
+        let s = g.current(T2);
+        assert_eq!(g.owner(s), T2);
+        assert_eq!(g.segment_count(), 1);
+    }
+}

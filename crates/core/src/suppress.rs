@@ -1,0 +1,405 @@
+//! Valgrind-style suppression files (§2.3.1 of the paper: "it is possible
+//! to write a so-called suppression-file that contains report-type and
+//! call-stack-patterns of locations that are false positives or part of
+//! code that is not modifiable").
+//!
+//! Format (a close subset of Valgrind's):
+//!
+//! ```text
+//! {
+//!    libstdc++-string-refcount
+//!    Helgrind:Race
+//!    fun:M_grab
+//!    fun:std::string::*
+//!    ...
+//! }
+//! ```
+//!
+//! Frame patterns are matched against the report backtrace from the
+//! innermost frame outward. `fun:<glob>` matches a function name,
+//! `src:<glob>` matches `file:line` (line optional in the pattern), and a
+//! bare `...` matches any number of frames. Globs support `*` and `?`.
+
+use crate::report::Report;
+
+/// One frame pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FramePattern {
+    /// `fun:<glob>` — match the demangled function name.
+    Fun(String),
+    /// `src:<glob>` — match `file` or `file:line`.
+    Src(String),
+    /// `...` — match zero or more frames.
+    Ellipsis,
+}
+
+/// One suppression entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Suppression {
+    pub name: String,
+    /// Tool name before the colon (always "Helgrind" here) — kept for
+    /// format fidelity but not matched.
+    pub tool: String,
+    /// Report kind token: "Race", "HbRace", "LockOrder", or "*".
+    pub kind: String,
+    pub frames: Vec<FramePattern>,
+}
+
+impl Suppression {
+    /// Generate a suppression from a report, like Valgrind's
+    /// `--gen-suppressions=yes`: the top `max_frames` stack frames as
+    /// exact `fun:` patterns, followed by `...`.
+    pub fn from_report(name: &str, report: &Report, max_frames: usize) -> Suppression {
+        let mut frames: Vec<FramePattern> = report
+            .stack
+            .iter()
+            .take(max_frames.max(1))
+            .map(|f| FramePattern::Fun(f.func.clone()))
+            .collect();
+        if frames.is_empty() {
+            frames.push(FramePattern::Fun(report.func.clone()));
+        }
+        frames.push(FramePattern::Ellipsis);
+        Suppression {
+            name: name.to_string(),
+            tool: "Helgrind".to_string(),
+            kind: report.kind.suppression_token().to_string(),
+            frames,
+        }
+    }
+
+    /// Render in the suppression-file format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("   {}\n", self.name));
+        out.push_str(&format!("   {}:{}\n", self.tool, self.kind));
+        for f in &self.frames {
+            match f {
+                FramePattern::Fun(g) => out.push_str(&format!("   fun:{g}\n")),
+                FramePattern::Src(g) => out.push_str(&format!("   src:{g}\n")),
+                FramePattern::Ellipsis => out.push_str("   ...\n"),
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Parse errors with a 1-based line number.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "suppression parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+/// Simple glob: `*` = any run, `?` = any single char. Case-sensitive.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    fn inner(p: &[u8], t: &[u8]) -> bool {
+        match (p.first(), t.first()) {
+            (None, None) => true,
+            (Some(b'*'), _) => {
+                // Collapse consecutive stars.
+                let rest = &p[1..];
+                if inner(rest, t) {
+                    return true;
+                }
+                !t.is_empty() && inner(p, &t[1..])
+            }
+            (Some(b'?'), Some(_)) => inner(&p[1..], &t[1..]),
+            (Some(c), Some(d)) if c == d => inner(&p[1..], &t[1..]),
+            _ => false,
+        }
+    }
+    inner(pattern.as_bytes(), text.as_bytes())
+}
+
+/// A set of suppressions with a matcher.
+#[derive(Clone, Debug, Default)]
+pub struct SuppressionSet {
+    entries: Vec<Suppression>,
+}
+
+impl SuppressionSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, s: Suppression) {
+        self.entries.push(s);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parse a suppression file.
+    pub fn parse(text: &str) -> Result<Self, ParseError> {
+        let mut set = SuppressionSet::new();
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((ln, raw)) = lines.next() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line != "{" {
+                return Err(ParseError { line: ln + 1, message: format!("expected '{{', got {line:?}") });
+            }
+            // Name line.
+            let (nln, name) = next_content(&mut lines)
+                .ok_or(ParseError { line: ln + 1, message: "unterminated suppression".into() })?;
+            if name == "}" {
+                return Err(ParseError { line: nln + 1, message: "missing suppression name".into() });
+            }
+            // Kind line: Tool:Kind.
+            let (kln, kind_line) = next_content(&mut lines)
+                .ok_or(ParseError { line: nln + 1, message: "unterminated suppression".into() })?;
+            let (tool, kind) = kind_line.split_once(':').ok_or(ParseError {
+                line: kln + 1,
+                message: format!("expected 'Tool:Kind', got {kind_line:?}"),
+            })?;
+            let mut frames = Vec::new();
+            loop {
+                let (fln, fl) = next_content(&mut lines)
+                    .ok_or(ParseError { line: kln + 1, message: "unterminated suppression".into() })?;
+                if fl == "}" {
+                    break;
+                }
+                if fl == "..." {
+                    frames.push(FramePattern::Ellipsis);
+                } else if let Some(g) = fl.strip_prefix("fun:") {
+                    frames.push(FramePattern::Fun(g.to_string()));
+                } else if let Some(g) = fl.strip_prefix("src:") {
+                    frames.push(FramePattern::Src(g.to_string()));
+                } else if let Some(g) = fl.strip_prefix("obj:") {
+                    // Accepted for Valgrind compatibility; we have no
+                    // object files, so match it against the source file.
+                    frames.push(FramePattern::Src(g.to_string()));
+                } else {
+                    return Err(ParseError {
+                        line: fln + 1,
+                        message: format!("unknown frame pattern {fl:?}"),
+                    });
+                }
+            }
+            set.push(Suppression {
+                name: name.to_string(),
+                tool: tool.to_string(),
+                kind: kind.to_string(),
+                frames,
+            });
+        }
+        Ok(set)
+    }
+
+    /// Does any suppression match this report?
+    pub fn matches(&self, report: &Report) -> bool {
+        self.entries.iter().any(|s| suppression_matches(s, report))
+    }
+
+    /// Render the whole set in file format (round-trips through
+    /// [`SuppressionSet::parse`]).
+    pub fn render(&self) -> String {
+        self.entries.iter().map(Suppression::render).collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Suppression> {
+        self.entries.iter()
+    }
+}
+
+fn next_content<'a>(
+    lines: &mut impl Iterator<Item = (usize, &'a str)>,
+) -> Option<(usize, &'a str)> {
+    for (ln, raw) in lines {
+        let t = raw.trim();
+        if !t.is_empty() && !t.starts_with('#') {
+            return Some((ln, t));
+        }
+    }
+    None
+}
+
+fn suppression_matches(s: &Suppression, report: &Report) -> bool {
+    if s.kind != "*" && s.kind != report.kind.suppression_token() {
+        return false;
+    }
+    // Frame sequence match with ellipsis, innermost-first.
+    fn frames_match(pats: &[FramePattern], frames: &[crate::report::StackFrame]) -> bool {
+        match pats.first() {
+            None => true, // all patterns consumed; suppression is a prefix match
+            Some(FramePattern::Ellipsis) => {
+                // Try consuming 0..n frames.
+                (0..=frames.len()).any(|k| frames_match(&pats[1..], &frames[k..]))
+            }
+            Some(p) => {
+                let Some(f) = frames.first() else { return false };
+                let ok = match p {
+                    FramePattern::Fun(g) => glob_match(g, &f.func),
+                    FramePattern::Src(g) => {
+                        glob_match(g, &f.file) || glob_match(g, &format!("{}:{}", f.file, f.line))
+                    }
+                    FramePattern::Ellipsis => unreachable!(),
+                };
+                ok && frames_match(&pats[1..], &frames[1..])
+            }
+        }
+    }
+    frames_match(&s.frames, &report.stack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::{Report, ReportKind, StackFrame};
+
+    fn report_with_stack(funcs: &[&str]) -> Report {
+        Report {
+            kind: ReportKind::RaceWrite,
+            tid: 1,
+            file: "string.cpp".into(),
+            line: 10,
+            func: funcs[0].into(),
+            addr: 0,
+            stack: funcs
+                .iter()
+                .enumerate()
+                .map(|(i, f)| StackFrame {
+                    func: f.to_string(),
+                    file: "string.cpp".into(),
+                    line: 10 + i as u32,
+                })
+                .collect(),
+            block: None,
+            details: String::new(),
+        }
+    }
+
+    #[test]
+    fn glob_basics() {
+        assert!(glob_match("abc", "abc"));
+        assert!(!glob_match("abc", "abd"));
+        assert!(glob_match("a*c", "abbbc"));
+        assert!(glob_match("*", ""));
+        assert!(glob_match("a?c", "abc"));
+        assert!(!glob_match("a?c", "ac"));
+        assert!(glob_match("std::string::*", "std::string::M_grab"));
+        assert!(glob_match("**a**", "bca"));
+    }
+
+    #[test]
+    fn parse_single_suppression() {
+        let text = r#"
+# comment
+{
+   string-refcount
+   Helgrind:Race
+   fun:M_grab
+   fun:std::string::*
+   ...
+}
+"#;
+        let set = SuppressionSet::parse(text).unwrap();
+        assert_eq!(set.len(), 1);
+        let s = &set.entries[0];
+        assert_eq!(s.name, "string-refcount");
+        assert_eq!(s.kind, "Race");
+        assert_eq!(s.frames.len(), 3);
+        assert_eq!(s.frames[2], FramePattern::Ellipsis);
+    }
+
+    #[test]
+    fn parse_errors_are_located() {
+        let err = SuppressionSet::parse("{\n  x\n  NoColonHere\n}").unwrap_err();
+        assert_eq!(err.line, 3);
+        let err = SuppressionSet::parse("nonsense").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = SuppressionSet::parse("{\n  n\n  T:Race\n  bad:frame\n}").unwrap_err();
+        assert!(err.message.contains("unknown frame pattern"));
+    }
+
+    #[test]
+    fn matches_prefix_of_stack() {
+        let text = "{\n s\n Helgrind:Race\n fun:M_grab\n}";
+        let set = SuppressionSet::parse(text).unwrap();
+        assert!(set.matches(&report_with_stack(&["M_grab", "copy", "main"])));
+        assert!(!set.matches(&report_with_stack(&["copy", "M_grab"])));
+    }
+
+    #[test]
+    fn ellipsis_skips_frames() {
+        let text = "{\n s\n Helgrind:Race\n fun:M_grab\n ...\n fun:main\n}";
+        let set = SuppressionSet::parse(text).unwrap();
+        assert!(set.matches(&report_with_stack(&["M_grab", "a", "b", "main"])));
+        assert!(set.matches(&report_with_stack(&["M_grab", "main"])));
+        assert!(!set.matches(&report_with_stack(&["M_grab", "a", "b"])));
+    }
+
+    #[test]
+    fn kind_must_match_unless_wildcard() {
+        let race_only = SuppressionSet::parse("{\n s\n H:Race\n ...\n}").unwrap();
+        let anything = SuppressionSet::parse("{\n s\n H:*\n ...\n}").unwrap();
+        let mut r = report_with_stack(&["f"]);
+        assert!(race_only.matches(&r));
+        assert!(anything.matches(&r));
+        r.kind = ReportKind::LockOrderCycle;
+        assert!(!race_only.matches(&r));
+        assert!(anything.matches(&r));
+    }
+
+    #[test]
+    fn src_pattern_matches_file_and_line() {
+        let set = SuppressionSet::parse("{\n s\n H:Race\n src:string.cpp:10\n}").unwrap();
+        assert!(set.matches(&report_with_stack(&["anything"])));
+        let set2 = SuppressionSet::parse("{\n s\n H:Race\n src:other.cpp\n}").unwrap();
+        assert!(!set2.matches(&report_with_stack(&["anything"])));
+        let set3 = SuppressionSet::parse("{\n s\n H:Race\n src:string.*\n}").unwrap();
+        assert!(set3.matches(&report_with_stack(&["anything"])));
+    }
+
+    #[test]
+    fn multiple_suppressions_any_match() {
+        let text = "{\n a\n H:Race\n fun:xyz\n}\n{\n b\n H:Race\n fun:M_*\n}";
+        let set = SuppressionSet::parse(text).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!(set.matches(&report_with_stack(&["M_grab"])));
+    }
+
+    #[test]
+    fn generated_suppression_matches_its_own_report() {
+        let report = report_with_stack(&["M_grab", "copy_string", "handler", "main"]);
+        let s = Suppression::from_report("auto-1", &report, 2);
+        let mut set = SuppressionSet::new();
+        set.push(s);
+        assert!(set.matches(&report), "a generated suppression must match its source");
+        // But not an unrelated report.
+        assert!(!set.matches(&report_with_stack(&["other", "main"])));
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let report = report_with_stack(&["M_grab", "copy_string"]);
+        let mut set = SuppressionSet::new();
+        set.push(Suppression::from_report("auto-1", &report, 2));
+        set.push(SuppressionSet::parse("{\n manual\n Helgrind:LockOrder\n src:a.cpp:3\n}")
+            .unwrap()
+            .iter()
+            .next()
+            .unwrap()
+            .clone());
+        let text = set.render();
+        let back = SuppressionSet::parse(&text).unwrap();
+        assert_eq!(back.render(), text);
+        assert!(back.matches(&report));
+    }
+}

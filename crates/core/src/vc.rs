@@ -1,0 +1,168 @@
+//! Vector clocks (Lamport/Mattern), the happens-before machinery behind
+//! both the DJIT-style detector (§2.2 of the paper) and the thread-segment
+//! refinement from Visual Threads.
+
+/// A vector clock over thread ids. Missing components are zero; clocks grow
+//  lazily as threads appear.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u32>);
+
+impl VectorClock {
+    pub fn new() -> Self {
+        VectorClock(Vec::new())
+    }
+
+    /// Clock with a single non-zero component.
+    pub fn singleton(tid: usize, value: u32) -> Self {
+        let mut vc = VectorClock::new();
+        vc.set(tid, value);
+        vc
+    }
+
+    #[inline]
+    pub fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    pub fn set(&mut self, tid: usize, value: u32) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] = value;
+    }
+
+    /// Increment component `tid` and return the new value.
+    pub fn inc(&mut self, tid: usize) -> u32 {
+        let v = self.get(tid) + 1;
+        self.set(tid, v);
+        v
+    }
+
+    /// Pointwise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, &v) in other.0.iter().enumerate() {
+            if self.0[i] < v {
+                self.0[i] = v;
+            }
+        }
+    }
+
+    /// Pointwise `self ≤ other`: everything self knows, other knows too.
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v <= other.get(i))
+    }
+
+    /// Number of non-trivial components tracked.
+    pub fn width(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// An epoch: one thread's scalar clock value, FastTrack-style. Used for the
+/// common case of a location last written (or read) by a single thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Epoch {
+    pub tid: u32,
+    pub clock: u32,
+}
+
+impl Epoch {
+    pub const ZERO: Epoch = Epoch { tid: 0, clock: 0 };
+
+    /// Does this epoch happen before (or equal) the observer clock `vc`?
+    #[inline]
+    pub fn visible_to(self, vc: &VectorClock) -> bool {
+        self.clock <= vc.get(self.tid as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_of_missing_component_is_zero() {
+        let vc = VectorClock::new();
+        assert_eq!(vc.get(5), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut vc = VectorClock::new();
+        vc.set(3, 7);
+        assert_eq!(vc.get(3), 7);
+        assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn inc_returns_new_value() {
+        let mut vc = VectorClock::new();
+        assert_eq!(vc.inc(2), 1);
+        assert_eq!(vc.inc(2), 2);
+        assert_eq!(vc.get(2), 2);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 3);
+        a.set(1, 1);
+        let mut b = VectorClock::new();
+        b.set(1, 5);
+        b.set(2, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 5);
+        assert_eq!(a.get(2), 2);
+    }
+
+    #[test]
+    fn leq_detects_ordering_and_concurrency() {
+        let mut a = VectorClock::new();
+        a.set(0, 1);
+        let mut b = a.clone();
+        b.set(1, 4);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        // Concurrent clocks: neither leq.
+        let mut c = VectorClock::new();
+        c.set(0, 2);
+        let mut d = VectorClock::new();
+        d.set(1, 2);
+        assert!(!c.leq(&d));
+        assert!(!d.leq(&c));
+    }
+
+    #[test]
+    fn leq_with_different_widths() {
+        let mut a = VectorClock::new();
+        a.set(4, 1);
+        let b = VectorClock::new();
+        assert!(b.leq(&a));
+        assert!(!a.leq(&b));
+    }
+
+    #[test]
+    fn epoch_visibility() {
+        let mut vc = VectorClock::new();
+        vc.set(1, 3);
+        assert!(Epoch { tid: 1, clock: 3 }.visible_to(&vc));
+        assert!(Epoch { tid: 1, clock: 2 }.visible_to(&vc));
+        assert!(!Epoch { tid: 1, clock: 4 }.visible_to(&vc));
+        assert!(!Epoch { tid: 2, clock: 1 }.visible_to(&vc));
+        assert!(Epoch::ZERO.visible_to(&VectorClock::new()));
+    }
+
+    #[test]
+    fn singleton_clock() {
+        let vc = VectorClock::singleton(2, 9);
+        assert_eq!(vc.get(2), 9);
+        assert_eq!(vc.get(0), 0);
+    }
+}

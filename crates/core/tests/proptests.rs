@@ -1,0 +1,229 @@
+//! Property-based tests for the detector engines and their data
+//! structures.
+//!
+//! The central soundness/ completeness properties of the lockset algorithm:
+//! * programs that follow a consistent locking discipline never warn;
+//! * concurrent unlocked writes by two threads always warn (regardless of
+//!   interleaving — Eraser's order-independence claim, §4.3);
+//! * detectors are deterministic functions of the event stream.
+
+use helgrind_core::{DetectorConfig, LockSetTable, LocksetEngine, VectorClock};
+use proptest::prelude::*;
+use vexec::event::{AccessKind, AcqMode, Event, SyncId, ThreadId};
+use vexec::ir::{SrcLoc, SyncKind};
+
+const L: SrcLoc = SrcLoc::UNKNOWN;
+
+/// One critical section: thread takes `mutex`, accesses the addresses
+/// assigned to that mutex, releases.
+#[derive(Clone, Debug)]
+struct Section {
+    tid: u32,
+    mutex: u32,
+    /// (address index within the mutex's partition, is_write)
+    accesses: Vec<(u8, bool)>,
+}
+
+fn section_strategy(threads: u32, mutexes: u32) -> impl Strategy<Value = Section> {
+    (
+        1..=threads,
+        0..mutexes,
+        prop::collection::vec((0u8..4, any::<bool>()), 1..6),
+    )
+        .prop_map(|(tid, mutex, accesses)| Section { tid, mutex, accesses })
+}
+
+/// Turn sections into a well-locked event stream: every address is only
+/// ever touched under its owning mutex. Threads are created up front.
+fn disciplined_events(sections: &[Section], threads: u32) -> Vec<Event> {
+    let mut evs = Vec::new();
+    for t in 1..=threads {
+        evs.push(Event::ThreadCreate { parent: ThreadId(0), child: ThreadId(t), loc: L });
+    }
+    for s in sections {
+        let tid = ThreadId(s.tid);
+        let sync = SyncId(s.mutex);
+        evs.push(Event::Acquire {
+            tid,
+            sync,
+            kind: SyncKind::Mutex,
+            mode: AcqMode::Exclusive,
+            loc: L,
+        });
+        for &(slot, is_write) in &s.accesses {
+            // Partition the address space by mutex so the discipline holds.
+            let addr = 0x1000 + (s.mutex as u64) * 0x100 + (slot as u64) * 8;
+            let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+            evs.push(Event::Access { tid, addr, size: 8, kind, loc: L });
+        }
+        evs.push(Event::Release { tid, sync, kind: SyncKind::Mutex, loc: L });
+    }
+    evs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A consistent locking discipline never produces a lockset warning,
+    /// under any configuration and any section order.
+    #[test]
+    fn disciplined_programs_never_warn(
+        sections in prop::collection::vec(section_strategy(4, 3), 1..40),
+    ) {
+        for cfg in [DetectorConfig::original(), DetectorConfig::hwlc(), DetectorConfig::hwlc_dr()] {
+            let mut engine = LocksetEngine::new(cfg);
+            for ev in disciplined_events(&sections, 4) {
+                let race = engine.on_event(&ev);
+                prop_assert!(race.is_none(), "spurious warning under {cfg:?}: {race:?}");
+            }
+        }
+    }
+
+    /// The same stream with the mutex acquisitions stripped must warn as
+    /// soon as two threads write the same address.
+    #[test]
+    fn unlocked_conflicts_always_warn(
+        sections in prop::collection::vec(section_strategy(4, 1), 2..20),
+    ) {
+        // Force a guaranteed conflict: two different threads, same address,
+        // both writing, no locks.
+        let mut evs = Vec::new();
+        for t in 1..=4 {
+            evs.push(Event::ThreadCreate { parent: ThreadId(0), child: ThreadId(t), loc: L });
+        }
+        for s in &sections {
+            for &(slot, is_write) in &s.accesses {
+                let addr = 0x1000 + (slot as u64) * 8;
+                let kind = if is_write { AccessKind::Write } else { AccessKind::Read };
+                evs.push(Event::Access { tid: ThreadId(s.tid), addr, size: 8, kind, loc: L });
+            }
+        }
+        evs.push(Event::Access { tid: ThreadId(1), addr: 0x1000, size: 8, kind: AccessKind::Write, loc: L });
+        evs.push(Event::Access { tid: ThreadId(2), addr: 0x1000, size: 8, kind: AccessKind::Write, loc: L });
+
+        let mut engine = LocksetEngine::new(DetectorConfig::hwlc_dr());
+        let mut warned = false;
+        for ev in &evs {
+            warned |= engine.on_event(ev).is_some();
+        }
+        prop_assert!(warned, "two unlocked writers must be flagged");
+    }
+
+    /// Detectors are deterministic: the same event stream gives the same
+    /// reports.
+    #[test]
+    fn detector_is_deterministic(
+        sections in prop::collection::vec(section_strategy(3, 2), 1..30),
+        drop_locks in any::<bool>(),
+    ) {
+        let mut evs = disciplined_events(&sections, 3);
+        if drop_locks {
+            evs.retain(|e| !matches!(e, Event::Acquire { .. } | Event::Release { .. }));
+        }
+        let run = || {
+            let mut engine = LocksetEngine::new(DetectorConfig::hwlc_dr());
+            evs.iter().filter_map(|e| engine.on_event(e)).map(|r| (r.addr, r.tid)).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The HWLC improvement is monotone: it can only remove warnings
+    /// relative to the original bus-lock model on streams without plain
+    /// write/atomic mixes... in general it never *adds* warnings for
+    /// disciplined atomic traffic.
+    #[test]
+    fn hwlc_never_warns_on_pure_atomic_traffic(
+        ops in prop::collection::vec((1u32..=4, 0u8..4, any::<bool>()), 1..60),
+    ) {
+        // Threads mix plain reads and LOCK-prefixed RMWs on shared cells —
+        // the refcount pattern. HWLC must stay silent; Original may warn.
+        let mut engine = LocksetEngine::new(DetectorConfig::hwlc());
+        for t in 1..=4 {
+            engine.on_event(&Event::ThreadCreate { parent: ThreadId(0), child: ThreadId(t), loc: L });
+        }
+        for (tid, slot, rmw) in ops {
+            let addr = 0x2000 + slot as u64 * 8;
+            let kind = if rmw { AccessKind::AtomicRmw } else { AccessKind::Read };
+            let race = engine.on_event(&Event::Access { tid: ThreadId(tid), addr, size: 8, kind, loc: L });
+            prop_assert!(race.is_none(), "HWLC flagged read/RMW traffic");
+        }
+    }
+
+    /// Lockset interning: intersection is commutative, associative,
+    /// idempotent, and bounded by its operands.
+    #[test]
+    fn lockset_intersection_laws(
+        a in prop::collection::btree_set(0u32..12, 0..8),
+        b in prop::collection::btree_set(0u32..12, 0..8),
+        c in prop::collection::btree_set(0u32..12, 0..8),
+    ) {
+        use helgrind_core::LockId;
+        let mut t = LockSetTable::new();
+        let ia = t.intern(a.iter().map(|&x| LockId(x)).collect());
+        let ib = t.intern(b.iter().map(|&x| LockId(x)).collect());
+        let ic = t.intern(c.iter().map(|&x| LockId(x)).collect());
+        // Commutative.
+        prop_assert_eq!(t.intersect(ia, ib), t.intersect(ib, ia));
+        // Idempotent.
+        prop_assert_eq!(t.intersect(ia, ia), ia);
+        // Associative.
+        let ab_c = { let ab = t.intersect(ia, ib); t.intersect(ab, ic) };
+        let a_bc = { let bc = t.intersect(ib, ic); t.intersect(ia, bc) };
+        prop_assert_eq!(ab_c, a_bc);
+        // Result is a subset of both operands.
+        let r = t.intersect(ia, ib);
+        let elems: Vec<_> = t.elements(r).to_vec();
+        for l in elems {
+            prop_assert!(t.contains(ia, l) && t.contains(ib, l));
+        }
+        // Matches the reference computation.
+        let expected: Vec<u32> = a.intersection(&b).copied().collect();
+        let inter = t.intersect(ia, ib);
+        let got: Vec<u32> = t.elements(inter).iter().map(|l| l.0).collect();
+        prop_assert_eq!(expected, got);
+    }
+
+    /// Vector clocks: join is the least upper bound.
+    #[test]
+    fn vector_clock_join_is_lub(
+        a in prop::collection::vec(0u32..100, 0..6),
+        b in prop::collection::vec(0u32..100, 0..6),
+    ) {
+        let mk = |v: &[u32]| {
+            let mut vc = VectorClock::new();
+            for (i, &x) in v.iter().enumerate() { vc.set(i, x); }
+            vc
+        };
+        let va = mk(&a);
+        let vb = mk(&b);
+        let mut j = va.clone();
+        j.join(&vb);
+        // Upper bound.
+        prop_assert!(va.leq(&j));
+        prop_assert!(vb.leq(&j));
+        // Least: any other upper bound dominates j.
+        let mut ub = va.clone();
+        ub.join(&vb);
+        ub.inc(0);
+        prop_assert!(j.leq(&ub));
+        // Commutative.
+        let mut j2 = vb.clone();
+        j2.join(&va);
+        prop_assert_eq!(j, j2);
+    }
+
+    /// The DJIT engine never reports on mutex-ordered traffic, under any
+    /// section order — and agrees with the lockset engine's silence.
+    #[test]
+    fn hb_engine_silent_on_disciplined_streams(
+        sections in prop::collection::vec(section_strategy(3, 2), 1..30),
+    ) {
+        let evs = disciplined_events(&sections, 3);
+        let mut hb = helgrind_core::HbEngine::new(DetectorConfig::djit());
+        let mut ls = LocksetEngine::new(DetectorConfig::hwlc_dr());
+        for ev in &evs {
+            prop_assert!(hb.on_event(ev).is_none());
+            prop_assert!(ls.on_event(ev).is_none());
+        }
+    }
+}

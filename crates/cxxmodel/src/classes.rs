@@ -1,0 +1,246 @@
+//! The C++ object model: classes with single inheritance, virtual tables,
+//! and — crucially for the paper — the hidden writes performed by
+//! constructor and destructor chains.
+//!
+//! "When the destructor of an object is called every destructor of its
+//! parent classes is called prior to actually releasing the memory ... The
+//! destructor of the super-class should only see the properties of its
+//! class and therefore the environment has to be changed ... This change is
+//! done by writing to a location in the object's memory" (§3.1). Those vptr
+//! writes are what Helgrind flags; each `~Class` has its own source
+//! location, so every polymorphic class destroyed after sharing contributes
+//! one distinct false-positive location (the dominant FP class in Fig 5/6).
+//!
+//! Layout: `[vptr: 8][base fields...][own fields...]`, all fields 8 bytes.
+
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::ir::{Expr, ProcId, RegId, SrcLoc};
+
+/// Id of a declared class.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ClassId(pub u32);
+
+/// A class description.
+#[derive(Clone, Debug)]
+pub struct ClassDesc {
+    pub name: String,
+    pub base: Option<ClassId>,
+    /// Number of fields declared by this class itself (each 8 bytes).
+    pub own_fields: u32,
+    /// Does the hierarchy have a vtable? (All our modelled classes do.)
+    pub has_virtual: bool,
+    /// Location of the compiler-generated vptr write in `Class::Class`.
+    pub ctor_loc: SrcLoc,
+    /// Location of the compiler-generated vptr write in `Class::~Class`.
+    pub dtor_loc: SrcLoc,
+}
+
+/// Registry of modelled classes.
+#[derive(Debug, Default)]
+pub struct ClassModel {
+    classes: Vec<ClassDesc>,
+}
+
+impl ClassModel {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a class. `file`/`line` position its constructor/destructor
+    /// in the synthetic source tree (the destructor gets `line + 1`).
+    pub fn declare(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        name: &str,
+        file: &str,
+        line: u32,
+        base: Option<ClassId>,
+        own_fields: u32,
+    ) -> ClassId {
+        if let Some(b) = base {
+            assert!((b.0 as usize) < self.classes.len(), "base class not declared");
+        }
+        let ctor_loc = pb.loc(file, line, &format!("{name}::{name}"));
+        let dtor_loc = pb.loc(file, line + 1, &format!("{name}::~{name}"));
+        self.classes.push(ClassDesc {
+            name: name.to_string(),
+            base,
+            own_fields,
+            has_virtual: true,
+            ctor_loc,
+            dtor_loc,
+        });
+        ClassId(self.classes.len() as u32 - 1)
+    }
+
+    pub fn get(&self, id: ClassId) -> &ClassDesc {
+        &self.classes[id.0 as usize]
+    }
+
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty()
+    }
+
+    /// The inheritance chain, most-derived first.
+    pub fn chain(&self, id: ClassId) -> Vec<ClassId> {
+        let mut out = vec![id];
+        let mut cur = id;
+        while let Some(b) = self.get(cur).base {
+            out.push(b);
+            cur = b;
+        }
+        out
+    }
+
+    /// Total number of fields including inherited ones.
+    pub fn total_fields(&self, id: ClassId) -> u32 {
+        self.chain(id).iter().map(|c| self.get(*c).own_fields).sum()
+    }
+
+    /// Object size in bytes: vptr + all fields.
+    pub fn size_of(&self, id: ClassId) -> u64 {
+        8 + self.total_fields(id) as u64 * 8
+    }
+
+    /// Byte offset of field `i` (0-based, counting inherited fields first).
+    pub fn field_offset(&self, id: ClassId, i: u32) -> u64 {
+        assert!(i < self.total_fields(id), "field index out of range");
+        8 + i as u64 * 8
+    }
+
+    /// The vtable "address" stored in the vptr for a given dynamic type.
+    pub fn vtable_value(&self, id: ClassId) -> u64 {
+        VTABLE_BASE + id.0 as u64
+    }
+
+    /// Emit `new Class`: allocate and run the constructor chain
+    /// (base-to-derived vptr writes, fields zeroed by the allocator).
+    /// Returns the register holding the object address.
+    pub fn emit_new(&self, proc: &mut ProcBuilder, id: ClassId) -> RegId {
+        let obj = proc.alloc(self.size_of(id));
+        self.emit_construct(proc, obj, id);
+        obj
+    }
+
+    /// Emit the constructor chain for an object already allocated at `obj`.
+    pub fn emit_construct(&self, proc: &mut ProcBuilder, obj: RegId, id: ClassId) {
+        let mut chain = self.chain(id);
+        chain.reverse(); // base first, like real C++ construction order
+        let saved = proc.here();
+        for c in chain {
+            let desc = self.get(c);
+            proc.at(desc.ctor_loc);
+            proc.store(Expr::Reg(obj), self.vtable_value(c), 8);
+        }
+        proc.at(saved);
+    }
+
+    /// Emit a virtual call: dispatch reads the vptr. (The call body itself
+    /// is the caller's business; this models only the dispatch load.)
+    pub fn emit_virtual_dispatch(&self, proc: &mut ProcBuilder, obj: RegId) -> RegId {
+        proc.load_new(Expr::Reg(obj), 8)
+    }
+
+    /// Emit `delete obj`: optional `VALGRIND_HG_DESTRUCT` annotation (the
+    /// DR improvement, Fig 4), the destructor chain (derived-to-base vptr
+    /// writes, each at its own `~Class` location), then the release —
+    /// either the real `Free` or a call to a pool deallocator.
+    pub fn emit_delete(
+        &self,
+        proc: &mut ProcBuilder,
+        obj: RegId,
+        id: ClassId,
+        annotated: bool,
+        pool_free: Option<ProcId>,
+    ) {
+        let size = self.size_of(id);
+        if annotated {
+            // delete ca_deletor_single(p): the annotation runs before the
+            // destructor (Fig 4).
+            proc.hg_destruct(Expr::Reg(obj), size);
+        }
+        let saved = proc.here();
+        for c in self.chain(id) {
+            let desc = self.get(c);
+            proc.at(desc.dtor_loc);
+            proc.store(Expr::Reg(obj), self.vtable_value(c), 8);
+        }
+        proc.at(saved);
+        match pool_free {
+            None => proc.free(Expr::Reg(obj)),
+            Some(p) => proc.call(p, vec![Expr::Reg(obj), Expr::Const(size)], None),
+        }
+    }
+}
+
+/// A recognisable (non-heap) address range for vtable constants.
+const VTABLE_BASE: u64 = 0xBEEF_0000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use helpers::*;
+
+    mod helpers {
+        use super::*;
+
+        pub fn model_with_hierarchy(pb: &mut ProgramBuilder) -> (ClassModel, ClassId, ClassId, ClassId) {
+            let mut m = ClassModel::new();
+            let base = m.declare(pb, "SipMessage", "msg.cpp", 10, None, 2);
+            let mid = m.declare(pb, "SipRequest", "msg.cpp", 40, Some(base), 1);
+            let leaf = m.declare(pb, "InviteRequest", "msg.cpp", 70, Some(mid), 3);
+            (m, base, mid, leaf)
+        }
+    }
+
+    #[test]
+    fn chain_is_derived_first() {
+        let mut pb = ProgramBuilder::new();
+        let (m, base, mid, leaf) = model_with_hierarchy(&mut pb);
+        assert_eq!(m.chain(leaf), vec![leaf, mid, base]);
+        assert_eq!(m.chain(base), vec![base]);
+    }
+
+    #[test]
+    fn layout_accumulates_fields() {
+        let mut pb = ProgramBuilder::new();
+        let (m, base, mid, leaf) = model_with_hierarchy(&mut pb);
+        assert_eq!(m.total_fields(base), 2);
+        assert_eq!(m.total_fields(mid), 3);
+        assert_eq!(m.total_fields(leaf), 6);
+        assert_eq!(m.size_of(base), 8 + 16);
+        assert_eq!(m.size_of(leaf), 8 + 48);
+        assert_eq!(m.field_offset(leaf, 0), 8);
+        assert_eq!(m.field_offset(leaf, 5), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "field index out of range")]
+    fn field_offset_bounds_checked() {
+        let mut pb = ProgramBuilder::new();
+        let (m, base, _, _) = model_with_hierarchy(&mut pb);
+        m.field_offset(base, 2);
+    }
+
+    #[test]
+    fn dtor_locations_are_distinct_per_class() {
+        let mut pb = ProgramBuilder::new();
+        let (m, base, mid, leaf) = model_with_hierarchy(&mut pb);
+        let locs = [m.get(base).dtor_loc, m.get(mid).dtor_loc, m.get(leaf).dtor_loc];
+        assert_ne!(locs[0], locs[1]);
+        assert_ne!(locs[1], locs[2]);
+    }
+
+    #[test]
+    fn vtable_values_are_distinct() {
+        let mut pb = ProgramBuilder::new();
+        let (m, base, mid, leaf) = model_with_hierarchy(&mut pb);
+        let vs = [m.vtable_value(base), m.vtable_value(mid), m.vtable_value(leaf)];
+        assert_ne!(vs[0], vs[1]);
+        assert_ne!(vs[1], vs[2]);
+    }
+}

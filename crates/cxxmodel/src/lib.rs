@@ -1,0 +1,18 @@
+//! # cxxmodel — C++ runtime-behaviour model for guest programs
+//!
+//! The paper's false-positive taxonomy is rooted in concrete C++
+//! implementation behaviour: compiler-generated destructor chains writing
+//! vptrs (§3.1/§4.2.1), the libstdc++ copy-on-write `std::string` whose
+//! reference count mixes plain reads with `LOCK`-prefixed writes
+//! (§4.2.2, Fig 8/9), and the pooling allocator that recycles memory
+//! invisibly (§4). This crate generates those exact guest access patterns
+//! as `vexec` IR, so detectors are exercised by the real protocols rather
+//! than hand-picked event sequences.
+
+pub mod classes;
+pub mod pool;
+pub mod string;
+
+pub use classes::{ClassDesc, ClassId, ClassModel};
+pub use pool::PoolAllocator;
+pub use string::{emit_copy, emit_create, emit_drop, emit_read, StringSite};

@@ -1,0 +1,198 @@
+//! The libstdc++ pooling allocator model (§4 of the paper):
+//!
+//! "An issue arising when using Helgrind with the GNU C++ Standard Library
+//! is false reporting due to the memory allocation strategy in the standard
+//! container objects. Memory is reused internally and accesses to the
+//! reused memory regions are reported as data races, even though the
+//! accesses are separated by freeing and allocating, as Helgrind does not
+//! know anything about them. Fortunately, the allocation strategy ... is
+//! configurable with environment variables."
+//!
+//! The pool keeps a mutex-protected free list threaded *through the freed
+//! blocks themselves* (like `__pool_alloc`). Freed blocks are recycled
+//! without any `Free`/`Alloc` event reaching the tool, so shadow state
+//! survives across logical object lifetimes — the source of the E11 false
+//! positives. With `force_new = true` (the `GLIBCPP_FORCE_NEW` environment
+//! switch) every request goes to the real allocator and the tool sees the
+//! alloc/free pair, resetting shadow state.
+
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::ir::{Cond, Expr, GlobalId, ProcId, RegId};
+
+/// Handles to an installed pool allocator.
+#[derive(Clone, Copy, Debug)]
+pub struct PoolAllocator {
+    /// `pool_alloc(size) -> addr`
+    pub alloc_proc: ProcId,
+    /// `pool_free(addr, size)`
+    pub free_proc: ProcId,
+    head: GlobalId,
+    mutex_cell: GlobalId,
+    /// Was the pool installed with `GLIBCPP_FORCE_NEW` semantics?
+    pub force_new: bool,
+}
+
+impl PoolAllocator {
+    /// Declare the pool's globals and procedures in `pb`.
+    ///
+    /// `force_new = true` models `GLIBCPP_FORCE_NEW=1`: the pool degenerates
+    /// to plain `new`/`delete` and the detector sees every transition.
+    pub fn install(pb: &mut ProgramBuilder, force_new: bool) -> PoolAllocator {
+        let head = pb.global("__pool_free_list", 8);
+        let mutex_cell = pb.global("__pool_mutex", 8);
+
+        // pool_alloc(size) -> addr
+        let alloc_proc = pb.declare_proc("__pool_alloc");
+        let aloc = pb.loc("libstdc++/pool_allocator.h", 120, "__pool_alloc::allocate");
+        let mut a = ProcBuilder::new(1);
+        a.at(aloc);
+        let size = a.param(0);
+        if force_new {
+            let fresh = a.alloc(Expr::Reg(size));
+            a.ret(Some(Expr::Reg(fresh)));
+        } else {
+            let m = a.load_new(mutex_cell, 8);
+            a.lock(m);
+            let h = a.load_new(head, 8);
+            a.begin_if(Cond::Ne(Expr::Reg(h), Expr::Const(0)));
+            {
+                // Pop: head := *head (the link is stored in the block).
+                let next = a.load_new(Expr::Reg(h), 8);
+                a.store(head, Expr::Reg(next), 8);
+                a.unlock(m);
+                a.ret(Some(Expr::Reg(h)));
+            }
+            a.end_if();
+            a.unlock(m);
+            let fresh = a.alloc(Expr::Reg(size));
+            a.ret(Some(Expr::Reg(fresh)));
+        }
+        pb.define_proc(alloc_proc, a);
+
+        // pool_free(addr, size)
+        let free_proc = pb.declare_proc("__pool_free");
+        let floc = pb.loc("libstdc++/pool_allocator.h", 150, "__pool_alloc::deallocate");
+        let mut f = ProcBuilder::new(2);
+        f.at(floc);
+        let addr = f.param(0);
+        if force_new {
+            f.free(Expr::Reg(addr));
+        } else {
+            let m = f.load_new(mutex_cell, 8);
+            f.lock(m);
+            // Push: *addr := head; head := addr. The link write lands in
+            // memory the program just "freed" — invisible recycling.
+            let h = f.load_new(head, 8);
+            f.store(Expr::Reg(addr), Expr::Reg(h), 8);
+            f.store(head, Expr::Reg(addr), 8);
+            f.unlock(m);
+        }
+        pb.define_proc(free_proc, f);
+
+        PoolAllocator { alloc_proc, free_proc, head, mutex_cell, force_new }
+    }
+
+    /// Emit the pool's runtime initialisation; call once at the start of
+    /// the guest `main`.
+    pub fn emit_init(&self, proc: &mut ProcBuilder) {
+        let m = proc.new_mutex();
+        proc.store(self.mutex_cell, m, 8);
+        proc.store(self.head, 0u64, 8);
+    }
+
+    /// Emit `pool_alloc(size)`; returns the register with the address.
+    pub fn emit_alloc(&self, proc: &mut ProcBuilder, size: u64) -> RegId {
+        let dst = proc.reg();
+        proc.call(self.alloc_proc, vec![Expr::Const(size)], Some(dst));
+        dst
+    }
+
+    /// Emit `pool_free(addr, size)`.
+    pub fn emit_free(&self, proc: &mut ProcBuilder, addr: RegId, size: u64) {
+        proc.call(self.free_proc, vec![Expr::Reg(addr), Expr::Const(size)], None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::sched::RoundRobin;
+    use vexec::tool::{CountingTool, RecordingTool};
+    use vexec::vm::run_program;
+    use vexec::Event;
+
+    fn pool_roundtrip_program(force_new: bool) -> vexec::Program {
+        let mut pb = ProgramBuilder::new();
+        let pool = PoolAllocator::install(&mut pb, force_new);
+        let loc = pb.loc("t.cpp", 1, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(loc);
+        pool.emit_init(&mut m);
+        let a = pool.emit_alloc(&mut m, 64);
+        m.store(Expr::Reg(a), 7u64, 8);
+        pool.emit_free(&mut m, a, 64);
+        let b = pool.emit_alloc(&mut m, 64);
+        m.store(Expr::Reg(b), 9u64, 8);
+        pool.emit_free(&mut m, b, 64);
+        // With pooling, b must reuse a's address; record it for the test
+        // via an assert inside the guest.
+        if !force_new {
+            m.assert_eq(Expr::Reg(a), Expr::Reg(b), "pool must recycle the block");
+        }
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        pb.finish()
+    }
+
+    #[test]
+    fn pool_recycles_addresses_without_events() {
+        let prog = pool_roundtrip_program(false);
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        let allocs = rec.events.iter().filter(|e| matches!(e, Event::Alloc { .. })).count();
+        let frees = rec.events.iter().filter(|e| matches!(e, Event::Free { .. })).count();
+        assert_eq!(allocs, 1, "second allocation served from the pool");
+        assert_eq!(frees, 0, "pool frees are invisible to the tool");
+    }
+
+    #[test]
+    fn force_new_goes_to_the_real_allocator() {
+        let prog = pool_roundtrip_program(true);
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        let allocs = rec.events.iter().filter(|e| matches!(e, Event::Alloc { .. })).count();
+        let frees = rec.events.iter().filter(|e| matches!(e, Event::Free { .. })).count();
+        assert_eq!(allocs, 2);
+        assert_eq!(frees, 2);
+    }
+
+    #[test]
+    fn pool_is_thread_safe_under_contention() {
+        // Two workers allocate/free in a loop; the guest must terminate
+        // cleanly (no double free, no assert failure).
+        let mut pb = ProgramBuilder::new();
+        let pool = PoolAllocator::install(&mut pb, false);
+        let wloc = pb.loc("t.cpp", 10, "worker");
+        let mut w = ProcBuilder::new(0);
+        w.at(wloc);
+        w.begin_repeat(20u64);
+        let a = pool.emit_alloc(&mut w, 64);
+        w.store(Expr::Reg(a), 1u64, 8);
+        pool.emit_free(&mut w, a, 64);
+        w.end_repeat();
+        let worker = pb.add_proc("worker", w);
+        let mloc = pb.loc("t.cpp", 20, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(mloc);
+        pool.emit_init(&mut m);
+        let h1 = m.spawn(worker, vec![]);
+        let h2 = m.spawn(worker, vec![]);
+        m.join(h1);
+        m.join(h2);
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        let prog = pb.finish();
+        let mut tool = CountingTool::new();
+        run_program(&prog, &mut tool, &mut RoundRobin::new()).expect_clean();
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the C++ object model: layout invariants over
+//! random class hierarchies, destructor-chain structure, and refcounted
+//! string conservation under random copy/drop sequences.
+
+use cxxmodel::classes::{ClassId, ClassModel};
+use cxxmodel::string::{emit_copy, emit_create, emit_drop, StringSite, OFF_DATA};
+use proptest::prelude::*;
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::sched::RoundRobin;
+use vexec::tool::RecordingTool;
+use vexec::vm::run_program;
+use vexec::Event;
+
+/// Build a random single-inheritance forest: each class optionally derives
+/// from an earlier one.
+fn build_hierarchy(
+    pb: &mut ProgramBuilder,
+    spec: &[(Option<usize>, u32)],
+) -> (ClassModel, Vec<ClassId>) {
+    let mut model = ClassModel::new();
+    let mut ids = Vec::new();
+    for (i, &(base, fields)) in spec.iter().enumerate() {
+        let base_id = if ids.is_empty() {
+            None
+        } else {
+            base.map(|b| ids[b % ids.len()])
+        };
+        let id = model.declare(pb, &format!("C{i}"), "h.cpp", 10 * (i as u32 + 1), base_id, fields);
+        ids.push(id);
+    }
+    (model, ids)
+}
+
+fn hierarchy_strategy() -> impl Strategy<Value = Vec<(Option<usize>, u32)>> {
+    prop::collection::vec((prop::option::of(0usize..8), 0u32..5), 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Layout invariants: size = 8 + 8·total_fields; field offsets are
+    /// dense, within bounds, and chain length equals inheritance depth.
+    #[test]
+    fn layout_invariants(spec in hierarchy_strategy()) {
+        let mut pb = ProgramBuilder::new();
+        let (model, ids) = build_hierarchy(&mut pb, &spec);
+        for &id in &ids {
+            let total = model.total_fields(id);
+            prop_assert_eq!(model.size_of(id), 8 + total as u64 * 8);
+            for f in 0..total {
+                let off = model.field_offset(id, f);
+                prop_assert!(off >= 8);
+                prop_assert!(off < model.size_of(id));
+                prop_assert_eq!(off % 8, 0);
+            }
+            let chain = model.chain(id);
+            prop_assert_eq!(chain[0], id, "chain starts at the derived class");
+            // Chain sizes are monotonically decreasing along bases.
+            for w in chain.windows(2) {
+                prop_assert!(model.total_fields(w[0]) >= model.total_fields(w[1]));
+            }
+            // Field count equals the sum over the chain.
+            let sum: u32 = chain.iter().map(|&c| model.get(c).own_fields).sum();
+            prop_assert_eq!(sum, total);
+        }
+    }
+
+    /// `new` + `delete` produce exactly one vptr write per class in the
+    /// chain on each side, in opposite orders, plus alloc/free.
+    #[test]
+    fn ctor_dtor_chain_structure(spec in hierarchy_strategy(), pick in any::<prop::sample::Index>()) {
+        let mut pb = ProgramBuilder::new();
+        let (model, ids) = build_hierarchy(&mut pb, &spec);
+        let id = ids[pick.index(ids.len())];
+        let depth = model.chain(id).len();
+
+        let loc = pb.loc("t.cpp", 1, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(loc);
+        let obj = model.emit_new(&mut m, id);
+        model.emit_delete(&mut m, obj, id, false, None);
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        let prog = pb.finish();
+
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        let writes: Vec<u64> = rec.events.iter().filter_map(|e| match e {
+            Event::Access { kind: vexec::AccessKind::Write, addr, .. } => Some(*addr),
+            _ => None,
+        }).collect();
+        // ctor chain + dtor chain, all to offset 0 (the vptr).
+        prop_assert_eq!(writes.len(), 2 * depth);
+        let base_addr = writes[0];
+        prop_assert!(writes.iter().all(|&a| a == base_addr));
+        let allocs = rec.events.iter().filter(|e| matches!(e, Event::Alloc { .. })).count();
+        let frees = rec.events.iter().filter(|e| matches!(e, Event::Free { .. })).count();
+        prop_assert_eq!((allocs, frees), (1, 1));
+    }
+
+    /// Refcounted strings: for any interleaved sequence of copies and
+    /// drops ending balanced, the rep is freed exactly once, by the last
+    /// dropper.
+    #[test]
+    fn string_refcount_conservation(n_copies in 0usize..8) {
+        let mut pb = ProgramBuilder::new();
+        let site = StringSite::new(&mut pb, "s.cpp", 10);
+        let loc = pb.loc("s.cpp", 1, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(loc);
+        let rep = emit_create(&mut m, 8);
+        let mut handles = vec![rep];
+        for _ in 0..n_copies {
+            let c = emit_copy(&mut m, rep, site);
+            handles.push(c);
+        }
+        for h in handles {
+            emit_drop(&mut m, h, site, OFF_DATA + 8, None);
+        }
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        let prog = pb.finish();
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        let frees = rec.events.iter().filter(|e| matches!(e, Event::Free { .. })).count();
+        prop_assert_eq!(frees, 1, "the rep is freed exactly once");
+        let rmws = rec.events.iter().filter(|e| matches!(
+            e, Event::Access { kind: vexec::AccessKind::AtomicRmw, .. })).count();
+        prop_assert_eq!(rmws, 2 * n_copies + 1, "one inc per copy, one dec per drop");
+    }
+}

@@ -1,0 +1,93 @@
+//! The automatic delete-annotation transform (§3.1, Fig 4).
+//!
+//! "It is done by annotating every delete operation in the source code of
+//! the program in order to mark deleted memory for the race detection as
+//! exclusively owned by the running thread." The transform is unsupervised:
+//! it rewrites every `delete p;` to `delete ca_deletor_single(p);`, where
+//! the helper issues `VALGRIND_HG_DESTRUCT(p, sizeof(*p))` before the
+//! destructor runs. Translation units whose source is unavailable are
+//! simply not transformed — they keep producing destructor false positives,
+//! exactly as the paper describes.
+
+use crate::ast::{Stmt, Unit};
+
+/// Annotate every `delete` in a unit. Returns the number of delete sites
+/// rewritten.
+pub fn annotate_unit(unit: &mut Unit) -> usize {
+    let mut count = 0;
+    for f in &mut unit.functions {
+        count += annotate_stmts(&mut f.body);
+    }
+    count
+}
+
+fn annotate_stmts(stmts: &mut [Stmt]) -> usize {
+    let mut count = 0;
+    for s in stmts {
+        match s {
+            Stmt::Delete { annotated, .. } if !*annotated => {
+                *annotated = true;
+                count += 1;
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                count += annotate_stmts(then_branch);
+                count += annotate_stmts(else_branch);
+            }
+            Stmt::While { body, .. } => {
+                count += annotate_stmts(body);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::render;
+    use crate::parser::parse;
+
+    #[test]
+    fn annotates_all_deletes_including_nested() {
+        let src = "
+void g(Msg* p, Msg* q, int c) {
+    if (c > 0) {
+        delete p;
+    } else {
+        while (c < 0) {
+            c = c + 1;
+            delete q;
+        }
+    }
+    delete p;
+}
+";
+        let mut unit = parse(src).unwrap();
+        let n = annotate_unit(&mut unit);
+        assert_eq!(n, 3);
+        // Idempotent.
+        assert_eq!(annotate_unit(&mut unit), 0);
+    }
+
+    #[test]
+    fn fig4_roundtrip() {
+        // The paper's example: original → annotated source.
+        let src = "void g(char* p) { delete p; }";
+        let mut unit = parse(src).unwrap();
+        annotate_unit(&mut unit);
+        let annotated = render(&unit);
+        assert!(annotated.contains("#include <valgrind/helgrind.h>"));
+        assert!(annotated.contains("inline Type* ca_deletor_single(Type* object)"));
+        assert!(annotated.contains("VALGRIND_HG_DESTRUCT(object, sizeof(Type));"));
+        assert!(annotated.contains("delete ca_deletor_single(p);"));
+    }
+
+    #[test]
+    fn unit_without_deletes_unchanged() {
+        let src = "void f() { int x = 1; }";
+        let mut unit = parse(src).unwrap();
+        assert_eq!(annotate_unit(&mut unit), 0);
+        assert!(!render(&unit).contains("helgrind"));
+    }
+}

@@ -1,0 +1,447 @@
+//! Abstract syntax tree for mini-C++, plus the pretty-printer used to show
+//! annotated source (the paper's Fig 4 presents the transform's output as
+//! source text; `render` reproduces that view).
+
+/// A full translation unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Unit {
+    pub classes: Vec<ClassDef>,
+    pub globals: Vec<GlobalDef>,
+    pub functions: Vec<FuncDef>,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDef {
+    pub name: String,
+    pub base: Option<String>,
+    pub fields: Vec<String>,
+    /// Declared virtual destructor (all modelled classes are polymorphic;
+    /// the flag is kept for printing fidelity).
+    pub virtual_dtor: bool,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum GlobalKind {
+    Int,
+    Mutex,
+    RwLock,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct GlobalDef {
+    pub kind: GlobalKind,
+    pub name: String,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum ParamType {
+    Int,
+    /// Pointer to a class object.
+    Ptr(String),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct FuncDef {
+    pub name: String,
+    pub params: Vec<(ParamType, String)>,
+    pub returns_int: bool,
+    pub body: Vec<Stmt>,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `int x = e;`
+    LetInt { name: String, value: Expr, line: u32 },
+    /// `Class* p = e;` (e is `new Class`, a call, or a pointer expression)
+    LetPtr { class: String, name: String, value: Expr, line: u32 },
+    /// `thread t = spawn f(args);`
+    LetThread { name: String, func: String, args: Vec<Expr>, line: u32 },
+    /// `x = e;` (local or global int)
+    Assign { name: String, value: Expr, line: u32 },
+    /// `p->f = e;`
+    FieldAssign { base: String, field: String, value: Expr, line: u32 },
+    /// `p->method();` — a virtual call. Mini-C++ methods are opaque (no
+    /// bodies); what matters for race detection is the dispatch itself,
+    /// which reads the object's vptr.
+    VirtualCall { base: String, method: String, line: u32 },
+    /// `delete p;` — `annotated` is set by the instrumentation pass.
+    Delete { ptr: String, annotated: bool, line: u32 },
+    /// `lock(m);` / `unlock(m);`
+    Lock { mutex: String, line: u32 },
+    Unlock { mutex: String, line: u32 },
+    /// `rdlock(r);` / `wrlock(r);` / `rwunlock(r);` — POSIX rwlocks,
+    /// intercepted only by detectors with `track_rwlocks` (the HWLC
+    /// addition).
+    RdLock { rwlock: String, line: u32 },
+    WrLock { rwlock: String, line: u32 },
+    RwUnlock { rwlock: String, line: u32 },
+    /// `atomic_inc(x);` — a LOCK-prefixed increment of a global or field.
+    AtomicInc { target: Expr, line: u32 },
+    /// `join(t);`
+    Join { thread: String, line: u32 },
+    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, line: u32 },
+    While { cond: Expr, body: Vec<Stmt>, line: u32 },
+    Return { value: Option<Expr>, line: u32 },
+    /// Bare call statement.
+    Call { func: String, args: Vec<Expr>, line: u32 },
+}
+
+impl Stmt {
+    pub fn line(&self) -> u32 {
+        match self {
+            Stmt::LetInt { line, .. }
+            | Stmt::LetPtr { line, .. }
+            | Stmt::LetThread { line, .. }
+            | Stmt::Assign { line, .. }
+            | Stmt::FieldAssign { line, .. }
+            | Stmt::VirtualCall { line, .. }
+            | Stmt::Delete { line, .. }
+            | Stmt::Lock { line, .. }
+            | Stmt::Unlock { line, .. }
+            | Stmt::RdLock { line, .. }
+            | Stmt::WrLock { line, .. }
+            | Stmt::RwUnlock { line, .. }
+            | Stmt::AtomicInc { line, .. }
+            | Stmt::Join { line, .. }
+            | Stmt::If { line, .. }
+            | Stmt::While { line, .. }
+            | Stmt::Return { line, .. }
+            | Stmt::Call { line, .. } => *line,
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Int(u64),
+    /// A variable: local, parameter or global.
+    Var(String),
+    /// `p->f`
+    Field { base: String, field: String },
+    /// `new Class`
+    New { class: String },
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    /// `f(args)` in expression position (int-returning function).
+    Call { func: String, args: Vec<Expr> },
+}
+
+// ---------------------------------------------------------------------
+// Pretty-printing (annotated-source view, Fig 4).
+// ---------------------------------------------------------------------
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Int(v) => out.push_str(&v.to_string()),
+        Expr::Var(n) => out.push_str(n),
+        Expr::Field { base, field } => {
+            out.push_str(base);
+            out.push_str("->");
+            out.push_str(field);
+        }
+        Expr::New { class } => {
+            out.push_str("new ");
+            out.push_str(class);
+        }
+        Expr::Bin { op, lhs, rhs } => {
+            // Parenthesise nested binary operands: comparisons are
+            // non-associative in the grammar, and explicit grouping keeps
+            // the printer a fixed point of the parser.
+            let child = |e: &Expr, out: &mut String| {
+                if matches!(e, Expr::Bin { .. }) {
+                    out.push('(');
+                    render_expr(e, out);
+                    out.push(')');
+                } else {
+                    render_expr(e, out);
+                }
+            };
+            child(lhs, out);
+            out.push_str(match op {
+                BinOp::Add => " + ",
+                BinOp::Sub => " - ",
+                BinOp::Mul => " * ",
+                BinOp::Eq => " == ",
+                BinOp::Ne => " != ",
+                BinOp::Lt => " < ",
+                BinOp::Le => " <= ",
+                BinOp::Gt => " > ",
+                BinOp::Ge => " >= ",
+            });
+            child(rhs, out);
+        }
+        Expr::Call { func, args } => {
+            out.push_str(func);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn render_stmts(stmts: &[Stmt], out: &mut String, depth: usize) {
+    for s in stmts {
+        indent(out, depth);
+        match s {
+            Stmt::LetInt { name, value, .. } => {
+                out.push_str(&format!("int {name} = "));
+                render_expr(value, out);
+                out.push_str(";\n");
+            }
+            Stmt::LetPtr { class, name, value, .. } => {
+                out.push_str(&format!("{class}* {name} = "));
+                render_expr(value, out);
+                out.push_str(";\n");
+            }
+            Stmt::LetThread { name, func, args, .. } => {
+                out.push_str(&format!("thread {name} = spawn {func}("));
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    render_expr(a, out);
+                }
+                out.push_str(");\n");
+            }
+            Stmt::Assign { name, value, .. } => {
+                out.push_str(&format!("{name} = "));
+                render_expr(value, out);
+                out.push_str(";\n");
+            }
+            Stmt::FieldAssign { base, field, value, .. } => {
+                out.push_str(&format!("{base}->{field} = "));
+                render_expr(value, out);
+                out.push_str(";\n");
+            }
+            Stmt::VirtualCall { base, method, .. } => {
+                out.push_str(&format!("{base}->{method}();\n"));
+            }
+            Stmt::Delete { ptr, annotated, .. } => {
+                if *annotated {
+                    // The Fig 4 transform.
+                    out.push_str(&format!("delete ca_deletor_single({ptr});\n"));
+                } else {
+                    out.push_str(&format!("delete {ptr};\n"));
+                }
+            }
+            Stmt::Lock { mutex, .. } => out.push_str(&format!("lock({mutex});\n")),
+            Stmt::Unlock { mutex, .. } => out.push_str(&format!("unlock({mutex});\n")),
+            Stmt::RdLock { rwlock, .. } => out.push_str(&format!("rdlock({rwlock});\n")),
+            Stmt::WrLock { rwlock, .. } => out.push_str(&format!("wrlock({rwlock});\n")),
+            Stmt::RwUnlock { rwlock, .. } => out.push_str(&format!("rwunlock({rwlock});\n")),
+            Stmt::AtomicInc { target, .. } => {
+                out.push_str("atomic_inc(");
+                render_expr(target, out);
+                out.push_str(");\n");
+            }
+            Stmt::Join { thread, .. } => out.push_str(&format!("join({thread});\n")),
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                out.push_str("if (");
+                render_expr(cond, out);
+                out.push_str(") {\n");
+                render_stmts(then_branch, out, depth + 1);
+                indent(out, depth);
+                if else_branch.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render_stmts(else_branch, out, depth + 1);
+                    indent(out, depth);
+                    out.push_str("}\n");
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                out.push_str("while (");
+                render_expr(cond, out);
+                out.push_str(") {\n");
+                render_stmts(body, out, depth + 1);
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+            Stmt::Return { value, .. } => {
+                out.push_str("return");
+                if let Some(v) = value {
+                    out.push(' ');
+                    render_expr(v, out);
+                }
+                out.push_str(";\n");
+            }
+            Stmt::Call { func, args, .. } => {
+                out.push_str(func);
+                out.push('(');
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    render_expr(a, out);
+                }
+                out.push_str(");\n");
+            }
+        }
+    }
+}
+
+/// Does the unit contain any annotated delete?
+fn has_annotation(unit: &Unit) -> bool {
+    fn in_stmts(stmts: &[Stmt]) -> bool {
+        stmts.iter().any(|s| match s {
+            Stmt::Delete { annotated, .. } => *annotated,
+            Stmt::If { then_branch, else_branch, .. } => {
+                in_stmts(then_branch) || in_stmts(else_branch)
+            }
+            Stmt::While { body, .. } => in_stmts(body),
+            _ => false,
+        })
+    }
+    unit.functions.iter().any(|f| in_stmts(&f.body))
+}
+
+/// Render a unit back to source. Annotated units get the Fig 4 prologue:
+/// the helgrind header include and the `ca_deletor_single` helper.
+pub fn render(unit: &Unit) -> String {
+    let mut out = String::new();
+    if has_annotation(unit) {
+        out.push_str("#include <valgrind/helgrind.h>\n");
+        out.push_str("namespace {\n");
+        out.push_str("template <class Type>\n");
+        out.push_str("inline Type* ca_deletor_single(Type* object) {\n");
+        out.push_str("    VALGRIND_HG_DESTRUCT(object, sizeof(Type));\n");
+        out.push_str("    return object;\n");
+        out.push_str("}\n");
+        out.push_str("}\n\n");
+    }
+    for c in &unit.classes {
+        match &c.base {
+            Some(b) => out.push_str(&format!("class {} : {} {{\n", c.name, b)),
+            None => out.push_str(&format!("class {} {{\n", c.name)),
+        }
+        for f in &c.fields {
+            out.push_str(&format!("    int {f};\n"));
+        }
+        if c.virtual_dtor {
+            out.push_str(&format!("    virtual ~{}() {{}}\n", c.name));
+        }
+        out.push_str("};\n\n");
+    }
+    for g in &unit.globals {
+        match g.kind {
+            GlobalKind::Int => out.push_str(&format!("int {};\n", g.name)),
+            GlobalKind::Mutex => out.push_str(&format!("mutex {};\n", g.name)),
+            GlobalKind::RwLock => out.push_str(&format!("rwlock {};\n", g.name)),
+        }
+    }
+    if !unit.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &unit.functions {
+        let ret = if f.returns_int { "int" } else { "void" };
+        out.push_str(&format!("{ret} {}(", f.name));
+        for (i, (ty, name)) in f.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            match ty {
+                ParamType::Int => out.push_str(&format!("int {name}")),
+                ParamType::Ptr(c) => out.push_str(&format!("{c}* {name}")),
+            }
+        }
+        out.push_str(") {\n");
+        render_stmts(&f.body, &mut out, 1);
+        out.push_str("}\n\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_plain_delete() {
+        let unit = Unit {
+            classes: vec![],
+            globals: vec![],
+            functions: vec![FuncDef {
+                name: "g".into(),
+                params: vec![(ParamType::Ptr("Msg".into()), "p".into())],
+                returns_int: false,
+                body: vec![Stmt::Delete { ptr: "p".into(), annotated: false, line: 2 }],
+                line: 1,
+            }],
+        };
+        let src = render(&unit);
+        assert!(src.contains("delete p;"));
+        assert!(!src.contains("ca_deletor_single"));
+        assert!(!src.contains("helgrind.h"));
+    }
+
+    #[test]
+    fn render_annotated_delete_matches_fig4() {
+        let unit = Unit {
+            classes: vec![],
+            globals: vec![],
+            functions: vec![FuncDef {
+                name: "g".into(),
+                params: vec![(ParamType::Ptr("Msg".into()), "p".into())],
+                returns_int: false,
+                body: vec![Stmt::Delete { ptr: "p".into(), annotated: true, line: 2 }],
+                line: 1,
+            }],
+        };
+        let src = render(&unit);
+        assert!(src.contains("#include <valgrind/helgrind.h>"));
+        assert!(src.contains("VALGRIND_HG_DESTRUCT(object, sizeof(Type));"));
+        assert!(src.contains("delete ca_deletor_single(p);"));
+    }
+
+    #[test]
+    fn render_class_with_base() {
+        let unit = Unit {
+            classes: vec![ClassDef {
+                name: "Req".into(),
+                base: Some("Msg".into()),
+                fields: vec!["len".into()],
+                virtual_dtor: true,
+                line: 1,
+            }],
+            globals: vec![],
+            functions: vec![],
+        };
+        let src = render(&unit);
+        assert!(src.contains("class Req : Msg {"));
+        assert!(src.contains("virtual ~Req() {}"));
+        assert!(src.contains("int len;"));
+    }
+
+    #[test]
+    fn stmt_line_extraction() {
+        let s = Stmt::Lock { mutex: "m".into(), line: 17 };
+        assert_eq!(s.line(), 17);
+    }
+}

@@ -1,0 +1,819 @@
+//! Semantic analysis and code generation: mini-C++ AST → `vexec` IR.
+//!
+//! Classes lower through `cxxmodel::ClassModel`, so `new`/`delete` emit the
+//! real constructor/destructor chains (vptr writes) — annotated deletes
+//! additionally emit `VALGRIND_HG_DESTRUCT`. Globals become guest memory
+//! cells, locals become registers, and the pthread-shaped statements map
+//! to the VM's thread and mutex operations.
+
+use crate::ast::*;
+use cxxmodel::classes::{ClassId, ClassModel};
+use std::collections::HashMap;
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::ir::{Cond, Expr as VExpr, GlobalId, ProcId, RegId};
+use vexec::ir::Program;
+
+/// A semantic/codegen error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SemaError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for SemaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "error at line {}: {}", self.line, self.message)
+    }
+}
+
+fn err<T>(line: u32, message: impl Into<String>) -> Result<T, SemaError> {
+    Err(SemaError { line, message: message.into() })
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum VarKind {
+    Int,
+    Ptr(ClassId),
+    Thread,
+}
+
+struct FuncSig {
+    proc: ProcId,
+    params: Vec<VarKind>,
+    returns_int: bool,
+}
+
+/// Compilation context shared across translation units (the "linker").
+struct Cx {
+    classes: ClassModel,
+    class_ids: HashMap<String, ClassId>,
+    /// Field name → index, per class (inherited fields included).
+    fields: HashMap<ClassId, HashMap<String, u32>>,
+    globals: HashMap<String, (GlobalKind, GlobalId)>,
+    funcs: HashMap<String, FuncSig>,
+}
+
+/// Compile one or more parsed units (with their file names for source
+/// locations) into an executable guest program. The entry point is the
+/// function `main`, which must take no parameters.
+pub fn compile(units: &[(Unit, String)]) -> Result<Program, SemaError> {
+    let mut pb = ProgramBuilder::new();
+    let mut cx = Cx {
+        classes: ClassModel::new(),
+        class_ids: HashMap::new(),
+        fields: HashMap::new(),
+        globals: HashMap::new(),
+        funcs: HashMap::new(),
+    };
+
+    // Pass 1: declare classes (bases must appear before derived classes,
+    // possibly in an earlier unit).
+    for (unit, file) in units {
+        for c in &unit.classes {
+            if cx.class_ids.contains_key(&c.name) {
+                return err(c.line, format!("class {} defined twice", c.name));
+            }
+            let base = match &c.base {
+                None => None,
+                Some(b) => Some(
+                    *cx.class_ids
+                        .get(b)
+                        .ok_or(SemaError { line: c.line, message: format!("unknown base {b}") })?,
+                ),
+            };
+            let id =
+                cx.classes.declare(&mut pb, &c.name, file, c.line, base, c.fields.len() as u32);
+            cx.class_ids.insert(c.name.clone(), id);
+            // Field table: inherited fields first (same order as layout).
+            let mut table = match base {
+                Some(b) => cx.fields[&b].clone(),
+                None => HashMap::new(),
+            };
+            let base_count = base.map(|b| cx.classes.total_fields(b)).unwrap_or(0);
+            for (i, f) in c.fields.iter().enumerate() {
+                if table.insert(f.clone(), base_count + i as u32).is_some() {
+                    return err(c.line, format!("field {f} shadows an inherited field"));
+                }
+            }
+            cx.fields.insert(id, table);
+        }
+    }
+
+    // Pass 2: declare globals and function signatures.
+    for (unit, _) in units {
+        for g in &unit.globals {
+            if cx.globals.contains_key(&g.name) {
+                return err(g.line, format!("global {} defined twice", g.name));
+            }
+            let gid = pb.global(&g.name, 8);
+            cx.globals.insert(g.name.clone(), (g.kind.clone(), gid));
+        }
+        for f in &unit.functions {
+            if cx.funcs.contains_key(&f.name) {
+                return err(f.line, format!("function {} defined twice", f.name));
+            }
+            let proc = pb.declare_proc(&f.name);
+            let mut params = Vec::new();
+            for (ty, _) in &f.params {
+                params.push(match ty {
+                    ParamType::Int => VarKind::Int,
+                    ParamType::Ptr(c) => VarKind::Ptr(
+                        *cx.class_ids.get(c).ok_or(SemaError {
+                            line: f.line,
+                            message: format!("unknown class {c} in parameter"),
+                        })?,
+                    ),
+                });
+            }
+            cx.funcs.insert(
+                f.name.clone(),
+                FuncSig { proc, params, returns_int: f.returns_int },
+            );
+        }
+    }
+
+    let main_sig = cx.funcs.get("main").ok_or(SemaError {
+        line: 1,
+        message: "no `main` function".into(),
+    })?;
+    if !main_sig.params.is_empty() {
+        return err(1, "`main` must take no parameters");
+    }
+    let entry = main_sig.proc;
+
+    // Pass 3: generate bodies.
+    for (unit, file) in units {
+        for f in &unit.functions {
+            let proc_id = cx.funcs[&f.name].proc;
+            let mut gen = FuncGen::new(&cx, &mut pb, f, file)?;
+            if f.name == "main" {
+                gen.emit_global_init(&mut pb);
+            }
+            gen.body(&mut pb, &f.body)?;
+            let FuncGen { proc, .. } = gen;
+            pb.define_proc(proc_id, proc);
+        }
+    }
+
+    pb.set_entry(entry);
+    Ok(pb.finish())
+}
+
+struct FuncGen<'cx> {
+    cx: &'cx Cx,
+    proc: ProcBuilder,
+    file: String,
+    func_name: String,
+    locals: Vec<HashMap<String, (VarKind, RegId)>>,
+}
+
+impl<'cx> FuncGen<'cx> {
+    fn new(
+        cx: &'cx Cx,
+        pb: &mut ProgramBuilder,
+        f: &FuncDef,
+        file: &str,
+    ) -> Result<Self, SemaError> {
+        let mut proc = ProcBuilder::new(f.params.len() as u16);
+        let loc = pb.loc(file, f.line, &f.name);
+        proc.at(loc);
+        let mut scope = HashMap::new();
+        for (i, (ty, name)) in f.params.iter().enumerate() {
+            let kind = match ty {
+                ParamType::Int => VarKind::Int,
+                ParamType::Ptr(c) => VarKind::Ptr(cx.class_ids[c]),
+            };
+            scope.insert(name.clone(), (kind, proc.param(i as u16)));
+        }
+        Ok(FuncGen {
+            cx,
+            proc,
+            file: file.to_string(),
+            func_name: f.name.clone(),
+            locals: vec![scope],
+        })
+    }
+
+    /// main()'s prologue: create every global mutex and zero int globals.
+    fn emit_global_init(&mut self, pb: &mut ProgramBuilder) {
+        let loc = pb.loc("<startup>", 0, "__global_init");
+        self.proc.at(loc);
+        let mut names: Vec<&String> = self.cx.globals.keys().collect();
+        names.sort(); // deterministic order
+        for name in names {
+            let (kind, gid) = &self.cx.globals[name];
+            match kind {
+                GlobalKind::Mutex => {
+                    let m = self.proc.new_mutex();
+                    self.proc.store(*gid, m, 8);
+                }
+                GlobalKind::RwLock => {
+                    let r = self.proc.new_sync(vexec::ir::SyncKind::RwLock, 0u64);
+                    self.proc.store(*gid, r, 8);
+                }
+                GlobalKind::Int => {}
+            }
+        }
+    }
+
+    fn at_line(&mut self, pb: &mut ProgramBuilder, line: u32) {
+        let loc = pb.loc(&self.file.clone(), line, &self.func_name.clone());
+        self.proc.at(loc);
+    }
+
+    fn lookup(&self, name: &str) -> Option<(VarKind, RegId)> {
+        for scope in self.locals.iter().rev() {
+            if let Some(&v) = scope.get(name) {
+                return Some(v);
+            }
+        }
+        None
+    }
+
+    fn declare_local(
+        &mut self,
+        name: &str,
+        kind: VarKind,
+        line: u32,
+    ) -> Result<RegId, SemaError> {
+        if self.locals.last().unwrap().contains_key(name) {
+            return err(line, format!("variable {name} redeclared"));
+        }
+        let r = self.proc.reg();
+        self.locals.last_mut().unwrap().insert(name.to_string(), (kind, r));
+        Ok(r)
+    }
+
+    fn body(&mut self, pb: &mut ProgramBuilder, stmts: &[Stmt]) -> Result<(), SemaError> {
+        self.locals.push(HashMap::new());
+        for s in stmts {
+            self.stmt(pb, s)?;
+        }
+        self.locals.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, pb: &mut ProgramBuilder, s: &Stmt) -> Result<(), SemaError> {
+        let line = s.line();
+        self.at_line(pb, line);
+        match s {
+            Stmt::LetInt { name, value, .. } => {
+                let v = self.expr_value(pb, value, line)?;
+                let r = self.declare_local(name, VarKind::Int, line)?;
+                self.proc.assign(r, v);
+                Ok(())
+            }
+            Stmt::LetPtr { class, name, value, .. } => {
+                let cid = *self
+                    .cx
+                    .class_ids
+                    .get(class)
+                    .ok_or(SemaError { line, message: format!("unknown class {class}") })?;
+                let v = self.expr_value(pb, value, line)?;
+                let r = self.declare_local(name, VarKind::Ptr(cid), line)?;
+                self.proc.assign(r, v);
+                Ok(())
+            }
+            Stmt::LetThread { name, func, args, .. } => {
+                let sig = self
+                    .cx
+                    .funcs
+                    .get(func)
+                    .ok_or(SemaError { line, message: format!("unknown function {func}") })?;
+                if sig.params.len() != args.len() {
+                    return err(line, format!("{func} expects {} arguments", sig.params.len()));
+                }
+                let mut vargs = Vec::new();
+                for a in args {
+                    vargs.push(self.expr_value(pb, a, line)?);
+                }
+                let h = self.proc.spawn(sig.proc, vargs);
+                let r = self.declare_local(name, VarKind::Thread, line)?;
+                self.proc.assign(r, VExpr::Reg(h));
+                Ok(())
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.expr_value(pb, value, line)?;
+                if let Some((kind, r)) = self.lookup(name) {
+                    if kind == VarKind::Thread {
+                        return err(line, "cannot assign to a thread handle");
+                    }
+                    self.proc.assign(r, v);
+                    Ok(())
+                } else if let Some((gk, gid)) = self.cx.globals.get(name) {
+                    if *gk != GlobalKind::Int {
+                        return err(line, format!("cannot assign to mutex {name}"));
+                    }
+                    self.proc.store(*gid, v, 8);
+                    Ok(())
+                } else {
+                    err(line, format!("unknown variable {name}"))
+                }
+            }
+            Stmt::FieldAssign { base, field, value, .. } => {
+                let (addr, _) = self.field_addr(base, field, line)?;
+                let v = self.expr_value(pb, value, line)?;
+                self.proc.store(addr, v, 8);
+                Ok(())
+            }
+            Stmt::VirtualCall { base, .. } => {
+                // Dispatch reads the vptr; the method body is opaque.
+                let (kind, r) = self
+                    .lookup(base)
+                    .ok_or(SemaError { line, message: format!("unknown variable {base}") })?;
+                let VarKind::Ptr(_) = kind else {
+                    return err(line, format!("{base} is not a pointer"));
+                };
+                let _vptr = self.proc.load_new(VExpr::Reg(r), 8);
+                Ok(())
+            }
+            Stmt::Delete { ptr, annotated, .. } => {
+                let (kind, r) = self
+                    .lookup(ptr)
+                    .ok_or(SemaError { line, message: format!("unknown variable {ptr}") })?;
+                let VarKind::Ptr(cid) = kind else {
+                    return err(line, format!("delete of non-pointer {ptr}"));
+                };
+                self.cx.classes.emit_delete(&mut self.proc, r, cid, *annotated, None);
+                Ok(())
+            }
+            Stmt::Lock { mutex, .. } | Stmt::Unlock { mutex, .. } => {
+                let (gk, gid) = self
+                    .cx
+                    .globals
+                    .get(mutex)
+                    .ok_or(SemaError { line, message: format!("unknown mutex {mutex}") })?;
+                if *gk != GlobalKind::Mutex {
+                    return err(line, format!("{mutex} is not a mutex"));
+                }
+                let h = self.proc.load_new(*gid, 8);
+                if matches!(s, Stmt::Lock { .. }) {
+                    self.proc.lock(h);
+                } else {
+                    self.proc.unlock(h);
+                }
+                Ok(())
+            }
+            Stmt::RdLock { rwlock, .. } | Stmt::WrLock { rwlock, .. }
+            | Stmt::RwUnlock { rwlock, .. } => {
+                let (gk, gid) = self
+                    .cx
+                    .globals
+                    .get(rwlock)
+                    .ok_or(SemaError { line, message: format!("unknown rwlock {rwlock}") })?;
+                if *gk != GlobalKind::RwLock {
+                    return err(line, format!("{rwlock} is not a rwlock"));
+                }
+                let h = self.proc.load_new(*gid, 8);
+                let op = match s {
+                    Stmt::RdLock { .. } => vexec::ir::SyncOp::RwLockRead(VExpr::Reg(h)),
+                    Stmt::WrLock { .. } => vexec::ir::SyncOp::RwLockWrite(VExpr::Reg(h)),
+                    _ => vexec::ir::SyncOp::RwUnlock(VExpr::Reg(h)),
+                };
+                self.proc.sync(op);
+                Ok(())
+            }
+            Stmt::AtomicInc { target, .. } => {
+                let addr = match target {
+                    Expr::Var(name) => {
+                        let (gk, gid) = self.cx.globals.get(name).ok_or(SemaError {
+                            line,
+                            message: format!("atomic_inc target {name} must be a global"),
+                        })?;
+                        if *gk != GlobalKind::Int {
+                            return err(line, "atomic_inc target must be an int");
+                        }
+                        VExpr::Global(*gid)
+                    }
+                    Expr::Field { base, field } => self.field_addr(base, field, line)?.0,
+                    _ => return err(line, "atomic_inc needs a variable or field"),
+                };
+                self.proc.atomic_rmw(None, addr, 1u64, 8);
+                Ok(())
+            }
+            Stmt::Join { thread, .. } => {
+                let (kind, r) = self
+                    .lookup(thread)
+                    .ok_or(SemaError { line, message: format!("unknown variable {thread}") })?;
+                if kind != VarKind::Thread {
+                    return err(line, format!("{thread} is not a thread handle"));
+                }
+                self.proc.join(VExpr::Reg(r));
+                Ok(())
+            }
+            Stmt::If { cond, then_branch, else_branch, .. } => {
+                let c = self.cond_value(pb, cond, line)?;
+                self.proc.begin_if(c);
+                self.body(pb, then_branch)?;
+                if !else_branch.is_empty() {
+                    self.proc.begin_else();
+                    self.body(pb, else_branch)?;
+                }
+                self.proc.end_if();
+                Ok(())
+            }
+            Stmt::While { cond, body, .. } => {
+                // Conditions may read memory, so they are materialised into
+                // a register re-evaluated at the end of each iteration.
+                let flag = self.proc.reg();
+                let c = self.cond_value(pb, cond, line)?;
+                self.emit_bool(flag, c);
+                self.proc.begin_while(Cond::Ne(VExpr::Reg(flag), VExpr::Const(0)));
+                self.body(pb, body)?;
+                self.at_line(pb, line);
+                let c = self.cond_value(pb, cond, line)?;
+                self.emit_bool(flag, c);
+                self.proc.end_while();
+                Ok(())
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    None => None,
+                    Some(e) => Some(self.expr_value(pb, e, line)?),
+                };
+                self.proc.ret(v);
+                Ok(())
+            }
+            Stmt::Call { func, args, .. } => {
+                self.emit_call(pb, func, args, line)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn emit_bool(&mut self, dst: RegId, cond: Cond) {
+        self.proc.begin_if(cond);
+        self.proc.assign(dst, 1u64);
+        self.proc.begin_else();
+        self.proc.assign(dst, 0u64);
+        self.proc.end_if();
+    }
+
+    fn emit_call(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        func: &str,
+        args: &[Expr],
+        line: u32,
+    ) -> Result<Option<RegId>, SemaError> {
+        let sig = self
+            .cx
+            .funcs
+            .get(func)
+            .ok_or(SemaError { line, message: format!("unknown function {func}") })?;
+        if sig.params.len() != args.len() {
+            return err(line, format!("{func} expects {} arguments", sig.params.len()));
+        }
+        let proc_id = sig.proc;
+        let returns_int = sig.returns_int;
+        let mut vargs = Vec::new();
+        for a in args {
+            vargs.push(self.expr_value(pb, a, line)?);
+        }
+        let dst = if returns_int { Some(self.proc.reg()) } else { None };
+        self.proc.call(proc_id, vargs, dst);
+        Ok(dst)
+    }
+
+    /// Address of `base->field` (emits the pointer register lookup).
+    fn field_addr(
+        &mut self,
+        base: &str,
+        field: &str,
+        line: u32,
+    ) -> Result<(VExpr, ClassId), SemaError> {
+        let (kind, r) = self
+            .lookup(base)
+            .ok_or(SemaError { line, message: format!("unknown variable {base}") })?;
+        let VarKind::Ptr(cid) = kind else {
+            return err(line, format!("{base} is not a pointer"));
+        };
+        let idx = *self.cx.fields[&cid]
+            .get(field)
+            .ok_or(SemaError { line, message: format!("no field {field} in class") })?;
+        let off = self.cx.classes.field_offset(cid, idx);
+        Ok((VExpr::offset(r, off), cid))
+    }
+
+    /// Evaluate an expression to a value (emitting loads as needed).
+    fn expr_value(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        e: &Expr,
+        line: u32,
+    ) -> Result<VExpr, SemaError> {
+        match e {
+            Expr::Int(v) => Ok(VExpr::Const(*v)),
+            Expr::Var(name) => {
+                if let Some((kind, r)) = self.lookup(name) {
+                    let _ = kind;
+                    Ok(VExpr::Reg(r))
+                } else if let Some((gk, gid)) = self.cx.globals.get(name) {
+                    if *gk != GlobalKind::Int {
+                        return err(line, format!("cannot read mutex {name} as a value"));
+                    }
+                    Ok(VExpr::Reg(self.proc.load_new(*gid, 8)))
+                } else {
+                    err(line, format!("unknown variable {name}"))
+                }
+            }
+            Expr::Field { base, field } => {
+                let (addr, _) = self.field_addr(base, field, line)?;
+                Ok(VExpr::Reg(self.proc.load_new(addr, 8)))
+            }
+            Expr::New { class } => {
+                let cid = *self
+                    .cx
+                    .class_ids
+                    .get(class)
+                    .ok_or(SemaError { line, message: format!("unknown class {class}") })?;
+                let r = self.cx.classes.emit_new(&mut self.proc, cid);
+                Ok(VExpr::Reg(r))
+            }
+            Expr::Bin { op, lhs, rhs } => {
+                let l = self.expr_value(pb, lhs, line)?;
+                let r = self.expr_value(pb, rhs, line)?;
+                match op {
+                    BinOp::Add => Ok(l.add(r)),
+                    BinOp::Sub => Ok(l.sub(r)),
+                    BinOp::Mul => Ok(l.mul(r)),
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let cond = match op {
+                            BinOp::Eq => Cond::Eq(l, r),
+                            BinOp::Ne => Cond::Ne(l, r),
+                            BinOp::Lt => Cond::Lt(l, r),
+                            BinOp::Le => Cond::Le(l, r),
+                            BinOp::Gt => Cond::Gt(l, r),
+                            BinOp::Ge => Cond::Ge(l, r),
+                            _ => unreachable!(),
+                        };
+                        let dst = self.proc.reg();
+                        self.emit_bool(dst, cond);
+                        Ok(VExpr::Reg(dst))
+                    }
+                }
+            }
+            Expr::Call { func, args } => {
+                let dst = self.emit_call(pb, func, args, line)?;
+                match dst {
+                    Some(r) => Ok(VExpr::Reg(r)),
+                    None => err(line, format!("void function {func} used as a value")),
+                }
+            }
+        }
+    }
+
+    /// Evaluate a condition directly (for `if`).
+    fn cond_value(
+        &mut self,
+        pb: &mut ProgramBuilder,
+        e: &Expr,
+        line: u32,
+    ) -> Result<Cond, SemaError> {
+        if let Expr::Bin { op, lhs, rhs } = e {
+            let cmp = matches!(
+                op,
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+            );
+            if cmp {
+                let l = self.expr_value(pb, lhs, line)?;
+                let r = self.expr_value(pb, rhs, line)?;
+                return Ok(match op {
+                    BinOp::Eq => Cond::Eq(l, r),
+                    BinOp::Ne => Cond::Ne(l, r),
+                    BinOp::Lt => Cond::Lt(l, r),
+                    BinOp::Le => Cond::Le(l, r),
+                    BinOp::Gt => Cond::Gt(l, r),
+                    BinOp::Ge => Cond::Ge(l, r),
+                    _ => unreachable!(),
+                });
+            }
+        }
+        // Truthiness of an arbitrary expression.
+        let v = self.expr_value(pb, e, line)?;
+        Ok(Cond::Ne(v, VExpr::Const(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use vexec::sched::RoundRobin;
+    use vexec::tool::{CountingTool, RecordingTool};
+    use vexec::vm::run_program;
+    use vexec::{AccessKind, Event};
+
+    fn compile_one(src: &str) -> Program {
+        let unit = parse(src).unwrap();
+        compile(&[(unit, "test.cpp".to_string())]).unwrap()
+    }
+
+    #[test]
+    fn compiles_and_runs_arithmetic() {
+        let prog = compile_one(
+            "int g_out;\nint square(int x) { return x * x; }\nvoid main() { g_out = square(7); }",
+        );
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        // The final store writes 49 — find it.
+        let wrote_49 = rec.events.iter().any(|e| matches!(e, Event::Access { kind: AccessKind::Write, .. }));
+        assert!(wrote_49);
+    }
+
+    #[test]
+    fn new_emits_ctor_chain_and_delete_emits_dtor_chain() {
+        let prog = compile_one(
+            "
+class Base { int a; virtual ~Base() {} };
+class Msg : Base { int len; ~Msg() {} };
+void main() {
+    Msg* m = new Msg;
+    m->len = 5;
+    m->a = 2;
+    delete m;
+}
+",
+        );
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        let allocs = rec.events.iter().filter(|e| matches!(e, Event::Alloc { .. })).count();
+        let frees = rec.events.iter().filter(|e| matches!(e, Event::Free { .. })).count();
+        assert_eq!(allocs, 1);
+        assert_eq!(frees, 1);
+        // ctor chain: 2 vptr writes; field stores: 2; dtor chain: 2.
+        let writes = rec
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Access { kind: AccessKind::Write, .. }))
+            .count();
+        assert_eq!(writes, 6);
+    }
+
+    #[test]
+    fn threads_and_locks_execute() {
+        let prog = compile_one(
+            "
+mutex g_m;
+int g_count;
+void worker(int n) {
+    int i = 0;
+    while (i < n) {
+        lock(g_m);
+        g_count = g_count + 1;
+        unlock(g_m);
+        i = i + 1;
+    }
+}
+void main() {
+    thread a = spawn worker(10);
+    thread b = spawn worker(10);
+    join(a);
+    join(b);
+}
+",
+        );
+        let mut tool = CountingTool::new();
+        run_program(&prog, &mut tool, &mut RoundRobin::new()).expect_clean();
+        assert_eq!(tool.count("acquire"), 20);
+        assert_eq!(tool.count("thread-create"), 2);
+    }
+
+    #[test]
+    fn atomic_inc_emits_rmw() {
+        let prog = compile_one("int g_rc;\nvoid main() { atomic_inc(g_rc); atomic_inc(g_rc); }");
+        let mut tool = CountingTool::new();
+        run_program(&prog, &mut tool, &mut RoundRobin::new()).expect_clean();
+        assert_eq!(tool.count("atomic-rmw"), 2);
+    }
+
+    #[test]
+    fn annotated_delete_emits_client_request() {
+        let src = "
+class Msg { int len; virtual ~Msg() {} };
+void main() { Msg* m = new Msg; delete m; }
+";
+        let mut unit = parse(src).unwrap();
+        crate::annotate::annotate_unit(&mut unit);
+        let prog = compile(&[(unit, "t.cpp".into())]).unwrap();
+        let mut rec = RecordingTool::new();
+        run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
+        assert!(rec
+            .events
+            .iter()
+            .any(|e| matches!(e, Event::Client { req: vexec::ClientEv::HgDestruct { .. }, .. })));
+    }
+
+    #[test]
+    fn while_condition_reloads_memory() {
+        // Spin on a global set by another thread: the condition must
+        // re-read g_flag each iteration or this would never terminate.
+        let prog = compile_one(
+            "
+int g_flag;
+void setter() { g_flag = 1; }
+void main() {
+    thread t = spawn setter();
+    while (g_flag == 0) {
+    }
+    join(t);
+}
+",
+        );
+        let mut tool = CountingTool::new();
+        let r = run_program(&prog, &mut tool, &mut RoundRobin::new());
+        assert!(r.termination.is_clean(), "{:?}", r.termination);
+    }
+
+    #[test]
+    fn sema_errors() {
+        let cases = [
+            ("void main() { delete x; }", "unknown variable"),
+            ("void main() { int x = 1; int x = 2; }", "redeclared"),
+            ("void main() { lock(m); }", "unknown mutex"),
+            ("void f() {}", "no `main`"),
+            ("class A : B { int x; }; void main() {}", "unknown base"),
+            ("void main() { int x = nothere(); }", "unknown function"),
+            ("void v() {} void main() { int x = v(); }", "used as a value"),
+            ("int g; void main() { atomic_inc(q); }", "must be a global"),
+        ];
+        for (src, needle) in cases {
+            let unit = parse(src).unwrap();
+            let e = compile(&[(unit, "t.cpp".into())]).unwrap_err();
+            assert!(e.message.contains(needle), "{src}: got {e}");
+        }
+    }
+
+    #[test]
+    fn globals_are_shared_between_units() {
+        let u1 = parse("int g_x;\nvoid set() { g_x = 42; }").unwrap();
+        let u2 = parse("void main() { set(); }").unwrap();
+        let prog = compile(&[(u1, "a.cpp".into()), (u2, "b.cpp".into())]).unwrap();
+        let mut tool = CountingTool::new();
+        run_program(&prog, &mut tool, &mut RoundRobin::new()).expect_clean();
+        assert_eq!(tool.count("write"), 1);
+    }
+}
+
+#[cfg(test)]
+mod rwlock_tests {
+    use super::*;
+    use crate::parser::parse;
+    use helgrind_like_tests::*;
+
+    /// Minimal in-crate stand-ins so these tests don't depend on
+    /// helgrind-core (which depends on this crate's sibling `vexec` only).
+    mod helgrind_like_tests {
+        pub use vexec::sched::RoundRobin;
+        pub use vexec::tool::CountingTool;
+        pub use vexec::vm::run_program;
+    }
+
+    fn compile_one(src: &str) -> Program {
+        let unit = parse(src).unwrap();
+        compile(&[(unit, "rw.cpp".to_string())]).unwrap()
+    }
+
+    #[test]
+    fn rwlock_program_compiles_and_runs() {
+        let prog = compile_one(
+            "
+rwlock g_rw;
+int g_data;
+void reader() {
+    rdlock(g_rw);
+    int v = g_data;
+    rwunlock(g_rw);
+}
+void writer() {
+    wrlock(g_rw);
+    g_data = g_data + 1;
+    rwunlock(g_rw);
+}
+void main() {
+    thread r1 = spawn reader();
+    thread r2 = spawn reader();
+    thread w = spawn writer();
+    join(r1);
+    join(r2);
+    join(w);
+}
+",
+        );
+        let mut tool = CountingTool::new();
+        let r = run_program(&prog, &mut tool, &mut RoundRobin::new());
+        assert!(r.termination.is_clean(), "{:?}", r.termination);
+        assert_eq!(tool.count("acquire"), 3);
+        assert_eq!(tool.count("release"), 3);
+    }
+
+    #[test]
+    fn rwlock_misuse_is_a_sema_error() {
+        let unit = parse("mutex g_m;\nvoid main() { rdlock(g_m); }").unwrap();
+        let e = compile(&[(unit, "rw.cpp".into())]).unwrap_err();
+        assert!(e.message.contains("not a rwlock"), "{e}");
+        let unit = parse("void main() { wrlock(nothere); }").unwrap();
+        let e = compile(&[(unit, "rw.cpp".into())]).unwrap_err();
+        assert!(e.message.contains("unknown rwlock"), "{e}");
+    }
+}

@@ -1,0 +1,28 @@
+//! # minicpp — a mini-C++ front end and instrumentation pipeline
+//!
+//! The paper's DR improvement needs a C++ parser: "For instrumentation,
+//! the C++-parser ELSA is used ... ELSA builds an abstract syntax tree that
+//! is used for source code analysis and annotation" (§3.3). This crate is
+//! the ELSA stand-in: a lexer, parser and AST for a C++-subset language
+//! (classes with single inheritance and virtual destructors, free
+//! functions, globals, `new`/`delete`, pthread-shaped threads/mutexes),
+//! the **automatic delete-annotation transform** of Fig 4, a pretty-printer
+//! that produces the annotated source, and a compiler lowering to the
+//! `vexec` guest IR so instrumented programs run on the VM under any
+//! detector.
+//!
+//! The [`pipeline`] module wires the three build stages of Fig 3 together,
+//! including the "source not available" case for third-party units.
+
+pub mod annotate;
+pub mod ast;
+pub mod codegen;
+pub mod parser;
+pub mod pipeline;
+pub mod token;
+
+pub use annotate::annotate_unit;
+pub use ast::{render, Unit};
+pub use codegen::{compile, SemaError};
+pub use parser::{parse, ParseError};
+pub use pipeline::{preprocess, run_pipeline, CompileError, PipelineOutput, SourceFile};

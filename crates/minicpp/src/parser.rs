@@ -1,0 +1,613 @@
+//! Recursive-descent parser for mini-C++.
+
+use crate::ast::*;
+use crate::token::{lex, LexError, Token, TokenKind};
+
+/// A parse error with a source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { line: e.line, message: e.message }
+    }
+}
+
+/// Parse a (preprocessed) translation unit.
+pub fn parse(src: &str) -> Result<Unit, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.unit()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let k = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { line: self.line(), message: message.into() })
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<(), ParseError> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected {}, found {}", kind.describe(), self.peek().describe()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            TokenKind::Ident(s) => Ok(s),
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected identifier, found {}", other.describe()))
+            }
+        }
+    }
+
+    fn unit(&mut self) -> Result<Unit, ParseError> {
+        let mut unit = Unit::default();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwClass => unit.classes.push(self.class_def()?),
+                TokenKind::KwMutex | TokenKind::KwRwLock => {
+                    let kind = if *self.peek() == TokenKind::KwMutex {
+                        GlobalKind::Mutex
+                    } else {
+                        GlobalKind::RwLock
+                    };
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    self.expect(TokenKind::Semi)?;
+                    unit.globals.push(GlobalDef { kind, name, line });
+                }
+                TokenKind::KwInt => {
+                    // `int name;` (global) or `int name(...)` (function).
+                    if let TokenKind::Ident(_) = self.peek2() {
+                        let save = self.pos;
+                        self.bump();
+                        let name = self.ident()?;
+                        if *self.peek() == TokenKind::LParen {
+                            self.pos = save;
+                            unit.functions.push(self.func_def()?);
+                        } else {
+                            let line = self.tokens[save].line;
+                            self.expect(TokenKind::Semi)?;
+                            unit.globals.push(GlobalDef { kind: GlobalKind::Int, name, line });
+                        }
+                    } else {
+                        return self.err("expected name after `int`");
+                    }
+                }
+                TokenKind::KwVoid => unit.functions.push(self.func_def()?),
+                other => {
+                    let d = other.describe();
+                    return self.err(format!("expected declaration, found {d}"));
+                }
+            }
+        }
+        Ok(unit)
+    }
+
+    fn class_def(&mut self) -> Result<ClassDef, ParseError> {
+        let line = self.line();
+        self.expect(TokenKind::KwClass)?;
+        let name = self.ident()?;
+        let base = if *self.peek() == TokenKind::Colon {
+            self.bump();
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        self.expect(TokenKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut virtual_dtor = false;
+        loop {
+            match self.peek() {
+                TokenKind::RBrace => {
+                    self.bump();
+                    break;
+                }
+                TokenKind::KwInt => {
+                    self.bump();
+                    fields.push(self.ident()?);
+                    self.expect(TokenKind::Semi)?;
+                }
+                TokenKind::KwVirtual | TokenKind::Tilde => {
+                    if *self.peek() == TokenKind::KwVirtual {
+                        self.bump();
+                    }
+                    self.expect(TokenKind::Tilde)?;
+                    let dname = self.ident()?;
+                    if dname != name {
+                        return self.err(format!(
+                            "destructor ~{dname} does not match class {name}"
+                        ));
+                    }
+                    self.expect(TokenKind::LParen)?;
+                    self.expect(TokenKind::RParen)?;
+                    self.expect(TokenKind::LBrace)?;
+                    self.expect(TokenKind::RBrace)?;
+                    virtual_dtor = true;
+                }
+                other => {
+                    let d = other.describe();
+                    return self.err(format!("unexpected class member starting with {d}"));
+                }
+            }
+        }
+        self.expect(TokenKind::Semi)?;
+        Ok(ClassDef { name, base, fields, virtual_dtor, line })
+    }
+
+    fn func_def(&mut self) -> Result<FuncDef, ParseError> {
+        let line = self.line();
+        let returns_int = match self.bump() {
+            TokenKind::KwInt => true,
+            TokenKind::KwVoid => false,
+            other => {
+                self.pos -= 1;
+                return self.err(format!("expected return type, found {}", other.describe()));
+            }
+        };
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                let ty = match self.bump() {
+                    TokenKind::KwInt => ParamType::Int,
+                    TokenKind::Ident(class) => {
+                        self.expect(TokenKind::Star)?;
+                        ParamType::Ptr(class)
+                    }
+                    other => {
+                        self.pos -= 1;
+                        return self
+                            .err(format!("expected parameter type, found {}", other.describe()));
+                    }
+                };
+                let pname = self.ident()?;
+                params.push((ty, pname));
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(FuncDef { name, params, returns_int, body, line })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while *self.peek() != TokenKind::RBrace {
+            if *self.peek() == TokenKind::Eof {
+                return self.err("unterminated block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::KwInt => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::LetInt { name, value, line })
+            }
+            TokenKind::KwThread => {
+                self.bump();
+                let name = self.ident()?;
+                self.expect(TokenKind::Assign)?;
+                self.expect(TokenKind::KwSpawn)?;
+                let func = self.ident()?;
+                self.expect(TokenKind::LParen)?;
+                let args = self.args()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::LetThread { name, func, args, line })
+            }
+            TokenKind::KwDelete => {
+                self.bump();
+                let ptr = self.ident()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Delete { ptr, annotated: false, line })
+            }
+            TokenKind::KwLock => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let mutex = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Lock { mutex, line })
+            }
+            TokenKind::KwUnlock => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let mutex = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Unlock { mutex, line })
+            }
+            TokenKind::KwRdLock | TokenKind::KwWrLock | TokenKind::KwRwUnlock => {
+                let tok = self.bump();
+                self.expect(TokenKind::LParen)?;
+                let rwlock = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(match tok {
+                    TokenKind::KwRdLock => Stmt::RdLock { rwlock, line },
+                    TokenKind::KwWrLock => Stmt::WrLock { rwlock, line },
+                    _ => Stmt::RwUnlock { rwlock, line },
+                })
+            }
+            TokenKind::KwAtomicInc => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let target = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::AtomicInc { target, line })
+            }
+            TokenKind::KwJoin => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let thread = self.ident()?;
+                self.expect(TokenKind::RParen)?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Join { thread, line })
+            }
+            TokenKind::KwIf => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let then_branch = self.block()?;
+                let else_branch = if *self.peek() == TokenKind::KwElse {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If { cond, then_branch, else_branch, line })
+            }
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body, line })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value = if *self.peek() == TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt::Return { value, line })
+            }
+            TokenKind::Ident(first) => {
+                // Could be: `Class* p = ...;`, `x = e;`, `p->f = e;`, or a call.
+                match self.peek2().clone() {
+                    TokenKind::Star => {
+                        self.bump(); // class name
+                        self.bump(); // star
+                        let name = self.ident()?;
+                        self.expect(TokenKind::Assign)?;
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::LetPtr { class: first, name, value, line })
+                    }
+                    TokenKind::Assign => {
+                        self.bump();
+                        self.bump();
+                        let value = self.expr()?;
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Assign { name: first, value, line })
+                    }
+                    TokenKind::Arrow => {
+                        self.bump();
+                        self.bump();
+                        let field = self.ident()?;
+                        if *self.peek() == TokenKind::Assign {
+                            self.bump();
+                            let value = self.expr()?;
+                            self.expect(TokenKind::Semi)?;
+                            Ok(Stmt::FieldAssign { base: first, field, value, line })
+                        } else if *self.peek() == TokenKind::LParen {
+                            // `p->method();` — a virtual call.
+                            self.bump();
+                            self.expect(TokenKind::RParen)?;
+                            self.expect(TokenKind::Semi)?;
+                            Ok(Stmt::VirtualCall { base: first, method: field, line })
+                        } else {
+                            self.err("expected `=` or `(` after field access statement")
+                        }
+                    }
+                    TokenKind::LParen => {
+                        self.bump();
+                        self.bump();
+                        let args = self.args()?;
+                        self.expect(TokenKind::Semi)?;
+                        Ok(Stmt::Call { func: first, args, line })
+                    }
+                    other => self.err(format!(
+                        "unexpected token after identifier: {}",
+                        other.describe()
+                    )),
+                }
+            }
+            other => self.err(format!("unexpected statement start: {}", other.describe())),
+        }
+    }
+
+    /// Arguments up to and including the closing paren.
+    fn args(&mut self) -> Result<Vec<Expr>, ParseError> {
+        let mut out = Vec::new();
+        if *self.peek() != TokenKind::RParen {
+            loop {
+                out.push(self.expr()?);
+                if *self.peek() == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        Ok(out)
+    }
+
+    /// expr := cmp ((==|!=|<|<=|>|>=) cmp)?
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            TokenKind::EqEq => Some(BinOp::Eq),
+            TokenKind::NotEq => Some(BinOp::Ne),
+            TokenKind::Lt => Some(BinOp::Lt),
+            TokenKind::Le => Some(BinOp::Le),
+            TokenKind::Gt => Some(BinOp::Gt),
+            TokenKind::Ge => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.additive()?;
+            Ok(Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.primary()?;
+        while *self.peek() == TokenKind::Star {
+            self.bump();
+            let rhs = self.primary()?;
+            lhs = Expr::Bin { op: BinOp::Mul, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            TokenKind::Int(v) => Ok(Expr::Int(v)),
+            TokenKind::KwNew => {
+                let class = self.ident()?;
+                Ok(Expr::New { class })
+            }
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => match self.peek() {
+                TokenKind::Arrow => {
+                    self.bump();
+                    let field = self.ident()?;
+                    Ok(Expr::Field { base: name, field })
+                }
+                TokenKind::LParen => {
+                    self.bump();
+                    let args = self.args()?;
+                    Ok(Expr::Call { func: name, args })
+                }
+                _ => Ok(Expr::Var(name)),
+            },
+            other => {
+                self.pos -= 1;
+                self.err(format!("expected expression, found {}", other.describe()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fig4_original_source() {
+        let src = "void g(char* p) { delete p; }";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.functions.len(), 1);
+        let f = &unit.functions[0];
+        assert_eq!(f.name, "g");
+        assert_eq!(f.params, vec![(ParamType::Ptr("char".into()), "p".into())]);
+        assert_eq!(f.body, vec![Stmt::Delete { ptr: "p".into(), annotated: false, line: 1 }]);
+    }
+
+    #[test]
+    fn parses_class_hierarchy() {
+        let src = "
+class Base {
+    int x;
+    virtual ~Base() {}
+};
+class Msg : Base {
+    int len;
+    ~Msg() {}
+};
+";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.classes.len(), 2);
+        assert_eq!(unit.classes[0].name, "Base");
+        assert!(unit.classes[0].virtual_dtor);
+        assert_eq!(unit.classes[1].base.as_deref(), Some("Base"));
+        assert_eq!(unit.classes[1].fields, vec!["len".to_string()]);
+    }
+
+    #[test]
+    fn parses_threads_and_locks() {
+        let src = "
+mutex g_m;
+int g_count;
+void worker(Msg* m) {
+    lock(g_m);
+    g_count = g_count + 1;
+    unlock(g_m);
+    int v = m->len;
+    delete m;
+}
+void main() {
+    Msg* m = new Msg;
+    m->len = 5;
+    thread t = spawn worker(m);
+    join(t);
+}
+";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.globals.len(), 2);
+        assert_eq!(unit.globals[0].kind, GlobalKind::Mutex);
+        assert_eq!(unit.functions.len(), 2);
+        let main = &unit.functions[1];
+        assert!(matches!(main.body[0], Stmt::LetPtr { .. }));
+        assert!(matches!(main.body[1], Stmt::FieldAssign { .. }));
+        assert!(matches!(main.body[2], Stmt::LetThread { .. }));
+        assert!(matches!(main.body[3], Stmt::Join { .. }));
+    }
+
+    #[test]
+    fn parses_control_flow_and_precedence() {
+        let src = "void f() { int x = 1 + 2 * 3; if (x == 7) { x = 0; } else { while (x > 0) { x = x - 1; } } }";
+        let unit = parse(src).unwrap();
+        let f = &unit.functions[0];
+        match &f.body[0] {
+            Stmt::LetInt { value, .. } => match value {
+                Expr::Bin { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, Expr::Bin { op: BinOp::Mul, .. }))
+                }
+                other => panic!("precedence broken: {other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(f.body[1], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn parses_atomic_inc_and_calls() {
+        let src = "int helper(int a) { return a + 1; } void f() { atomic_inc(g_rc); int x = helper(2); helper(x); }";
+        let unit = parse(src).unwrap();
+        assert_eq!(unit.functions.len(), 2);
+        let f = &unit.functions[1];
+        assert!(matches!(f.body[0], Stmt::AtomicInc { .. }));
+        assert!(matches!(f.body[2], Stmt::Call { .. }));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("void f() {\n  int x = ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse("class X { int }").unwrap_err();
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_destructor() {
+        let err = parse("class A { ~B() {} };").unwrap_err();
+        assert!(err.message.contains("does not match"));
+    }
+
+    #[test]
+    fn roundtrip_render_parse() {
+        let src = "
+class Msg {
+    int len;
+    virtual ~Msg() {}
+};
+int g_count;
+void main() {
+    Msg* m = new Msg;
+    m->len = 5;
+    delete m;
+}
+";
+        let unit = parse(src).unwrap();
+        let printed = crate::ast::render(&unit);
+        let reparsed = parse(&printed).unwrap();
+        // Lines shift, so compare structure modulo lines via re-render.
+        assert_eq!(crate::ast::render(&reparsed), printed);
+    }
+}

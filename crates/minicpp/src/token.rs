@@ -1,0 +1,319 @@
+//! Lexer for mini-C++.
+//!
+//! The paper's instrumentation pipeline parses *preprocessed* C++ with the
+//! ELSA GLR parser. Our mini-C++ covers the constructs the experiments
+//! need — classes with single inheritance and virtual destructors, free
+//! functions, globals, `new`/`delete`, pthread-shaped threading and
+//! locking — which is exactly the surface the annotation transform (Fig 4)
+//! has to understand.
+
+/// A lexical token with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    // Literals and names.
+    Int(u64),
+    Ident(String),
+    // Keywords.
+    KwClass,
+    KwVirtual,
+    KwInt,
+    KwVoid,
+    KwNew,
+    KwDelete,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwReturn,
+    KwMutex,
+    KwRwLock,
+    KwThread,
+    KwSpawn,
+    KwJoin,
+    KwLock,
+    KwUnlock,
+    KwRdLock,
+    KwWrLock,
+    KwRwUnlock,
+    KwAtomicInc,
+    // Punctuation.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    Semi,
+    Comma,
+    Colon,
+    Star,
+    Tilde,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eof,
+}
+
+impl TokenKind {
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            other => format!("{other:?}"),
+        }
+    }
+}
+
+/// A lexing error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexError {
+    pub line: u32,
+    pub message: String,
+}
+
+impl std::fmt::Display for LexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lex error at line {}: {}", self.line, self.message)
+    }
+}
+
+/// Tokenise preprocessed source. Comments must already be stripped by the
+/// preprocessing stage; `#` directives are skipped to end of line (they
+/// survive preprocessing as line markers).
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut out = Vec::new();
+    let bytes = src.as_bytes();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            ' ' | '\t' | '\r' => i += 1,
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                out.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                out.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            '(' => {
+                out.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                out.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            ';' => {
+                out.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                out.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            ':' => {
+                out.push(Token { kind: TokenKind::Colon, line });
+                i += 1;
+            }
+            '*' => {
+                out.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '~' => {
+                out.push(Token { kind: TokenKind::Tilde, line });
+                i += 1;
+            }
+            '+' => {
+                // `++` is not supported; atomic_inc() is the RMW primitive.
+                out.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '-' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    out.push(Token { kind: TokenKind::Arrow, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::EqEq, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Assign, line });
+                    i += 1;
+                }
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::NotEq, line });
+                    i += 2;
+                } else {
+                    return Err(LexError { line, message: "stray '!'".into() });
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Le, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Lt, line });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    out.push(Token { kind: TokenKind::Ge, line });
+                    i += 2;
+                } else {
+                    out.push(Token { kind: TokenKind::Gt, line });
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                let v: u64 = text
+                    .parse()
+                    .map_err(|_| LexError { line, message: format!("bad integer {text}") })?;
+                out.push(Token { kind: TokenKind::Int(v), line });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let kind = match word {
+                    "class" => TokenKind::KwClass,
+                    "virtual" => TokenKind::KwVirtual,
+                    "int" => TokenKind::KwInt,
+                    "void" => TokenKind::KwVoid,
+                    "new" => TokenKind::KwNew,
+                    "delete" => TokenKind::KwDelete,
+                    "if" => TokenKind::KwIf,
+                    "else" => TokenKind::KwElse,
+                    "while" => TokenKind::KwWhile,
+                    "return" => TokenKind::KwReturn,
+                    "mutex" => TokenKind::KwMutex,
+                    "rwlock" => TokenKind::KwRwLock,
+                    "thread" => TokenKind::KwThread,
+                    "spawn" => TokenKind::KwSpawn,
+                    "join" => TokenKind::KwJoin,
+                    "lock" => TokenKind::KwLock,
+                    "unlock" => TokenKind::KwUnlock,
+                    "rdlock" => TokenKind::KwRdLock,
+                    "wrlock" => TokenKind::KwWrLock,
+                    "rwunlock" => TokenKind::KwRwUnlock,
+                    "atomic_inc" => TokenKind::KwAtomicInc,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                out.push(Token { kind, line });
+            }
+            other => {
+                return Err(LexError { line, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    out.push(Token { kind: TokenKind::Eof, line });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        let ks = kinds("class Foo int x");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwClass,
+                TokenKind::Ident("Foo".into()),
+                TokenKind::KwInt,
+                TokenKind::Ident("x".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let ks = kinds("-> == != <= >= < > = + - *");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Arrow,
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Assign,
+                TokenKind::Plus,
+                TokenKind::Minus,
+                TokenKind::Star,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]); // c and Eof on line 4
+    }
+
+    #[test]
+    fn skips_hash_directives() {
+        let ks = kinds("#include <valgrind/helgrind.h>\nint x");
+        assert_eq!(ks, vec![TokenKind::KwInt, TokenKind::Ident("x".into()), TokenKind::Eof]);
+    }
+
+    #[test]
+    fn integer_literals() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("0")[0], TokenKind::Int(0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(lex("int @ x").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+}

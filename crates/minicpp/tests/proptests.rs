@@ -1,0 +1,190 @@
+//! Property-based tests for the mini-C++ front end: the pretty-printer and
+//! parser are mutual inverses over generated ASTs, the annotation pass is
+//! idempotent and annotation-count-correct, and generated programs always
+//! compile and execute.
+
+use minicpp::ast::*;
+use minicpp::pipeline::{preprocess, run_pipeline, SourceFile};
+use minicpp::{annotate_unit, compile, parse, render};
+use proptest::prelude::*;
+use vexec::sched::SeededRandom;
+use vexec::tool::CountingTool;
+use vexec::vm::run_program;
+
+fn ident_strategy(prefix: &'static str) -> impl Strategy<Value = String> {
+    (0u32..30).prop_map(move |i| format!("{prefix}{i}"))
+}
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (0u64..1000).prop_map(Expr::Int),
+        ident_strategy("x").prop_map(Expr::Var),
+    ];
+    leaf.prop_recursive(3, 12, 3, |inner| {
+        (
+            inner.clone(),
+            inner,
+            prop_oneof![
+                Just(BinOp::Add),
+                Just(BinOp::Sub),
+                Just(BinOp::Mul),
+                Just(BinOp::Eq),
+                Just(BinOp::Lt),
+            ],
+        )
+            .prop_map(|(lhs, rhs, op)| Expr::Bin {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+    })
+}
+
+fn stmt_strategy() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        (ident_strategy("x"), expr_strategy())
+            .prop_map(|(name, value)| Stmt::Assign { name, value, line: 1 }),
+        ident_strategy("p").prop_map(|ptr| Stmt::Delete { ptr, annotated: false, line: 1 }),
+        ident_strategy("m").prop_map(|mutex| Stmt::Lock { mutex, line: 1 }),
+        ident_strategy("m").prop_map(|mutex| Stmt::Unlock { mutex, line: 1 }),
+        (ident_strategy("p"), ident_strategy("f"), expr_strategy()).prop_map(
+            |(base, field, value)| Stmt::FieldAssign { base, field, value, line: 1 }
+        ),
+        (ident_strategy("p"), ident_strategy("meth"))
+            .prop_map(|(base, method)| Stmt::VirtualCall { base, method, line: 1 }),
+        expr_strategy().prop_map(|value| Stmt::Return { value: Some(value), line: 1 }),
+    ];
+    leaf.prop_recursive(2, 10, 4, |inner| {
+        prop_oneof![
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
+                |(cond, body)| Stmt::While { cond, body, line: 1 }
+            ),
+            (
+                expr_strategy(),
+                prop::collection::vec(inner.clone(), 0..3),
+                prop::collection::vec(inner, 0..3)
+            )
+                .prop_map(|(cond, then_branch, else_branch)| Stmt::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                    line: 1
+                }),
+        ]
+    })
+}
+
+fn unit_strategy() -> impl Strategy<Value = Unit> {
+    (
+        prop::collection::vec(
+            (ident_strategy("f"), prop::collection::vec(stmt_strategy(), 0..6)),
+            1..4,
+        ),
+        prop::collection::vec(ident_strategy("g"), 0..3),
+    )
+        .prop_map(|(funcs, globals)| Unit {
+            classes: vec![],
+            globals: globals
+                .into_iter()
+                .enumerate()
+                .map(|(i, name)| GlobalDef {
+                    kind: if i % 2 == 0 { GlobalKind::Int } else { GlobalKind::Mutex },
+                    name,
+                    line: 1,
+                })
+                .collect(),
+            functions: funcs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (name, body))| FuncDef {
+                    name: format!("{name}_{i}"),
+                    params: vec![(ParamType::Int, "a".into()), (ParamType::Ptr("C".into()), "p".into())],
+                    returns_int: i % 2 == 0,
+                    body,
+                    line: 1,
+                })
+                .collect(),
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// render ∘ parse ∘ render == render (the printer emits a fixed point
+    /// of the parser).
+    #[test]
+    fn render_parse_roundtrip(unit in unit_strategy()) {
+        let printed = render(&unit);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("reparse failed: {e}\n{printed}")))?;
+        prop_assert_eq!(render(&reparsed), printed);
+    }
+
+    /// Annotation marks exactly the delete statements, once.
+    #[test]
+    fn annotation_counts_deletes(unit in unit_strategy()) {
+        fn count_deletes(stmts: &[Stmt]) -> usize {
+            stmts.iter().map(|s| match s {
+                Stmt::Delete { .. } => 1,
+                Stmt::If { then_branch, else_branch, .. } => {
+                    count_deletes(then_branch) + count_deletes(else_branch)
+                }
+                Stmt::While { body, .. } => count_deletes(body),
+                _ => 0,
+            }).sum()
+        }
+        let mut unit = unit;
+        let expected: usize = unit.functions.iter().map(|f| count_deletes(&f.body)).sum();
+        prop_assert_eq!(annotate_unit(&mut unit), expected);
+        prop_assert_eq!(annotate_unit(&mut unit), 0, "idempotent");
+    }
+
+    /// Preprocessing is idempotent and preserves line counts.
+    #[test]
+    fn preprocess_idempotent(src in "[a-z{}();=\\n /*]*") {
+        let once = preprocess(&src);
+        let twice = preprocess(&once);
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(src.matches('\n').count(), once.matches('\n').count());
+    }
+
+    /// Generated *well-formed* programs always compile and run cleanly.
+    #[test]
+    fn generated_counter_programs_compile_and_run(
+        n_workers in 1usize..4,
+        increments in 1u64..10,
+        seed in any::<u64>(),
+    ) {
+        let mut src = String::from("mutex g_m;\nint g_count;\n");
+        src.push_str(&format!(
+            "void worker() {{ int i = 0; while (i < {increments}) {{ lock(g_m); g_count = g_count + 1; unlock(g_m); i = i + 1; }} }}\n"
+        ));
+        src.push_str("void main() {\n");
+        for i in 0..n_workers {
+            src.push_str(&format!("    thread t{i} = spawn worker();\n"));
+        }
+        for i in 0..n_workers {
+            src.push_str(&format!("    join(t{i});\n"));
+        }
+        src.push_str("}\n");
+
+        let out = run_pipeline(&[SourceFile::new("gen.cpp", &src)])
+            .map_err(|e| TestCaseError::fail(format!("{e}")))?;
+        let mut tool = CountingTool::new();
+        let r = run_program(&out.program, &mut tool, &mut SeededRandom::new(seed));
+        prop_assert!(r.termination.is_clean(), "{:?}", r.termination);
+        prop_assert_eq!(tool.count("acquire"), n_workers as u64 * increments);
+    }
+
+    /// Parse never panics on arbitrary input (errors are values).
+    #[test]
+    fn parser_total_on_garbage(src in "\\PC*") {
+        let _ = parse(&src);
+    }
+
+    /// Compile never panics on arbitrary parseable units.
+    #[test]
+    fn compile_total_on_generated_units(unit in unit_strategy()) {
+        let _ = compile(&[(unit, "gen.cpp".to_string())]);
+    }
+}

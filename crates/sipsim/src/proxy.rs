@@ -1,0 +1,520 @@
+//! The synthetic SIP proxy server: the workspace's stand-in for the 500
+//! kLOC commercial application of §3.3.
+//!
+//! The builder assembles a guest program from a *site catalogue*: concrete
+//! code patterns that produce exactly the three warning categories of the
+//! paper's evaluation (Fig 5) —
+//!
+//! * **bus-lock false positives**: shared COW strings copied by concurrent
+//!   request handlers (plain refcount read + `LOCK`-prefixed increment);
+//! * **destructor false positives**: session objects used under a lock by
+//!   several handlers, deleted by the last user *outside* the lock — the
+//!   compiler-generated `~Class` vptr write is unsynchronised;
+//! * **real races**: unlocked shared counters, the thread-unsafe
+//!   `localtime` static buffer (§4.1.3), and the returned-reference bug of
+//!   Fig 7.
+//!
+//! Every site has its own source location, so distinct warning locations
+//! are countable per category, and each site's label is recorded in a
+//! [`SiteMap`] so experiment harnesses can attribute every report to its
+//! ground truth. Which warnings actually appear is decided entirely by the
+//! detector configuration — the builder only lays out the code.
+
+use cxxmodel::classes::{ClassId, ClassModel};
+use cxxmodel::string::{self, StringSite};
+use std::collections::HashMap;
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::ir::{Cond, Expr, GlobalId, ProcId, Program, SyncKind, SyncOp};
+
+/// Ground-truth label of a warning site.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SiteLabel {
+    /// Hardware bus-lock misinterpretation (removed by HWLC).
+    BusLockFp,
+    /// Polymorphic destruction (removed by HWLC+DR).
+    DestructorFp,
+    /// A genuine synchronisation fault.
+    RealRace,
+    /// Thread-pool ownership hand-off (Fig 11; removed by queue-aware
+    /// hybrid detection, E12).
+    HandoffFp,
+}
+
+/// Map from source location to ground-truth label.
+#[derive(Debug, Default, Clone)]
+pub struct SiteMap {
+    map: HashMap<(String, u32), SiteLabel>,
+}
+
+impl SiteMap {
+    fn insert(&mut self, file: &str, line: u32, label: SiteLabel) {
+        self.map.insert((file.to_string(), line), label);
+    }
+
+    /// Classify a detector report by its (file, line).
+    pub fn classify(&self, file: &str, line: u32) -> Option<SiteLabel> {
+        self.map.get(&(file.to_string(), line)).copied()
+    }
+
+    /// Number of sites with a given label.
+    pub fn count(&self, label: SiteLabel) -> usize {
+        self.map.values().filter(|&&l| l == label).count()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// How requests are dispatched to handlers (§4.2.3).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dispatch {
+    /// One thread per request (the application's current pattern, Fig 10).
+    ThreadPerRequest,
+    /// A fixed pool of workers fed through a bounded queue (Fig 11).
+    ThreadPool { workers: usize },
+}
+
+/// Proxy construction parameters.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// Number of shared-string (bus-lock FP) sites.
+    pub bus_sites: usize,
+    /// Number of polymorphic-destruction (destructor FP) sites.
+    pub dtor_sites: usize,
+    /// Number of real-race sites (two of which are the `localtime` and
+    /// returned-reference patterns when `real_sites >= 2`).
+    pub real_sites: usize,
+    /// Concurrent touches per site (>= 2 so sharing actually occurs).
+    pub touches_per_site: usize,
+    /// Sites handled per request handler.
+    pub sites_per_handler: usize,
+    pub dispatch: Dispatch,
+    /// Emit `VALGRIND_HG_DESTRUCT` annotations at delete sites (the DR
+    /// instrumentation). Annotations are no-ops for detectors that do not
+    /// honour them, so this is normally left on.
+    pub annotate_deletes: bool,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            bus_sites: 4,
+            dtor_sites: 6,
+            real_sites: 4,
+            touches_per_site: 2,
+            sites_per_handler: 12,
+            dispatch: Dispatch::ThreadPerRequest,
+            annotate_deletes: true,
+        }
+    }
+}
+
+/// A built proxy: the guest program plus its ground truth.
+#[derive(Debug)]
+pub struct BuiltProxy {
+    pub program: Program,
+    pub sites: SiteMap,
+    pub handlers: usize,
+    pub requests: usize,
+}
+
+/// The proxy's source-tree modules; sites are spread across them.
+pub const MODULES: [&str; 10] = [
+    "transport", "parser", "registrar", "session", "billing", "stats", "config", "logging",
+    "routing", "timer",
+];
+
+enum SiteKind {
+    Dtor { class: ClassId, cell: GlobalId, pending: GlobalId, mutex_cell: GlobalId },
+    Bus { cell: GlobalId, site: StringSite },
+    Counter { cell: GlobalId },
+    Localtime { localtime_proc: ProcId },
+    ReturnedRef { getter: ProcId, data: GlobalId },
+}
+
+struct Site {
+    kind: SiteKind,
+    /// Location of the *touch* code in the handler.
+    file: String,
+    line: u32,
+}
+
+/// Build the proxy guest program for the given configuration.
+pub fn build_proxy(cfg: &ProxyConfig) -> BuiltProxy {
+    assert!(cfg.touches_per_site >= 2, "sites need at least two concurrent touches");
+    assert!(cfg.sites_per_handler >= 1);
+    let mut pb = ProgramBuilder::new();
+    let mut classes = ClassModel::new();
+    let mut sites: Vec<Site> = Vec::new();
+    let mut map = SiteMap::default();
+
+    // Per-module lock cells and line allocators.
+    let module_mtx: Vec<GlobalId> =
+        MODULES.iter().map(|m| pb.global(&format!("g_mtx_{m}"), 8)).collect();
+    let mut module_lines = [100u32; MODULES.len()];
+    let alloc_line = |mi: usize, lines: &mut [u32; MODULES.len()]| {
+        let l = lines[mi];
+        lines[mi] += 10;
+        l
+    };
+
+    // All destructor-site classes share one polymorphic base, like a real
+    // message hierarchy; its own dtor write is shadowed by the derived
+    // class's (same granule, report-once), so it adds no locations.
+    let base = classes.declare(&mut pb, "SipObject", "src/object.cpp", 10, None, 1);
+
+    // ---- destructor FP sites ----
+    for i in 0..cfg.dtor_sites {
+        let mi = i % MODULES.len();
+        let line = alloc_line(mi, &mut module_lines);
+        let file = format!("src/{}.cpp", MODULES[mi]);
+        let class = classes.declare(
+            &mut pb,
+            &format!("{}Session{i}", camel(MODULES[mi])),
+            &file,
+            line,
+            Some(base),
+            1,
+        );
+        let cell = pb.global(&format!("g_obj_{i}"), 8);
+        let pending = pb.global(&format!("g_obj_pending_{i}"), 8);
+        // The warning (if any) lands on the derived destructor's vptr
+        // write: ClassModel places `~Class` at line + 1.
+        map.insert(&file, line + 1, SiteLabel::DestructorFp);
+        sites.push(Site {
+            kind: SiteKind::Dtor { class, cell, pending, mutex_cell: module_mtx[mi] },
+            file,
+            line,
+        });
+    }
+
+    // ---- bus-lock FP sites ----
+    for i in 0..cfg.bus_sites {
+        let mi = i % MODULES.len();
+        let line = alloc_line(mi, &mut module_lines);
+        let file = format!("src/{}.cpp", MODULES[mi]);
+        let site = StringSite::new(&mut pb, &file, line);
+        let cell = pb.global(&format!("g_str_{i}"), 8);
+        // The warning lands on the `_M_grab` RMW at line + 1 (Fig 9).
+        map.insert(&file, line + 1, SiteLabel::BusLockFp);
+        sites.push(Site { kind: SiteKind::Bus { cell, site }, file, line });
+    }
+
+    // ---- real races ----
+    let mut plain_counters = cfg.real_sites;
+    if cfg.real_sites >= 2 {
+        plain_counters = cfg.real_sites - 2;
+
+        // Special 1: the glibc `localtime` static buffer (§4.1.3).
+        let lt_file = "libc/time.c";
+        let lt_line = 2201;
+        let lt = pb.declare_proc("localtime");
+        let loc = pb.loc(lt_file, lt_line, "localtime");
+        let buf = pb.global("g_localtime_tm", 8);
+        let mut p = ProcBuilder::new(1);
+        p.at(loc);
+        let t = p.param(0);
+        p.store(buf, Expr::Reg(t), 8); // fills the static struct tm
+        p.ret(Some(Expr::Global(buf)));
+        pb.define_proc(lt, p);
+        map.insert(lt_file, lt_line, SiteLabel::RealRace);
+        sites.push(Site {
+            kind: SiteKind::Localtime { localtime_proc: lt },
+            file: "src/logging.cpp".to_string(),
+            line: 900,
+        });
+
+        // Special 2: the Fig 7 returned-reference bug.
+        let g_file = "src/config.cpp";
+        let g_line = 88;
+        let data = pb.global("g_domain_data", 8);
+        let getter = pb.declare_proc("ServerModulesManagerImpl::getDomainData");
+        let gloc = pb.loc(g_file, g_line, "ServerModulesManagerImpl::getDomainData");
+        let mut g = ProcBuilder::new(0);
+        g.at(gloc);
+        let mx = g.load_new(module_mtx[6], 8); // config module's lock
+        g.lock(mx);
+        g.unlock(mx); // the MutexPtr guard dies at return
+        g.ret(Some(Expr::Global(data)));
+        pb.define_proc(getter, g);
+        let use_file = "src/config.cpp".to_string();
+        let use_line = 120;
+        map.insert(&use_file, use_line, SiteLabel::RealRace);
+        sites.push(Site {
+            kind: SiteKind::ReturnedRef { getter, data },
+            file: use_file,
+            line: use_line,
+        });
+    }
+    for i in 0..plain_counters {
+        let mi = i % MODULES.len();
+        let line = alloc_line(mi, &mut module_lines);
+        let file = format!("src/{}.cpp", MODULES[mi]);
+        let cell = pb.global(&format!("g_ctr_{i}"), 8);
+        map.insert(&file, line, SiteLabel::RealRace);
+        sites.push(Site { kind: SiteKind::Counter { cell }, file, line });
+    }
+
+    // ---- request handlers: chunk the sites ----
+    let chunks: Vec<&[Site]> = sites.chunks(cfg.sites_per_handler).collect();
+    let mut handler_procs: Vec<ProcId> = Vec::new();
+    for (hi, chunk) in chunks.iter().enumerate() {
+        let name = format!("RequestHandler{hi}::process");
+        let mut h = ProcBuilder::new(0);
+        for site in chunk.iter() {
+            emit_touch(&mut pb, &mut h, &classes, site, cfg, &name);
+        }
+        handler_procs.push(pb.add_proc(&name, h));
+    }
+    let handlers = handler_procs.len();
+
+    // ---- the dispatcher: reads the request message, updates it, routes
+    // to the right handler, releases the message ----
+    let dispatch = pb.declare_proc("dispatch_request");
+    let dfile = "src/dispatch.cpp";
+    let dloc_read = pb.loc(dfile, 40, "dispatch_request");
+    // The message-payload write: harmless under thread-per-request
+    // (ownership passed at create), a hand-off FP under a thread pool.
+    let process_line = 44;
+    let dloc_write = pb.loc(dfile, process_line, "dispatch_request");
+    map.insert(dfile, process_line, SiteLabel::HandoffFp);
+    {
+        let mut d = ProcBuilder::new(1);
+        let msg = d.param(0);
+        d.at(dloc_read);
+        let idx = d.load_new(Expr::Reg(msg), 8);
+        d.at(dloc_write);
+        d.store(Expr::offset(msg, 8), 1u64, 8); // mark request in-progress
+        d.at(dloc_read);
+        for (k, h) in handler_procs.iter().enumerate() {
+            d.begin_if(Cond::Eq(Expr::Reg(idx), Expr::Const(k as u64 + 1)));
+            d.call(*h, vec![], None);
+            d.end_if();
+        }
+        d.free(Expr::Reg(msg));
+        pb.define_proc(dispatch, d);
+    }
+
+    // ---- pool worker (only used for Dispatch::ThreadPool) ----
+    let qcell = pb.global("g_request_queue", 8);
+    let pool_worker = {
+        let loc = pb.loc("src/pool.cpp", 12, "pool_worker");
+        let mut w = ProcBuilder::new(0);
+        w.at(loc);
+        let q = w.load_new(qcell, 8);
+        let running = w.let_(1u64);
+        let v = w.reg();
+        w.begin_while(Cond::Ne(Expr::Reg(running), Expr::Const(0)));
+        w.sync(SyncOp::QueueGet { queue: Expr::Reg(q), dst: v });
+        w.begin_if(Cond::Eq(Expr::Reg(v), Expr::Const(0)));
+        w.assign(running, 0u64);
+        w.begin_else();
+        w.call(dispatch, vec![Expr::Reg(v)], None);
+        w.end_if();
+        w.end_while();
+        pb.add_proc("pool_worker", w)
+    };
+
+    // ---- main ----
+    let requests = handlers * cfg.touches_per_site;
+    let mloc = pb.loc("src/main.cpp", 20, "main");
+    let mut m = ProcBuilder::new(0);
+    m.at(mloc);
+    // Module locks.
+    for cell in &module_mtx {
+        let mx = m.new_mutex();
+        m.store(*cell, mx, 8);
+    }
+    // Site initialisation (configuration load, session table setup).
+    for site in &sites {
+        match &site.kind {
+            SiteKind::Dtor { class, cell, pending, .. } => {
+                let obj = classes.emit_new(&mut m, *class);
+                m.store(*cell, Expr::Reg(obj), 8);
+                m.store(*pending, cfg.touches_per_site as u64, 8);
+            }
+            SiteKind::Bus { cell, .. } => {
+                let rep = string::emit_create(&mut m, 16);
+                m.store(*cell, Expr::Reg(rep), 8);
+            }
+            SiteKind::Counter { .. }
+            | SiteKind::Localtime { .. }
+            | SiteKind::ReturnedRef { .. } => {}
+        }
+    }
+    // Drive the request load.
+    match cfg.dispatch {
+        Dispatch::ThreadPerRequest => {
+            let mut joins = Vec::with_capacity(requests);
+            for hi in 0..handlers {
+                for _ in 0..cfg.touches_per_site {
+                    let msg = m.alloc(16u64);
+                    m.store(Expr::Reg(msg), hi as u64 + 1, 8);
+                    m.store(Expr::offset(msg, 8), 0u64, 8);
+                    let h = m.spawn(dispatch, vec![Expr::Reg(msg)]);
+                    joins.push(h);
+                }
+            }
+            for h in joins {
+                m.join(h);
+            }
+        }
+        Dispatch::ThreadPool { workers } => {
+            let workers = workers.max(2);
+            let q = m.new_sync(SyncKind::Queue, 16u64);
+            m.store(qcell, q, 8);
+            let mut joins = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                joins.push(m.spawn(pool_worker, vec![]));
+            }
+            for hi in 0..handlers {
+                for _ in 0..cfg.touches_per_site {
+                    let msg = m.alloc(16u64);
+                    m.store(Expr::Reg(msg), hi as u64 + 1, 8);
+                    m.store(Expr::offset(msg, 8), 0u64, 8);
+                    m.sync(SyncOp::QueuePut { queue: Expr::Reg(q), value: Expr::Reg(msg) });
+                }
+            }
+            for _ in 0..workers {
+                m.sync(SyncOp::QueuePut { queue: Expr::Reg(q), value: Expr::Const(0) });
+            }
+            for h in joins {
+                m.join(h);
+            }
+        }
+    }
+    let main_id = pb.add_proc("main", m);
+    pb.set_entry(main_id);
+
+    BuiltProxy { program: pb.finish(), sites: map, handlers, requests }
+}
+
+/// Emit one site's touch code into a handler.
+fn emit_touch(
+    pb: &mut ProgramBuilder,
+    h: &mut ProcBuilder,
+    classes: &ClassModel,
+    site: &Site,
+    cfg: &ProxyConfig,
+    func: &str,
+) {
+    let loc = pb.loc(&site.file, site.line, func);
+    h.at(loc);
+    match &site.kind {
+        SiteKind::Dtor { class, cell, pending, mutex_cell } => {
+            // Locked use of the shared session object: virtual dispatch
+            // (vptr read) + field update + reference-count-down. The last
+            // user deletes it *outside* the lock — the destructor's vptr
+            // writes are the unsynchronised accesses.
+            let mx = h.load_new(*mutex_cell, 8);
+            h.lock(mx);
+            let obj = h.load_new(*cell, 8);
+            let _vptr = classes.emit_virtual_dispatch(h, obj);
+            let off = classes.field_offset(*class, classes.total_fields(*class) - 1);
+            let f = h.load_new(Expr::offset(obj, off), 8);
+            h.store(Expr::offset(obj, off), Expr::Reg(f).add(1u64.into()), 8);
+            let p = h.load_new(*pending, 8);
+            let p2 = h.let_(Expr::Reg(p).sub(1u64.into()));
+            h.store(*pending, Expr::Reg(p2), 8);
+            h.unlock(mx);
+            h.begin_if(Cond::Eq(Expr::Reg(p2), Expr::Const(0)));
+            classes.emit_delete(h, obj, *class, cfg.annotate_deletes, None);
+            h.end_if();
+        }
+        SiteKind::Bus { cell, site: ssite } => {
+            // Copy a shared configuration string into the request context.
+            let rep = h.load_new(*cell, 8);
+            let _copy = string::emit_copy(h, rep, *ssite);
+        }
+        SiteKind::Counter { cell } => {
+            // Unlocked statistics update: a genuine data race.
+            let v = h.load_new(*cell, 8);
+            h.store(*cell, Expr::Reg(v).add(1u64.into()), 8);
+        }
+        SiteKind::Localtime { localtime_proc } => {
+            // Timestamping a log line via the non-thread-safe libc call.
+            let out = h.reg();
+            h.call(*localtime_proc, vec![Expr::Const(1_183_000_000)], Some(out));
+            let _tm = h.load_new(Expr::Reg(out), 8);
+        }
+        SiteKind::ReturnedRef { getter, data } => {
+            // Fig 7: the getter locks internally, but hands back a
+            // reference; the mutation happens outside any lock.
+            let r = h.reg();
+            h.call(*getter, vec![], Some(r));
+            let _ = data;
+            let v = h.load_new(Expr::Reg(r), 8);
+            h.store(Expr::Reg(r), Expr::Reg(v).add(1u64.into()), 8);
+        }
+    }
+}
+
+fn camel(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().chain(c).collect(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vexec::sched::RoundRobin;
+    use vexec::tool::CountingTool;
+    use vexec::vm::run_program;
+
+    #[test]
+    fn builds_and_runs_cleanly() {
+        let cfg = ProxyConfig::default();
+        let built = build_proxy(&cfg);
+        assert_eq!(built.sites.count(SiteLabel::BusLockFp), 4);
+        assert_eq!(built.sites.count(SiteLabel::DestructorFp), 6);
+        assert_eq!(built.sites.count(SiteLabel::RealRace), 4);
+        assert_eq!(built.sites.count(SiteLabel::HandoffFp), 1);
+        let mut tool = CountingTool::new();
+        let r = run_program(&built.program, &mut tool, &mut RoundRobin::new());
+        assert!(r.termination.is_clean(), "{:?}", r.termination);
+        assert_eq!(r.stats.threads_created as usize, built.requests + 1);
+    }
+
+    #[test]
+    fn thread_pool_variant_runs_cleanly() {
+        let cfg = ProxyConfig {
+            dispatch: Dispatch::ThreadPool { workers: 4 },
+            ..ProxyConfig::default()
+        };
+        let built = build_proxy(&cfg);
+        let mut tool = CountingTool::new();
+        let r = run_program(&built.program, &mut tool, &mut RoundRobin::new());
+        assert!(r.termination.is_clean(), "{:?}", r.termination);
+        // workers + main, not per-request threads.
+        assert_eq!(r.stats.threads_created, 5);
+        assert!(tool.count("queue-put") >= built.requests as u64);
+    }
+
+    #[test]
+    fn small_real_site_counts_have_no_specials() {
+        let cfg = ProxyConfig { real_sites: 1, ..ProxyConfig::default() };
+        let built = build_proxy(&cfg);
+        assert_eq!(built.sites.count(SiteLabel::RealRace), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "two concurrent touches")]
+    fn rejects_single_touch() {
+        build_proxy(&ProxyConfig { touches_per_site: 1, ..ProxyConfig::default() });
+    }
+
+    #[test]
+    fn site_map_classifies() {
+        let built = build_proxy(&ProxyConfig::default());
+        assert_eq!(built.sites.classify("libc/time.c", 2201), Some(SiteLabel::RealRace));
+        assert_eq!(built.sites.classify("nowhere.cpp", 1), None);
+    }
+}

@@ -1,0 +1,269 @@
+//! A lightweight SIP (RFC 3261 subset) message model: the traffic the
+//! paper's application under test processes. The workload generator
+//! renders real SIP request text and the test harness parses it back —
+//! the guest proxy model consumes the classified requests.
+
+use std::fmt;
+
+/// SIP request methods used by the test scenarios.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum Method {
+    Register,
+    Invite,
+    Ack,
+    Bye,
+    Cancel,
+    Options,
+}
+
+impl Method {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Register => "REGISTER",
+            Method::Invite => "INVITE",
+            Method::Ack => "ACK",
+            Method::Bye => "BYE",
+            Method::Cancel => "CANCEL",
+            Method::Options => "OPTIONS",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Method> {
+        Some(match s {
+            "REGISTER" => Method::Register,
+            "INVITE" => Method::Invite,
+            "ACK" => Method::Ack,
+            "BYE" => Method::Bye,
+            "CANCEL" => Method::Cancel,
+            "OPTIONS" => Method::Options,
+            _ => return None,
+        })
+    }
+
+    pub const ALL: [Method; 6] = [
+        Method::Register,
+        Method::Invite,
+        Method::Ack,
+        Method::Bye,
+        Method::Cancel,
+        Method::Options,
+    ];
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A SIP request (we model requests only; responses stay inside the guest
+/// proxy model).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SipRequest {
+    pub method: Method,
+    pub uri: String,
+    pub via_branch: String,
+    pub from: String,
+    pub from_tag: String,
+    pub to: String,
+    pub call_id: String,
+    pub cseq: u32,
+    pub body: Option<String>,
+}
+
+/// Errors from [`SipRequest::parse`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SipParseError {
+    Empty,
+    BadRequestLine(String),
+    UnknownMethod(String),
+    BadHeader(String),
+    MissingHeader(&'static str),
+    BadCseq(String),
+}
+
+impl fmt::Display for SipParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SipParseError::Empty => write!(f, "empty message"),
+            SipParseError::BadRequestLine(l) => write!(f, "bad request line: {l}"),
+            SipParseError::UnknownMethod(m) => write!(f, "unknown method: {m}"),
+            SipParseError::BadHeader(h) => write!(f, "bad header: {h}"),
+            SipParseError::MissingHeader(h) => write!(f, "missing header: {h}"),
+            SipParseError::BadCseq(c) => write!(f, "bad CSeq: {c}"),
+        }
+    }
+}
+
+impl SipRequest {
+    /// Render to wire format (CRLF line endings, RFC 3261 style).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!("{} {} SIP/2.0\r\n", self.method, self.uri));
+        out.push_str(&format!(
+            "Via: SIP/2.0/UDP proxy.example.com;branch={}\r\n",
+            self.via_branch
+        ));
+        out.push_str(&format!("From: <{}>;tag={}\r\n", self.from, self.from_tag));
+        out.push_str(&format!("To: <{}>\r\n", self.to));
+        out.push_str(&format!("Call-ID: {}\r\n", self.call_id));
+        out.push_str(&format!("CSeq: {} {}\r\n", self.cseq, self.method));
+        out.push_str("Max-Forwards: 70\r\n");
+        match &self.body {
+            Some(b) => {
+                out.push_str("Content-Type: application/sdp\r\n");
+                out.push_str(&format!("Content-Length: {}\r\n\r\n", b.len()));
+                out.push_str(b);
+            }
+            None => out.push_str("Content-Length: 0\r\n\r\n"),
+        }
+        out
+    }
+
+    /// Parse from wire format.
+    pub fn parse(text: &str) -> Result<SipRequest, SipParseError> {
+        let mut lines = text.split("\r\n");
+        let request_line = lines.next().ok_or(SipParseError::Empty)?;
+        if request_line.is_empty() {
+            return Err(SipParseError::Empty);
+        }
+        let mut parts = request_line.split(' ');
+        let method_s = parts.next().unwrap_or("");
+        let uri = parts.next().ok_or_else(|| {
+            SipParseError::BadRequestLine(request_line.to_string())
+        })?;
+        let version = parts.next();
+        if version != Some("SIP/2.0") {
+            return Err(SipParseError::BadRequestLine(request_line.to_string()));
+        }
+        let method = Method::parse(method_s)
+            .ok_or_else(|| SipParseError::UnknownMethod(method_s.to_string()))?;
+
+        let mut via_branch = None;
+        let mut from = None;
+        let mut from_tag = None;
+        let mut to = None;
+        let mut call_id = None;
+        let mut cseq = None;
+        let mut content_length = 0usize;
+        for line in lines.by_ref() {
+            if line.is_empty() {
+                break; // end of headers
+            }
+            let (name, value) =
+                line.split_once(':').ok_or_else(|| SipParseError::BadHeader(line.to_string()))?;
+            let value = value.trim();
+            match name.trim() {
+                "Via" => {
+                    via_branch = value
+                        .split("branch=")
+                        .nth(1)
+                        .map(|b| b.split(';').next().unwrap_or(b).to_string());
+                }
+                "From" => {
+                    let (addr, params) = match value.split_once(";tag=") {
+                        Some((a, t)) => (a, Some(t)),
+                        None => (value, None),
+                    };
+                    from = Some(addr.trim_matches(['<', '>', ' ']).to_string());
+                    from_tag = params.map(|t| t.to_string());
+                }
+                "To" => to = Some(value.trim_matches(['<', '>', ' ']).to_string()),
+                "Call-ID" => call_id = Some(value.to_string()),
+                "CSeq" => {
+                    let num = value.split(' ').next().unwrap_or("");
+                    cseq = Some(
+                        num.parse().map_err(|_| SipParseError::BadCseq(value.to_string()))?,
+                    );
+                }
+                "Content-Length" => {
+                    content_length = value.parse().unwrap_or(0);
+                }
+                _ => {}
+            }
+        }
+        let rest: Vec<&str> = lines.collect();
+        let body_text = rest.join("\r\n");
+        let body = if content_length > 0 && !body_text.is_empty() {
+            Some(body_text)
+        } else {
+            None
+        };
+        Ok(SipRequest {
+            method,
+            uri: uri.to_string(),
+            via_branch: via_branch.ok_or(SipParseError::MissingHeader("Via"))?,
+            from: from.ok_or(SipParseError::MissingHeader("From"))?,
+            from_tag: from_tag.unwrap_or_default(),
+            to: to.ok_or(SipParseError::MissingHeader("To"))?,
+            call_id: call_id.ok_or(SipParseError::MissingHeader("Call-ID"))?,
+            cseq: cseq.ok_or(SipParseError::MissingHeader("CSeq"))?,
+            body,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(method: Method) -> SipRequest {
+        SipRequest {
+            method,
+            uri: "sip:bob@example.com".into(),
+            via_branch: "z9hG4bK776asdhds".into(),
+            from: "sip:alice@example.com".into(),
+            from_tag: "1928301774".into(),
+            to: "sip:bob@example.com".into(),
+            call_id: "a84b4c76e66710@pc33.example.com".into(),
+            cseq: 314159,
+            body: None,
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip_all_methods() {
+        for m in Method::ALL {
+            let req = sample(m);
+            let text = req.render();
+            let back = SipRequest::parse(&text).unwrap();
+            assert_eq!(req, back, "roundtrip for {m}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_body() {
+        let mut req = sample(Method::Invite);
+        req.body = Some("v=0\r\no=alice 2890844526 IN IP4 127.0.0.1".into());
+        let back = SipRequest::parse(&req.render()).unwrap();
+        assert_eq!(back.body, req.body);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(SipRequest::parse(""), Err(SipParseError::Empty));
+        assert!(matches!(
+            SipRequest::parse("FOO sip:x SIP/2.0\r\n\r\n"),
+            Err(SipParseError::UnknownMethod(_))
+        ));
+        assert!(matches!(
+            SipRequest::parse("INVITE\r\n\r\n"),
+            Err(SipParseError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            SipRequest::parse("INVITE sip:x HTTP/1.1\r\n\r\n"),
+            Err(SipParseError::BadRequestLine(_))
+        ));
+        let no_callid = "INVITE sip:x SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9\r\nFrom: <a>;tag=1\r\nTo: <b>\r\nCSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n";
+        assert_eq!(
+            SipRequest::parse(no_callid),
+            Err(SipParseError::MissingHeader("Call-ID"))
+        );
+    }
+
+    #[test]
+    fn method_parse_rejects_lowercase() {
+        assert_eq!(Method::parse("invite"), None);
+        assert_eq!(Method::parse("INVITE"), Some(Method::Invite));
+    }
+}

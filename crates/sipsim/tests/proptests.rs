@@ -1,0 +1,110 @@
+//! Property-based tests for the proxy builder and the evaluation harness:
+//! for *any* site inventory (not just the eight calibrated presets), the
+//! detectors must attribute warnings exactly — every bus-lock site warns
+//! under Original only, every destructor site under Original and HWLC,
+//! every real site everywhere, and nothing else warns at all.
+//!
+//! This is the load-bearing check behind the Fig 5/6 reproduction: the
+//! counts are not painted on; they fall out of the algorithms for any
+//! inventory.
+
+use helgrind_core::DetectorConfig;
+use proptest::prelude::*;
+use sipsim::proxy::{build_proxy, Dispatch, ProxyConfig};
+use sipsim::testcases::run_case;
+use sipsim::workload::{generate, ScenarioSpec};
+
+fn cfg_strategy() -> impl Strategy<Value = ProxyConfig> {
+    (0usize..12, 0usize..12, 0usize..12, 2usize..4, 1usize..8).prop_map(
+        |(bus, dtor, real, touches, per_handler)| ProxyConfig {
+            bus_sites: bus,
+            dtor_sites: dtor,
+            real_sites: real,
+            touches_per_site: touches,
+            sites_per_handler: per_handler,
+            dispatch: Dispatch::ThreadPerRequest,
+            annotate_deletes: true,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The warning matrix holds for arbitrary inventories.
+    #[test]
+    fn warning_matrix_holds_for_any_inventory(cfg in cfg_strategy()) {
+        let built = build_proxy(&cfg);
+
+        let original = run_case(&built, DetectorConfig::original());
+        prop_assert_eq!(original.unexpected, 0, "original: {:?}", original);
+        prop_assert_eq!(original.bus_fp, cfg.bus_sites);
+        prop_assert_eq!(original.dtor_fp, cfg.dtor_sites);
+        prop_assert_eq!(original.real, cfg.real_sites);
+        prop_assert_eq!(original.handoff_fp, 0, "TPR never shows the pool FP");
+
+        let hwlc = run_case(&built, DetectorConfig::hwlc());
+        prop_assert_eq!(hwlc.unexpected, 0);
+        prop_assert_eq!(hwlc.bus_fp, 0, "HWLC removes every bus-lock FP");
+        prop_assert_eq!(hwlc.dtor_fp, cfg.dtor_sites);
+        prop_assert_eq!(hwlc.real, cfg.real_sites);
+
+        let hwlc_dr = run_case(&built, DetectorConfig::hwlc_dr());
+        prop_assert_eq!(hwlc_dr.unexpected, 0);
+        prop_assert_eq!(hwlc_dr.bus_fp, 0);
+        prop_assert_eq!(hwlc_dr.dtor_fp, 0, "DR removes every destructor FP");
+        prop_assert_eq!(hwlc_dr.real, cfg.real_sites, "no true positive is ever lost");
+    }
+
+    /// More concurrent touches per site never change the location counts
+    /// (locations deduplicate) — only the amount of traffic.
+    #[test]
+    fn counts_invariant_under_extra_touches(
+        bus in 0usize..6, dtor in 0usize..6, real in 0usize..6,
+    ) {
+        let mk = |touches| ProxyConfig {
+            bus_sites: bus,
+            dtor_sites: dtor,
+            real_sites: real,
+            touches_per_site: touches,
+            sites_per_handler: 5,
+            dispatch: Dispatch::ThreadPerRequest,
+            annotate_deletes: true,
+        };
+        let a = run_case(&build_proxy(&mk(2)), DetectorConfig::original());
+        let b = run_case(&build_proxy(&mk(3)), DetectorConfig::original());
+        prop_assert_eq!(a.locations, b.locations);
+        prop_assert_eq!(a.bus_fp, b.bus_fp);
+        prop_assert_eq!(a.dtor_fp, b.dtor_fp);
+        prop_assert_eq!(a.real, b.real);
+    }
+
+    /// Scenario generation invariants: request counts add up, every flow
+    /// shares one Call-ID, CSeq strictly increases within a flow.
+    #[test]
+    fn scenario_flow_invariants(
+        registers in 0usize..10, calls in 0usize..10,
+        cancelled in 0usize..10, options in 0usize..10, seed in any::<u64>(),
+    ) {
+        let spec = ScenarioSpec { registers, calls, cancelled_calls: cancelled, options, seed };
+        let reqs = generate(&spec);
+        prop_assert_eq!(reqs.len(), spec.request_count());
+        // Group by call id: within a group, cseq strictly increases.
+        use std::collections::HashMap;
+        let mut groups: HashMap<&str, Vec<u32>> = HashMap::new();
+        for r in &reqs {
+            groups.entry(r.call_id.as_str()).or_default().push(r.cseq);
+        }
+        for (cid, seqs) in groups {
+            prop_assert!(
+                seqs.windows(2).all(|w| w[0] < w[1]),
+                "cseq must increase within flow {cid}: {seqs:?}"
+            );
+        }
+        // Round trip through the wire format.
+        for r in reqs.iter().take(5) {
+            let back = sipsim::SipRequest::parse(&r.render()).unwrap();
+            prop_assert_eq!(&back, r);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! The observable event vocabulary delivered to tools.
+//!
+//! This is the Valgrind "core → skin" boundary: a [`crate::tool::Tool`] sees
+//! nothing of the guest program's structure, only this stream of memory
+//! accesses, synchronisation operations, thread lifecycle events, heap
+//! traffic and client requests. All detector algorithms in the workspace
+//! are pure consumers of this stream.
+
+use crate::ir::{SrcLoc, SyncKind};
+use crate::util::Symbol;
+
+/// Guest thread id. The main thread is always `ThreadId(0)`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    pub const MAIN: ThreadId = ThreadId(0);
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Guest synchronisation object id.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SyncId(pub u32);
+
+impl SyncId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Kind of a memory access.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AccessKind {
+    Read,
+    Write,
+    /// `LOCK`-prefixed read-modify-write: atomic on real x86 hardware by
+    /// virtue of the bus lock (§4.2.2 of the paper).
+    AtomicRmw,
+}
+
+impl AccessKind {
+    /// Does this access modify memory?
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// Acquisition mode for locks.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AcqMode {
+    /// Exclusive: mutex lock or rwlock write-lock.
+    Exclusive,
+    /// Shared: rwlock read-lock.
+    Shared,
+}
+
+/// Client requests as seen by tools (arguments already evaluated).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientEv {
+    /// `VALGRIND_HG_DESTRUCT(addr, size)` — Fig 4 of the paper.
+    HgDestruct { addr: u64, size: u64 },
+    /// Reset shadow state of a range.
+    HgCleanMemory { addr: u64, size: u64 },
+    /// Free-form marker.
+    Label(Symbol),
+}
+
+/// An observable event. Every variant carries the acting thread and, where
+/// meaningful, the guest source location of the triggering statement.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// A data memory access.
+    Access {
+        tid: ThreadId,
+        addr: u64,
+        size: u8,
+        kind: AccessKind,
+        loc: SrcLoc,
+    },
+    /// A lock was acquired (mutex lock, rwlock rd/wr lock, and the mutex
+    /// re-acquisition on return from `cond_wait`).
+    Acquire {
+        tid: ThreadId,
+        sync: SyncId,
+        kind: SyncKind,
+        mode: AcqMode,
+        loc: SrcLoc,
+    },
+    /// A lock was released (mutex unlock, rwlock unlock, and the mutex
+    /// release inside `cond_wait`).
+    Release {
+        tid: ThreadId,
+        sync: SyncId,
+        kind: SyncKind,
+        loc: SrcLoc,
+    },
+    /// `parent` created `child` (pthread_create).
+    ThreadCreate {
+        parent: ThreadId,
+        child: ThreadId,
+        loc: SrcLoc,
+    },
+    /// `joiner` observed `joined` terminate (pthread_join return).
+    ThreadJoin {
+        joiner: ThreadId,
+        joined: ThreadId,
+        loc: SrcLoc,
+    },
+    /// A thread ran to completion.
+    ThreadExit { tid: ThreadId },
+    /// Guest heap allocation.
+    Alloc {
+        tid: ThreadId,
+        addr: u64,
+        size: u64,
+        loc: SrcLoc,
+    },
+    /// Guest heap release.
+    Free {
+        tid: ThreadId,
+        addr: u64,
+        size: u64,
+        loc: SrcLoc,
+    },
+    /// `pthread_cond_signal` / `_broadcast`.
+    CondSignal {
+        tid: ThreadId,
+        sync: SyncId,
+        broadcast: bool,
+        loc: SrcLoc,
+    },
+    /// A waiter woke up from `cond_wait` due to `signaler`'s signal. Emitted
+    /// before the mutex re-acquisition `Acquire`.
+    CondWake {
+        tid: ThreadId,
+        sync: SyncId,
+        signaler: ThreadId,
+        loc: SrcLoc,
+    },
+    /// Semaphore post.
+    SemPost { tid: ThreadId, sync: SyncId, loc: SrcLoc },
+    /// Semaphore wait completed (count successfully decremented).
+    SemAcquired { tid: ThreadId, sync: SyncId, loc: SrcLoc },
+    /// A value was enqueued. `token` identifies the message instance so a
+    /// tool can pair this put with the matching [`Event::QueueGot`] — the
+    /// higher-level hand-off edge of Fig 11 / §5 future work.
+    QueuePut {
+        tid: ThreadId,
+        sync: SyncId,
+        token: u64,
+        loc: SrcLoc,
+    },
+    /// A value was dequeued; `token` matches the producing `QueuePut`.
+    QueueGot {
+        tid: ThreadId,
+        sync: SyncId,
+        token: u64,
+        loc: SrcLoc,
+    },
+    /// A client request from the guest (annotation channel).
+    Client {
+        tid: ThreadId,
+        req: ClientEv,
+        loc: SrcLoc,
+    },
+}
+
+impl Event {
+    /// The acting thread of this event.
+    pub fn tid(&self) -> ThreadId {
+        match *self {
+            Event::Access { tid, .. }
+            | Event::Acquire { tid, .. }
+            | Event::Release { tid, .. }
+            | Event::ThreadExit { tid }
+            | Event::Alloc { tid, .. }
+            | Event::Free { tid, .. }
+            | Event::CondSignal { tid, .. }
+            | Event::CondWake { tid, .. }
+            | Event::SemPost { tid, .. }
+            | Event::SemAcquired { tid, .. }
+            | Event::QueuePut { tid, .. }
+            | Event::QueueGot { tid, .. }
+            | Event::Client { tid, .. } => tid,
+            Event::ThreadCreate { parent, .. } => parent,
+            Event::ThreadJoin { joiner, .. } => joiner,
+        }
+    }
+
+    /// The source location, if the event has one.
+    pub fn loc(&self) -> Option<SrcLoc> {
+        match *self {
+            Event::Access { loc, .. }
+            | Event::Acquire { loc, .. }
+            | Event::Release { loc, .. }
+            | Event::ThreadCreate { loc, .. }
+            | Event::ThreadJoin { loc, .. }
+            | Event::Alloc { loc, .. }
+            | Event::Free { loc, .. }
+            | Event::CondSignal { loc, .. }
+            | Event::CondWake { loc, .. }
+            | Event::SemPost { loc, .. }
+            | Event::SemAcquired { loc, .. }
+            | Event::QueuePut { loc, .. }
+            | Event::QueueGot { loc, .. }
+            | Event::Client { loc, .. } => Some(loc),
+            Event::ThreadExit { .. } => None,
+        }
+    }
+
+    /// Short, stable name of the event kind (used in traces and stats).
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Event::Access { kind: AccessKind::Read, .. } => "read",
+            Event::Access { kind: AccessKind::Write, .. } => "write",
+            Event::Access { kind: AccessKind::AtomicRmw, .. } => "atomic-rmw",
+            Event::Acquire { .. } => "acquire",
+            Event::Release { .. } => "release",
+            Event::ThreadCreate { .. } => "thread-create",
+            Event::ThreadJoin { .. } => "thread-join",
+            Event::ThreadExit { .. } => "thread-exit",
+            Event::Alloc { .. } => "alloc",
+            Event::Free { .. } => "free",
+            Event::CondSignal { .. } => "cond-signal",
+            Event::CondWake { .. } => "cond-wake",
+            Event::SemPost { .. } => "sem-post",
+            Event::SemAcquired { .. } => "sem-acquired",
+            Event::QueuePut { .. } => "queue-put",
+            Event::QueueGot { .. } => "queue-got",
+            Event::Client { .. } => "client-request",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_is_write() {
+        assert!(!AccessKind::Read.is_write());
+        assert!(AccessKind::Write.is_write());
+        assert!(AccessKind::AtomicRmw.is_write());
+    }
+
+    #[test]
+    fn event_tid_extraction() {
+        let ev = Event::ThreadCreate {
+            parent: ThreadId(1),
+            child: ThreadId(2),
+            loc: SrcLoc::UNKNOWN,
+        };
+        assert_eq!(ev.tid(), ThreadId(1));
+        let ev = Event::ThreadExit { tid: ThreadId(3) };
+        assert_eq!(ev.tid(), ThreadId(3));
+        assert_eq!(ev.loc(), None);
+    }
+
+    #[test]
+    fn kind_names_distinguish_access_kinds() {
+        let mk = |kind| Event::Access {
+            tid: ThreadId(0),
+            addr: 0,
+            size: 8,
+            kind,
+            loc: SrcLoc::UNKNOWN,
+        };
+        assert_eq!(mk(AccessKind::Read).kind_name(), "read");
+        assert_eq!(mk(AccessKind::Write).kind_name(), "write");
+        assert_eq!(mk(AccessKind::AtomicRmw).kind_name(), "atomic-rmw");
+    }
+}

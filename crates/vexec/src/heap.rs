@@ -1,0 +1,260 @@
+//! Guest memory: a flat byte arena holding globals and the heap, plus block
+//! bookkeeping for allocation-site diagnostics ("Address 0x... is N bytes
+//! inside a block of size M alloc'd by thread T" — Fig 9 of the paper).
+//!
+//! The VM heap is bump-only: guest `free` marks a block freed but addresses
+//! are never recycled at this level. Address reuse — the libstdc++ pooled
+//! allocator behaviour the paper flags in §4 — is modelled *in guest code*
+//! by `cxxmodel`'s pool allocator, which recycles addresses without emitting
+//! `Free`/`Alloc` events, exactly like a user-space pool that Helgrind
+//! cannot see through.
+
+use crate::event::ThreadId;
+use crate::ir::SrcLoc;
+use std::collections::BTreeMap;
+
+/// Lowest guest address; accesses below this are wild.
+pub const GUEST_BASE: u64 = 0x1000;
+/// Alignment of every allocation.
+pub const ALIGN: u64 = 16;
+
+/// A guest allocation record.
+#[derive(Clone, Copy, Debug)]
+pub struct Block {
+    pub addr: u64,
+    pub size: u64,
+    pub alloc_tid: ThreadId,
+    pub alloc_loc: SrcLoc,
+    pub freed: bool,
+}
+
+/// Errors raised by guest memory operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MemError {
+    /// Access to an address outside any mapped range.
+    Wild { addr: u64, size: u64 },
+    /// `free` of an address that is not the start of a live block.
+    BadFree { addr: u64 },
+    /// `free` of an already-freed block.
+    DoubleFree { addr: u64 },
+    /// Unsupported access size (must be 1, 2, 4 or 8).
+    BadSize { size: u8 },
+}
+
+impl std::fmt::Display for MemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MemError::Wild { addr, size } => {
+                write!(f, "wild access of {size} bytes at {addr:#x}")
+            }
+            MemError::BadFree { addr } => write!(f, "free of non-block address {addr:#x}"),
+            MemError::DoubleFree { addr } => write!(f, "double free at {addr:#x}"),
+            MemError::BadSize { size } => write!(f, "unsupported access size {size}"),
+        }
+    }
+}
+
+/// Guest memory arena.
+#[derive(Debug)]
+pub struct Heap {
+    mem: Vec<u8>,
+    next: u64,
+    blocks: Vec<Block>,
+    by_addr: BTreeMap<u64, u32>,
+}
+
+impl Heap {
+    pub fn new() -> Self {
+        Heap {
+            mem: Vec::new(),
+            next: GUEST_BASE,
+            blocks: Vec::new(),
+            by_addr: BTreeMap::new(),
+        }
+    }
+
+    fn ensure(&mut self, end: u64) {
+        let need = (end - GUEST_BASE) as usize;
+        if self.mem.len() < need {
+            self.mem.resize(need.next_power_of_two().max(4096), 0);
+        }
+    }
+
+    /// Allocate `size` bytes (zero-initialised). Zero-size requests get one
+    /// byte so every allocation has a unique address, like malloc(0).
+    pub fn alloc(&mut self, size: u64, tid: ThreadId, loc: SrcLoc) -> u64 {
+        let size = size.max(1);
+        let addr = self.next;
+        let padded = (size + ALIGN - 1) & !(ALIGN - 1);
+        self.next += padded;
+        self.ensure(self.next);
+        // Zero the block: bump allocation never reuses, but be explicit.
+        let s = (addr - GUEST_BASE) as usize;
+        self.mem[s..s + size as usize].fill(0);
+        let idx = self.blocks.len() as u32;
+        self.blocks.push(Block { addr, size, alloc_tid: tid, alloc_loc: loc, freed: false });
+        self.by_addr.insert(addr, idx);
+        addr
+    }
+
+    /// Release a block. Returns the block record (for the `Free` event's
+    /// size) or an error for bad/double frees.
+    pub fn free(&mut self, addr: u64) -> Result<Block, MemError> {
+        match self.by_addr.get(&addr) {
+            None => Err(MemError::BadFree { addr }),
+            Some(&idx) => {
+                let b = &mut self.blocks[idx as usize];
+                if b.freed {
+                    return Err(MemError::DoubleFree { addr });
+                }
+                b.freed = true;
+                Ok(*b)
+            }
+        }
+    }
+
+    fn check(&self, addr: u64, size: u8) -> Result<usize, MemError> {
+        if !matches!(size, 1 | 2 | 4 | 8) {
+            return Err(MemError::BadSize { size });
+        }
+        if addr < GUEST_BASE {
+            return Err(MemError::Wild { addr, size: size as u64 });
+        }
+        let off = (addr - GUEST_BASE) as usize;
+        if addr + size as u64 > self.next {
+            return Err(MemError::Wild { addr, size: size as u64 });
+        }
+        Ok(off)
+    }
+
+    /// Read a little-endian value of `size` bytes.
+    pub fn read(&self, addr: u64, size: u8) -> Result<u64, MemError> {
+        let off = self.check(addr, size)?;
+        let mut buf = [0u8; 8];
+        buf[..size as usize].copy_from_slice(&self.mem[off..off + size as usize]);
+        Ok(u64::from_le_bytes(buf))
+    }
+
+    /// Write a little-endian value of `size` bytes (value truncated).
+    pub fn write(&mut self, addr: u64, size: u8, value: u64) -> Result<(), MemError> {
+        let off = self.check(addr, size)?;
+        let bytes = value.to_le_bytes();
+        self.mem[off..off + size as usize].copy_from_slice(&bytes[..size as usize]);
+        Ok(())
+    }
+
+    /// The live or freed block containing `addr`, if any.
+    pub fn block_containing(&self, addr: u64) -> Option<&Block> {
+        let (_, &idx) = self.by_addr.range(..=addr).next_back()?;
+        let b = &self.blocks[idx as usize];
+        (addr < b.addr + b.size).then_some(b)
+    }
+
+    /// Number of allocations performed.
+    pub fn alloc_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total bytes currently reserved (high-water mark).
+    pub fn reserved(&self) -> u64 {
+        self.next - GUEST_BASE
+    }
+}
+
+impl Default for Heap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> Heap {
+        Heap::new()
+    }
+
+    const L: SrcLoc = SrcLoc::UNKNOWN;
+    const T: ThreadId = ThreadId(0);
+
+    #[test]
+    fn alloc_returns_aligned_distinct_addresses() {
+        let mut heap = h();
+        let a = heap.alloc(24, T, L);
+        let b = heap.alloc(8, T, L);
+        assert_eq!(a % ALIGN, 0);
+        assert_eq!(b % ALIGN, 0);
+        assert!(b >= a + 24);
+    }
+
+    #[test]
+    fn read_write_roundtrip_all_sizes() {
+        let mut heap = h();
+        let a = heap.alloc(64, T, L);
+        for &(size, val) in &[(1u8, 0xABu64), (2, 0xBEEF), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)] {
+            heap.write(a, size, val).unwrap();
+            assert_eq!(heap.read(a, size).unwrap(), val);
+        }
+    }
+
+    #[test]
+    fn write_truncates_to_size() {
+        let mut heap = h();
+        let a = heap.alloc(16, T, L);
+        heap.write(a, 1, 0x1FF).unwrap();
+        assert_eq!(heap.read(a, 1).unwrap(), 0xFF);
+        // Neighbouring byte untouched.
+        assert_eq!(heap.read(a + 1, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn fresh_allocations_are_zeroed() {
+        let mut heap = h();
+        let a = heap.alloc(32, T, L);
+        assert_eq!(heap.read(a + 24, 8).unwrap(), 0);
+    }
+
+    #[test]
+    fn wild_access_rejected() {
+        let mut heap = h();
+        let a = heap.alloc(8, T, L);
+        assert!(matches!(heap.read(a + 4096, 8), Err(MemError::Wild { .. })));
+        assert!(matches!(heap.read(0x10, 8), Err(MemError::Wild { .. })));
+    }
+
+    #[test]
+    fn bad_size_rejected() {
+        let mut heap = h();
+        let a = heap.alloc(8, T, L);
+        assert!(matches!(heap.read(a, 3), Err(MemError::BadSize { .. })));
+    }
+
+    #[test]
+    fn free_and_double_free() {
+        let mut heap = h();
+        let a = heap.alloc(8, T, L);
+        let b = heap.free(a).unwrap();
+        assert_eq!(b.size, 8);
+        assert!(matches!(heap.free(a), Err(MemError::DoubleFree { .. })));
+        assert!(matches!(heap.free(a + 1), Err(MemError::BadFree { .. })));
+    }
+
+    #[test]
+    fn block_containing_finds_interior_addresses() {
+        let mut heap = h();
+        let a = heap.alloc(21, T, L);
+        let blk = heap.block_containing(a + 8).unwrap();
+        assert_eq!(blk.addr, a);
+        assert_eq!(blk.size, 21);
+        assert!(heap.block_containing(a + 21).is_none() || heap.block_containing(a + 21).unwrap().addr != a);
+    }
+
+    #[test]
+    fn zero_size_alloc_gets_unique_address() {
+        let mut heap = h();
+        let a = heap.alloc(0, T, L);
+        let b = heap.alloc(0, T, L);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,427 @@
+//! Ergonomic builders for guest programs.
+//!
+//! [`ProgramBuilder`] owns the interner, globals and procedure table and
+//! supports forward declaration (`declare_proc` / `define_proc`) so that
+//! procedures may call or spawn procedures defined later. [`ProcBuilder`]
+//! accumulates the structured statement tree of one procedure, with a block
+//! stack for `if`/`while`/`repeat` and a current-source-location cursor so
+//! emit helpers stay terse.
+
+use super::*;
+
+/// Builder for a [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    interner: Interner,
+    procs: Vec<Option<Proc>>,
+    proc_names: Vec<Symbol>,
+    globals: Vec<GlobalDecl>,
+    entry: Option<ProcId>,
+}
+
+impl ProgramBuilder {
+    pub fn new() -> Self {
+        ProgramBuilder {
+            interner: Interner::new(),
+            procs: Vec::new(),
+            proc_names: Vec::new(),
+            globals: Vec::new(),
+            entry: None,
+        }
+    }
+
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        self.interner.intern(s)
+    }
+
+    /// Make a source location.
+    pub fn loc(&mut self, file: &str, line: u32, func: &str) -> SrcLoc {
+        SrcLoc {
+            file: self.interner.intern(file),
+            line,
+            func: self.interner.intern(func),
+        }
+    }
+
+    /// Declare a global variable of `size` bytes.
+    pub fn global(&mut self, name: &str, size: u64) -> GlobalId {
+        assert!(size > 0, "zero-sized global {name}");
+        let name = self.interner.intern(name);
+        self.globals.push(GlobalDecl { name, size });
+        GlobalId(self.globals.len() as u32 - 1)
+    }
+
+    /// Forward-declare a procedure so its id can be referenced before its
+    /// body exists. The body must be supplied via [`Self::define_proc`].
+    pub fn declare_proc(&mut self, name: &str) -> ProcId {
+        let sym = self.interner.intern(name);
+        self.procs.push(None);
+        self.proc_names.push(sym);
+        ProcId(self.procs.len() as u32 - 1)
+    }
+
+    /// Attach a finished body to a declared procedure.
+    pub fn define_proc(&mut self, id: ProcId, pb: ProcBuilder) {
+        let slot = &mut self.procs[id.0 as usize];
+        assert!(slot.is_none(), "procedure defined twice");
+        *slot = Some(pb.finish(self.proc_names[id.0 as usize]));
+    }
+
+    /// Declare-and-define in one step.
+    pub fn add_proc(&mut self, name: &str, pb: ProcBuilder) -> ProcId {
+        let id = self.declare_proc(name);
+        self.define_proc(id, pb);
+        id
+    }
+
+    /// Mark the entry procedure (the guest `main`). It must take no
+    /// parameters.
+    pub fn set_entry(&mut self, id: ProcId) {
+        self.entry = Some(id);
+    }
+
+    /// Finish the program. Panics if a declared procedure was never defined
+    /// or no entry point was set — both are builder bugs, not runtime
+    /// conditions.
+    pub fn finish(self) -> Program {
+        let entry = self.entry.expect("no entry procedure set");
+        let names = self.proc_names;
+        let procs: Vec<Proc> = self
+            .procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.unwrap_or_else(|| {
+                    panic!("procedure #{i} declared but never defined")
+                })
+            })
+            .collect();
+        assert_eq!(procs.len(), names.len());
+        assert_eq!(
+            procs[entry.0 as usize].nparams, 0,
+            "entry procedure must take no parameters"
+        );
+        Program {
+            interner: self.interner,
+            procs,
+            globals: self.globals,
+            entry,
+        }
+    }
+}
+
+enum BlockKind {
+    Top,
+    If { cond: Cond, then_done: Option<Vec<Stmt>> },
+    While { cond: Cond },
+    Repeat { times: Expr },
+}
+
+/// Builder for one procedure body.
+pub struct ProcBuilder {
+    nparams: u16,
+    nregs: u16,
+    blocks: Vec<(BlockKind, Vec<Stmt>)>,
+    cur_loc: SrcLoc,
+}
+
+impl ProcBuilder {
+    /// Create a builder for a procedure with `nparams` parameters, which
+    /// occupy registers `0..nparams`.
+    pub fn new(nparams: u16) -> Self {
+        ProcBuilder {
+            nparams,
+            nregs: nparams,
+            blocks: vec![(BlockKind::Top, Vec::new())],
+            cur_loc: SrcLoc::UNKNOWN,
+        }
+    }
+
+    /// Allocate a fresh register.
+    pub fn reg(&mut self) -> RegId {
+        let r = RegId(self.nregs);
+        self.nregs = self
+            .nregs
+            .checked_add(1)
+            .expect("procedure register file overflow");
+        r
+    }
+
+    /// The register holding parameter `i`.
+    pub fn param(&self, i: u16) -> RegId {
+        assert!(i < self.nparams, "parameter index out of range");
+        RegId(i)
+    }
+
+    /// Set the current source location used by subsequent emit helpers.
+    pub fn at(&mut self, loc: SrcLoc) -> &mut Self {
+        self.cur_loc = loc;
+        self
+    }
+
+    /// Current source location.
+    pub fn here(&self) -> SrcLoc {
+        self.cur_loc
+    }
+
+    /// Push a raw statement onto the current block.
+    pub fn push(&mut self, stmt: Stmt) {
+        self.blocks
+            .last_mut()
+            .expect("block stack never empty")
+            .1
+            .push(stmt);
+    }
+
+    // ---- straight-line helpers (all use the cursor location) ----
+
+    pub fn assign(&mut self, dst: RegId, value: impl Into<Expr>) {
+        self.push(Stmt::Assign { dst, value: value.into() });
+    }
+
+    /// Allocate a register, assign it, return it.
+    pub fn let_(&mut self, value: impl Into<Expr>) -> RegId {
+        let r = self.reg();
+        self.assign(r, value);
+        r
+    }
+
+    pub fn load(&mut self, dst: RegId, addr: impl Into<Expr>, size: u8) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Load { dst, addr: addr.into(), size, loc });
+    }
+
+    /// Load into a fresh register.
+    pub fn load_new(&mut self, addr: impl Into<Expr>, size: u8) -> RegId {
+        let r = self.reg();
+        self.load(r, addr, size);
+        r
+    }
+
+    pub fn store(&mut self, addr: impl Into<Expr>, value: impl Into<Expr>, size: u8) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Store { addr: addr.into(), value: value.into(), size, loc });
+    }
+
+    /// `LOCK`-prefixed fetch-and-add.
+    pub fn atomic_rmw(
+        &mut self,
+        dst: Option<RegId>,
+        addr: impl Into<Expr>,
+        delta: impl Into<Expr>,
+        size: u8,
+    ) {
+        let loc = self.cur_loc;
+        self.push(Stmt::AtomicRmw { dst, addr: addr.into(), delta: delta.into(), size, loc });
+    }
+
+    pub fn call(&mut self, proc: ProcId, args: Vec<Expr>, dst: Option<RegId>) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Call { proc, args, dst, loc });
+    }
+
+    pub fn ret(&mut self, value: Option<Expr>) {
+        self.push(Stmt::Return { value });
+    }
+
+    pub fn spawn(&mut self, proc: ProcId, args: Vec<Expr>) -> RegId {
+        let dst = self.reg();
+        let loc = self.cur_loc;
+        self.push(Stmt::Spawn { proc, args, dst, loc });
+        dst
+    }
+
+    pub fn join(&mut self, handle: impl Into<Expr>) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Join { handle: handle.into(), loc });
+    }
+
+    pub fn new_sync(&mut self, kind: SyncKind, init: impl Into<Expr>) -> RegId {
+        let dst = self.reg();
+        self.push(Stmt::NewSync { dst, kind, init: init.into() });
+        dst
+    }
+
+    pub fn new_mutex(&mut self) -> RegId {
+        self.new_sync(SyncKind::Mutex, 0u64)
+    }
+
+    pub fn sync(&mut self, op: SyncOp) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Sync { op, loc });
+    }
+
+    pub fn lock(&mut self, m: impl Into<Expr>) {
+        self.sync(SyncOp::MutexLock(m.into()));
+    }
+
+    pub fn unlock(&mut self, m: impl Into<Expr>) {
+        self.sync(SyncOp::MutexUnlock(m.into()));
+    }
+
+    pub fn alloc(&mut self, size: impl Into<Expr>) -> RegId {
+        let dst = self.reg();
+        let loc = self.cur_loc;
+        self.push(Stmt::Alloc { dst, size: size.into(), loc });
+        dst
+    }
+
+    pub fn alloc_into(&mut self, dst: RegId, size: impl Into<Expr>) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Alloc { dst, size: size.into(), loc });
+    }
+
+    pub fn free(&mut self, addr: impl Into<Expr>) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Free { addr: addr.into(), loc });
+    }
+
+    pub fn client(&mut self, req: ClientOp) {
+        let loc = self.cur_loc;
+        self.push(Stmt::Client { req, loc });
+    }
+
+    /// Emit `VALGRIND_HG_DESTRUCT(addr, size)`.
+    pub fn hg_destruct(&mut self, addr: impl Into<Expr>, size: impl Into<Expr>) {
+        self.client(ClientOp::HgDestruct { addr: addr.into(), size: size.into() });
+    }
+
+    pub fn yield_(&mut self) {
+        self.push(Stmt::Yield);
+    }
+
+    pub fn assert_eq(&mut self, a: impl Into<Expr>, b: impl Into<Expr>, msg: &str) {
+        self.push(Stmt::AssertEq { a: a.into(), b: b.into(), msg: msg.to_string() });
+    }
+
+    // ---- structured control flow ----
+
+    pub fn begin_if(&mut self, cond: Cond) {
+        self.blocks.push((BlockKind::If { cond, then_done: None }, Vec::new()));
+    }
+
+    pub fn begin_else(&mut self) {
+        let (kind, stmts) = self.blocks.pop().expect("begin_else without begin_if");
+        match kind {
+            BlockKind::If { cond, then_done: None } => {
+                self.blocks.push((BlockKind::If { cond, then_done: Some(stmts) }, Vec::new()));
+            }
+            _ => panic!("begin_else does not match an open if"),
+        }
+    }
+
+    pub fn end_if(&mut self) {
+        let (kind, stmts) = self.blocks.pop().expect("end_if without begin_if");
+        match kind {
+            BlockKind::If { cond, then_done: None } => {
+                self.push(Stmt::If { cond, then_branch: stmts, else_branch: Vec::new() });
+            }
+            BlockKind::If { cond, then_done: Some(then_branch) } => {
+                self.push(Stmt::If { cond, then_branch, else_branch: stmts });
+            }
+            _ => panic!("end_if does not match an open if"),
+        }
+    }
+
+    pub fn begin_while(&mut self, cond: Cond) {
+        self.blocks.push((BlockKind::While { cond }, Vec::new()));
+    }
+
+    pub fn end_while(&mut self) {
+        let (kind, stmts) = self.blocks.pop().expect("end_while without begin_while");
+        match kind {
+            BlockKind::While { cond } => self.push(Stmt::While { cond, body: stmts }),
+            _ => panic!("end_while does not match an open while"),
+        }
+    }
+
+    pub fn begin_repeat(&mut self, times: impl Into<Expr>) {
+        self.blocks.push((BlockKind::Repeat { times: times.into() }, Vec::new()));
+    }
+
+    pub fn end_repeat(&mut self) {
+        let (kind, stmts) = self.blocks.pop().expect("end_repeat without begin_repeat");
+        match kind {
+            BlockKind::Repeat { times } => self.push(Stmt::Repeat { times, body: stmts }),
+            _ => panic!("end_repeat does not match an open repeat"),
+        }
+    }
+
+    fn finish(mut self, name: Symbol) -> Proc {
+        assert_eq!(self.blocks.len(), 1, "unclosed control-flow block in procedure");
+        let (_, body) = self.blocks.pop().unwrap();
+        Proc { name, nparams: self.nparams, nregs: self.nregs, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_minimal_program() {
+        let mut pb = ProgramBuilder::new();
+        let mut main = ProcBuilder::new(0);
+        let loc = pb.loc("main.cpp", 1, "main");
+        main.at(loc);
+        let g = pb.global("counter", 8);
+        main.store(g, 1u64, 8);
+        let main_id = pb.add_proc("main", main);
+        pb.set_entry(main_id);
+        let prog = pb.finish();
+        assert_eq!(prog.procs.len(), 1);
+        assert_eq!(prog.proc_name(main_id), "main");
+        assert_eq!(prog.globals.len(), 1);
+    }
+
+    #[test]
+    fn if_else_structure() {
+        let mut main = ProcBuilder::new(0);
+        let r = main.reg();
+        main.begin_if(Cond::Eq(Expr::Reg(r), Expr::Const(0)));
+        main.assign(r, 1u64);
+        main.begin_else();
+        main.assign(r, 2u64);
+        main.end_if();
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_proc("main", main);
+        pb.set_entry(id);
+        let prog = pb.finish();
+        match &prog.procs[0].body[0] {
+            Stmt::If { then_branch, else_branch, .. } => {
+                assert_eq!(then_branch.len(), 1);
+                assert_eq!(else_branch.len(), 1);
+            }
+            other => panic!("expected If, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "declared but never defined")]
+    fn undefined_proc_panics() {
+        let mut pb = ProgramBuilder::new();
+        let missing = pb.declare_proc("missing");
+        let mut main = ProcBuilder::new(0);
+        main.call(missing, vec![], None);
+        let id = pb.add_proc("main", main);
+        pb.set_entry(id);
+        let _ = pb.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed control-flow block")]
+    fn unclosed_block_panics() {
+        let mut main = ProcBuilder::new(0);
+        main.begin_while(Cond::True);
+        let mut pb = ProgramBuilder::new();
+        pb.add_proc("main", main);
+    }
+
+    #[test]
+    fn params_occupy_low_registers() {
+        let mut p = ProcBuilder::new(2);
+        assert_eq!(p.param(0), RegId(0));
+        assert_eq!(p.param(1), RegId(1));
+        assert_eq!(p.reg(), RegId(2));
+    }
+}

@@ -1,0 +1,320 @@
+//! Lowering of the structured IR to a flat bytecode with explicit jumps.
+//!
+//! The interpreter executes [`FlatProgram`]s: each procedure is a `Vec<Op>`
+//! with absolute jump targets, which keeps the per-thread execution state a
+//! simple `(proc, pc)` pair per frame. `Repeat` loops get a hidden counter
+//! register allocated during lowering.
+
+use super::*;
+
+/// Flat opcode. Mirrors [`Stmt`] minus structured control flow.
+#[derive(Clone, Debug)]
+pub enum Op {
+    Assign { dst: RegId, value: Expr },
+    Load { dst: RegId, addr: Expr, size: u8, loc: SrcLoc },
+    Store { addr: Expr, value: Expr, size: u8, loc: SrcLoc },
+    AtomicRmw { dst: Option<RegId>, addr: Expr, delta: Expr, size: u8, loc: SrcLoc },
+    /// Unconditional jump to an absolute pc.
+    Jump(u32),
+    /// If `cond` is false, jump to `target`; otherwise fall through.
+    BranchIfFalse { cond: Cond, target: u32 },
+    Call { proc: ProcId, args: Vec<Expr>, dst: Option<RegId>, loc: SrcLoc },
+    Ret { value: Option<Expr> },
+    Spawn { proc: ProcId, args: Vec<Expr>, dst: RegId, loc: SrcLoc },
+    Join { handle: Expr, loc: SrcLoc },
+    NewSync { dst: RegId, kind: SyncKind, init: Expr },
+    Sync { op: SyncOp, loc: SrcLoc },
+    Alloc { dst: RegId, size: Expr, loc: SrcLoc },
+    Free { addr: Expr, loc: SrcLoc },
+    Client { req: ClientOp, loc: SrcLoc },
+    Yield,
+    AssertEq { a: Expr, b: Expr, msg: String },
+}
+
+/// A lowered procedure.
+#[derive(Clone, Debug)]
+pub struct FlatProc {
+    pub name: Symbol,
+    pub nparams: u16,
+    pub nregs: u16,
+    pub code: Vec<Op>,
+}
+
+/// A lowered, executable program.
+#[derive(Clone, Debug)]
+pub struct FlatProgram {
+    pub interner: Interner,
+    pub procs: Vec<FlatProc>,
+    pub globals: Vec<GlobalDecl>,
+    pub entry: ProcId,
+}
+
+impl FlatProgram {
+    pub fn proc_name(&self, id: ProcId) -> &str {
+        self.interner.resolve(self.procs[id.0 as usize].name)
+    }
+
+    /// Total number of ops across all procedures.
+    pub fn op_count(&self) -> usize {
+        self.procs.iter().map(|p| p.code.len()).sum()
+    }
+}
+
+/// Lower a structured program.
+pub fn lower(prog: &Program) -> FlatProgram {
+    let procs = prog
+        .procs
+        .iter()
+        .map(|p| {
+            let mut lw = Lowerer { code: Vec::new(), nregs: p.nregs };
+            lw.block(&p.body);
+            // Implicit return for procedures that fall off the end.
+            lw.code.push(Op::Ret { value: None });
+            FlatProc { name: p.name, nparams: p.nparams, nregs: lw.nregs, code: lw.code }
+        })
+        .collect();
+    FlatProgram {
+        interner: prog.interner.clone(),
+        procs,
+        globals: prog.globals.clone(),
+        entry: prog.entry,
+    }
+}
+
+struct Lowerer {
+    code: Vec<Op>,
+    nregs: u16,
+}
+
+impl Lowerer {
+    fn pc(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn fresh_reg(&mut self) -> RegId {
+        let r = RegId(self.nregs);
+        self.nregs = self.nregs.checked_add(1).expect("register overflow in lowering");
+        r
+    }
+
+    fn block(&mut self, stmts: &[Stmt]) {
+        for s in stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match s {
+            Stmt::Assign { dst, value } => {
+                self.code.push(Op::Assign { dst: *dst, value: value.clone() })
+            }
+            Stmt::Load { dst, addr, size, loc } => self.code.push(Op::Load {
+                dst: *dst,
+                addr: addr.clone(),
+                size: *size,
+                loc: *loc,
+            }),
+            Stmt::Store { addr, value, size, loc } => self.code.push(Op::Store {
+                addr: addr.clone(),
+                value: value.clone(),
+                size: *size,
+                loc: *loc,
+            }),
+            Stmt::AtomicRmw { dst, addr, delta, size, loc } => self.code.push(Op::AtomicRmw {
+                dst: *dst,
+                addr: addr.clone(),
+                delta: delta.clone(),
+                size: *size,
+                loc: *loc,
+            }),
+            Stmt::If { cond, then_branch, else_branch } => {
+                let branch_at = self.pc();
+                self.code.push(Op::Jump(0)); // placeholder BranchIfFalse
+                self.block(then_branch);
+                if else_branch.is_empty() {
+                    let after = self.pc();
+                    self.code[branch_at as usize] =
+                        Op::BranchIfFalse { cond: cond.clone(), target: after };
+                } else {
+                    let jump_end_at = self.pc();
+                    self.code.push(Op::Jump(0)); // placeholder Jump to end
+                    let else_start = self.pc();
+                    self.code[branch_at as usize] =
+                        Op::BranchIfFalse { cond: cond.clone(), target: else_start };
+                    self.block(else_branch);
+                    let after = self.pc();
+                    self.code[jump_end_at as usize] = Op::Jump(after);
+                }
+            }
+            Stmt::While { cond, body } => {
+                let head = self.pc();
+                let branch_at = self.pc();
+                self.code.push(Op::Jump(0)); // placeholder
+                self.block(body);
+                self.code.push(Op::Jump(head));
+                let after = self.pc();
+                self.code[branch_at as usize] =
+                    Op::BranchIfFalse { cond: cond.clone(), target: after };
+            }
+            Stmt::Repeat { times, body } => {
+                // counter := times; while counter > 0 { body; counter -= 1 }
+                let counter = self.fresh_reg();
+                self.code.push(Op::Assign { dst: counter, value: times.clone() });
+                let head = self.pc();
+                let branch_at = self.pc();
+                self.code.push(Op::Jump(0)); // placeholder
+                self.block(body);
+                self.code.push(Op::Assign {
+                    dst: counter,
+                    value: Expr::Reg(counter).sub(Expr::Const(1)),
+                });
+                self.code.push(Op::Jump(head));
+                let after = self.pc();
+                self.code[branch_at as usize] = Op::BranchIfFalse {
+                    cond: Cond::Gt(Expr::Reg(counter), Expr::Const(0)),
+                    target: after,
+                };
+            }
+            Stmt::Call { proc, args, dst, loc } => self.code.push(Op::Call {
+                proc: *proc,
+                args: args.clone(),
+                dst: *dst,
+                loc: *loc,
+            }),
+            Stmt::Return { value } => self.code.push(Op::Ret { value: value.clone() }),
+            Stmt::Spawn { proc, args, dst, loc } => self.code.push(Op::Spawn {
+                proc: *proc,
+                args: args.clone(),
+                dst: *dst,
+                loc: *loc,
+            }),
+            Stmt::Join { handle, loc } => {
+                self.code.push(Op::Join { handle: handle.clone(), loc: *loc })
+            }
+            Stmt::NewSync { dst, kind, init } => self.code.push(Op::NewSync {
+                dst: *dst,
+                kind: *kind,
+                init: init.clone(),
+            }),
+            Stmt::Sync { op, loc } => self.code.push(Op::Sync { op: op.clone(), loc: *loc }),
+            Stmt::Alloc { dst, size, loc } => self.code.push(Op::Alloc {
+                dst: *dst,
+                size: size.clone(),
+                loc: *loc,
+            }),
+            Stmt::Free { addr, loc } => {
+                self.code.push(Op::Free { addr: addr.clone(), loc: *loc })
+            }
+            Stmt::Client { req, loc } => {
+                self.code.push(Op::Client { req: req.clone(), loc: *loc })
+            }
+            Stmt::Yield => self.code.push(Op::Yield),
+            Stmt::AssertEq { a, b, msg } => self.code.push(Op::AssertEq {
+                a: a.clone(),
+                b: b.clone(),
+                msg: msg.clone(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{ProcBuilder, ProgramBuilder};
+
+    fn lower_single(pb_main: ProcBuilder) -> FlatProgram {
+        let mut pb = ProgramBuilder::new();
+        let id = pb.add_proc("main", pb_main);
+        pb.set_entry(id);
+        pb.finish().lower()
+    }
+
+    #[test]
+    fn straight_line_appends_implicit_ret() {
+        let mut m = ProcBuilder::new(0);
+        let r = m.reg();
+        m.assign(r, 7u64);
+        let fp = lower_single(m);
+        let code = &fp.procs[0].code;
+        assert_eq!(code.len(), 2);
+        assert!(matches!(code[1], Op::Ret { value: None }));
+    }
+
+    #[test]
+    fn if_without_else_branches_past_then() {
+        let mut m = ProcBuilder::new(0);
+        let r = m.reg();
+        m.begin_if(Cond::Eq(Expr::Reg(r), Expr::Const(0)));
+        m.assign(r, 1u64);
+        m.assign(r, 2u64);
+        m.end_if();
+        let fp = lower_single(m);
+        let code = &fp.procs[0].code;
+        match &code[0] {
+            Op::BranchIfFalse { target, .. } => assert_eq!(*target, 3),
+            other => panic!("expected branch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_else_layout() {
+        let mut m = ProcBuilder::new(0);
+        let r = m.reg();
+        m.begin_if(Cond::True);
+        m.assign(r, 1u64);
+        m.begin_else();
+        m.assign(r, 2u64);
+        m.end_if();
+        let fp = lower_single(m);
+        let code = &fp.procs[0].code;
+        // 0: branch-if-false -> 3 (else start)
+        // 1: r := 1
+        // 2: jump -> 4 (after)
+        // 3: r := 2
+        // 4: ret
+        match &code[0] {
+            Op::BranchIfFalse { target, .. } => assert_eq!(*target, 3),
+            other => panic!("{other:?}"),
+        }
+        match &code[2] {
+            Op::Jump(t) => assert_eq!(*t, 4),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn while_loops_back_to_head() {
+        let mut m = ProcBuilder::new(0);
+        let r = m.reg();
+        m.begin_while(Cond::Lt(Expr::Reg(r), Expr::Const(3)));
+        m.assign(r, Expr::Reg(r).add(Expr::Const(1)));
+        m.end_while();
+        let fp = lower_single(m);
+        let code = &fp.procs[0].code;
+        // 0: branch-if-false -> 3
+        // 1: r := r + 1
+        // 2: jump -> 0
+        match &code[2] {
+            Op::Jump(t) => assert_eq!(*t, 0),
+            other => panic!("{other:?}"),
+        }
+        match &code[0] {
+            Op::BranchIfFalse { target, .. } => assert_eq!(*target, 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeat_allocates_hidden_counter() {
+        let mut m = ProcBuilder::new(0);
+        m.begin_repeat(5u64);
+        m.yield_();
+        m.end_repeat();
+        let nregs_before = 0;
+        let fp = lower_single(m);
+        assert!(fp.procs[0].nregs > nregs_before);
+        // shape: assign counter, branch, yield, decrement, jump, ret
+        assert_eq!(fp.procs[0].code.len(), 6);
+    }
+}

@@ -1,0 +1,348 @@
+//! Guest-program intermediate representation.
+//!
+//! Guest programs are what the virtual machine executes in place of the
+//! x86 binaries that Valgrind instruments. A [`Program`] is a set of
+//! procedures over an unbounded register file, a guest heap, and
+//! POSIX-shaped synchronisation objects. The structured form defined here is
+//! what builders ([`builder::ProgramBuilder`]) and the `minicpp` compiler
+//! produce; it is lowered to a flat bytecode ([`lower::FlatProgram`]) before
+//! execution.
+//!
+//! Every observable statement carries a [`SrcLoc`] — the moral equivalent of
+//! the debug info Helgrind uses to print warning locations. Warning counts
+//! in the paper are counts of *distinct source locations*, so locations are
+//! first-class here.
+
+pub mod builder;
+pub mod disasm;
+pub mod lower;
+
+use crate::util::{Interner, Symbol};
+
+/// Procedure id within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ProcId(pub u32);
+
+/// Virtual register within a procedure frame.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct RegId(pub u16);
+
+/// Global variable id within a [`Program`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GlobalId(pub u32);
+
+/// A source location: file, line, and enclosing function. Interned and
+/// `Copy`; this is the unit by which warnings are deduplicated.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct SrcLoc {
+    pub file: Symbol,
+    pub line: u32,
+    pub func: Symbol,
+}
+
+impl SrcLoc {
+    /// The unknown location (empty file/function, line 0).
+    pub const UNKNOWN: SrcLoc = SrcLoc {
+        file: Symbol::EMPTY,
+        line: 0,
+        func: Symbol::EMPTY,
+    };
+
+    /// Render `file:line (func)` using the owning program's interner.
+    pub fn display(&self, interner: &Interner) -> String {
+        if *self == SrcLoc::UNKNOWN {
+            return "<unknown>".to_string();
+        }
+        format!(
+            "{}:{} ({})",
+            interner.resolve(self.file),
+            self.line,
+            interner.resolve(self.func)
+        )
+    }
+}
+
+/// Pure value expression over registers, globals and constants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Expr {
+    /// Literal value.
+    Const(u64),
+    /// Read a register of the current frame.
+    Reg(RegId),
+    /// Address of a global variable.
+    Global(GlobalId),
+    /// Wrapping addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Wrapping subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Wrapping multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+    /// `reg + constant offset` — the common addressing form.
+    pub fn offset(reg: RegId, off: u64) -> Expr {
+        if off == 0 {
+            Expr::Reg(reg)
+        } else {
+            Expr::Reg(reg).add(Expr::Const(off))
+        }
+    }
+}
+
+impl From<RegId> for Expr {
+    fn from(r: RegId) -> Expr {
+        Expr::Reg(r)
+    }
+}
+
+impl From<u64> for Expr {
+    fn from(v: u64) -> Expr {
+        Expr::Const(v)
+    }
+}
+
+impl From<GlobalId> for Expr {
+    fn from(g: GlobalId) -> Expr {
+        Expr::Global(g)
+    }
+}
+
+/// Boolean condition over expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Cond {
+    True,
+    Eq(Expr, Expr),
+    Ne(Expr, Expr),
+    Lt(Expr, Expr),
+    Le(Expr, Expr),
+    Gt(Expr, Expr),
+    Ge(Expr, Expr),
+}
+
+/// Kinds of guest synchronisation objects (POSIX-shaped).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SyncKind {
+    /// `pthread_mutex_t`.
+    Mutex,
+    /// `pthread_rwlock_t`.
+    RwLock,
+    /// `pthread_cond_t`.
+    CondVar,
+    /// Counting semaphore (`sem_t`).
+    Semaphore,
+    /// Bounded FIFO message queue (the higher-level primitive of §4.2.3 /
+    /// Fig 11 — thread-pool hand-off).
+    Queue,
+}
+
+impl SyncKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            SyncKind::Mutex => "mutex",
+            SyncKind::RwLock => "rwlock",
+            SyncKind::CondVar => "condvar",
+            SyncKind::Semaphore => "semaphore",
+            SyncKind::Queue => "queue",
+        }
+    }
+}
+
+/// Synchronisation operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncOp {
+    MutexLock(Expr),
+    MutexUnlock(Expr),
+    /// Acquire a rwlock in shared (read) mode.
+    RwLockRead(Expr),
+    /// Acquire a rwlock in exclusive (write) mode.
+    RwLockWrite(Expr),
+    RwUnlock(Expr),
+    /// `pthread_cond_wait(cond, mutex)`: atomically release the mutex and
+    /// block; re-acquire before returning.
+    CondWait { cond: Expr, mutex: Expr },
+    CondSignal(Expr),
+    CondBroadcast(Expr),
+    SemWait(Expr),
+    SemPost(Expr),
+    /// Blocking put of a value into a bounded queue.
+    QueuePut { queue: Expr, value: Expr },
+    /// Blocking get; the received value lands in `dst`.
+    QueueGet { queue: Expr, dst: RegId },
+}
+
+/// Client requests: the guest-to-tool annotation channel, mirroring
+/// Valgrind's `VALGRIND_*` user-space macros (Fig 4 of the paper). Under a
+/// VM without an attached tool these are no-ops, exactly as in the paper.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientOp {
+    /// `VALGRIND_HG_DESTRUCT(addr, size)`: the object at `addr` is about to
+    /// be destroyed by the calling thread; a DR-aware detector marks the
+    /// memory exclusively owned by that thread.
+    HgDestruct { addr: Expr, size: Expr },
+    /// Reset the shadow state of a range to virgin (provided for
+    /// completeness; Helgrind exposes a similar request).
+    HgCleanMemory { addr: Expr, size: Expr },
+    /// Free-form marker visible to tools and tests.
+    Label(Symbol),
+}
+
+/// Structured statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stmt {
+    /// Silent register assignment.
+    Assign { dst: RegId, value: Expr },
+    /// Guest memory read; emits an `Access(Read)` event.
+    Load {
+        dst: RegId,
+        addr: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
+    /// Guest memory write; emits an `Access(Write)` event.
+    Store {
+        addr: Expr,
+        value: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
+    /// `LOCK`-prefixed fetch-and-add (the x86 bus-locked RMW of §3.1/§4.2.2).
+    /// Emits a single `Access(AtomicRmw)` event. `dst` receives the old
+    /// value if present.
+    AtomicRmw {
+        dst: Option<RegId>,
+        addr: Expr,
+        delta: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
+    If {
+        cond: Cond,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
+    While { cond: Cond, body: Vec<Stmt> },
+    /// Execute `body` `times` times; `times` is evaluated once on entry.
+    Repeat { times: Expr, body: Vec<Stmt> },
+    Call {
+        proc: ProcId,
+        args: Vec<Expr>,
+        dst: Option<RegId>,
+        loc: SrcLoc,
+    },
+    Return { value: Option<Expr> },
+    /// Create a thread running `proc(args)`; `dst` receives its handle.
+    Spawn {
+        proc: ProcId,
+        args: Vec<Expr>,
+        dst: RegId,
+        loc: SrcLoc,
+    },
+    /// Block until the thread with the given handle exits.
+    Join { handle: Expr, loc: SrcLoc },
+    /// Create a synchronisation object; `dst` receives its handle.
+    /// `init` is the initial count (semaphore) or capacity (queue).
+    NewSync {
+        dst: RegId,
+        kind: SyncKind,
+        init: Expr,
+    },
+    Sync { op: SyncOp, loc: SrcLoc },
+    /// Guest heap allocation (`operator new` / `malloc`).
+    Alloc {
+        dst: RegId,
+        size: Expr,
+        loc: SrcLoc,
+    },
+    /// Guest heap release (`operator delete` / `free`).
+    Free { addr: Expr, loc: SrcLoc },
+    /// Client request (tool annotation).
+    Client { req: ClientOp, loc: SrcLoc },
+    /// Voluntary reschedule point.
+    Yield,
+    /// Guest-level assertion; failure aborts the run with a guest error.
+    AssertEq { a: Expr, b: Expr, msg: String },
+}
+
+/// Global variable declaration.
+#[derive(Clone, Debug)]
+pub struct GlobalDecl {
+    pub name: Symbol,
+    pub size: u64,
+}
+
+/// A procedure: `nparams` arguments arrive in registers `0..nparams`.
+#[derive(Clone, Debug)]
+pub struct Proc {
+    pub name: Symbol,
+    pub nparams: u16,
+    pub nregs: u16,
+    pub body: Vec<Stmt>,
+}
+
+/// A complete structured guest program.
+#[derive(Clone, Debug)]
+pub struct Program {
+    pub interner: Interner,
+    pub procs: Vec<Proc>,
+    pub globals: Vec<GlobalDecl>,
+    pub entry: ProcId,
+}
+
+impl Program {
+    /// Lower to flat bytecode for execution.
+    pub fn lower(&self) -> lower::FlatProgram {
+        lower::lower(self)
+    }
+
+    pub fn proc_name(&self, id: ProcId) -> &str {
+        self.interner.resolve(self.procs[id.0 as usize].name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expr_builders_compose() {
+        let e = Expr::Const(2).add(Expr::Const(3)).mul(Expr::Const(4));
+        match e {
+            Expr::Mul(a, b) => {
+                assert!(matches!(*a, Expr::Add(_, _)));
+                assert_eq!(*b, Expr::Const(4));
+            }
+            _ => panic!("unexpected shape"),
+        }
+    }
+
+    #[test]
+    fn offset_zero_is_bare_reg() {
+        assert_eq!(Expr::offset(RegId(3), 0), Expr::Reg(RegId(3)));
+        assert!(matches!(Expr::offset(RegId(3), 8), Expr::Add(_, _)));
+    }
+
+    #[test]
+    fn srcloc_display() {
+        let mut i = Interner::new();
+        let loc = SrcLoc {
+            file: i.intern("proxy.cpp"),
+            line: 42,
+            func: i.intern("handle"),
+        };
+        assert_eq!(loc.display(&i), "proxy.cpp:42 (handle)");
+        assert_eq!(SrcLoc::UNKNOWN.display(&i), "<unknown>");
+    }
+}

@@ -1,0 +1,381 @@
+//! Runtime state of guest synchronisation objects.
+//!
+//! These implement POSIX blocking semantics inside the VM: a thread whose
+//! operation cannot proceed parks itself and the VM retries the same opcode
+//! when the object changes state. The objects themselves are passive state
+//! machines; all wakeup policy lives in the VM scheduler loop.
+
+use crate::event::ThreadId;
+use crate::ir::SyncKind;
+use std::collections::VecDeque;
+
+/// Errors from misusing a sync object (guest bugs that POSIX leaves
+/// undefined; the VM makes them hard errors for diagnosability).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncError {
+    /// Unlock of a mutex not owned by the caller.
+    NotOwner { tid: ThreadId },
+    /// Relock of a non-recursive mutex by its owner.
+    SelfDeadlock { tid: ThreadId },
+    /// rwlock unlock without holding it.
+    NotHeld { tid: ThreadId },
+    /// Operation applied to the wrong kind of object.
+    WrongKind { expected: SyncKind, actual: SyncKind },
+    /// Handle does not name a sync object.
+    BadHandle { handle: u64 },
+}
+
+impl std::fmt::Display for SyncError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SyncError::NotOwner { tid } => write!(f, "thread {} unlocked a mutex it does not own", tid.0),
+            SyncError::SelfDeadlock { tid } => write!(f, "thread {} relocked a mutex it already owns", tid.0),
+            SyncError::NotHeld { tid } => write!(f, "thread {} released a rwlock it does not hold", tid.0),
+            SyncError::WrongKind { expected, actual } => {
+                write!(f, "sync op expected a {} but got a {}", expected.name(), actual.name())
+            }
+            SyncError::BadHandle { handle } => write!(f, "invalid sync handle {handle}"),
+        }
+    }
+}
+
+/// State of one sync object.
+#[derive(Clone, Debug)]
+pub enum SyncState {
+    Mutex {
+        owner: Option<ThreadId>,
+    },
+    RwLock {
+        writer: Option<ThreadId>,
+        readers: Vec<ThreadId>,
+    },
+    CondVar {
+        /// Parked waiters, in arrival order.
+        waiters: VecDeque<ThreadId>,
+    },
+    Semaphore {
+        count: u64,
+    },
+    Queue {
+        items: VecDeque<(u64, u64)>, // (value, token)
+        capacity: usize,
+        next_token: u64,
+    },
+}
+
+/// A guest sync object.
+#[derive(Clone, Debug)]
+pub struct SyncObj {
+    pub kind: SyncKind,
+    pub state: SyncState,
+}
+
+impl SyncObj {
+    pub fn new(kind: SyncKind, init: u64) -> SyncObj {
+        let state = match kind {
+            SyncKind::Mutex => SyncState::Mutex { owner: None },
+            SyncKind::RwLock => SyncState::RwLock { writer: None, readers: Vec::new() },
+            SyncKind::CondVar => SyncState::CondVar { waiters: VecDeque::new() },
+            SyncKind::Semaphore => SyncState::Semaphore { count: init },
+            SyncKind::Queue => SyncState::Queue {
+                items: VecDeque::new(),
+                capacity: (init as usize).max(1),
+                next_token: 0,
+            },
+        };
+        SyncObj { kind, state }
+    }
+
+    fn expect_kind(&self, expected: SyncKind) -> Result<(), SyncError> {
+        if self.kind == expected {
+            Ok(())
+        } else {
+            Err(SyncError::WrongKind { expected, actual: self.kind })
+        }
+    }
+
+    /// Try to lock the mutex. `Ok(true)` = acquired, `Ok(false)` = must block.
+    pub fn mutex_lock(&mut self, tid: ThreadId) -> Result<bool, SyncError> {
+        self.expect_kind(SyncKind::Mutex)?;
+        match &mut self.state {
+            SyncState::Mutex { owner } => match owner {
+                None => {
+                    *owner = Some(tid);
+                    Ok(true)
+                }
+                Some(o) if *o == tid => Err(SyncError::SelfDeadlock { tid }),
+                Some(_) => Ok(false),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    pub fn mutex_unlock(&mut self, tid: ThreadId) -> Result<(), SyncError> {
+        self.expect_kind(SyncKind::Mutex)?;
+        match &mut self.state {
+            SyncState::Mutex { owner } => {
+                if *owner == Some(tid) {
+                    *owner = None;
+                    Ok(())
+                } else {
+                    Err(SyncError::NotOwner { tid })
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Current mutex owner (for wait-for graphs).
+    pub fn mutex_owner(&self) -> Option<ThreadId> {
+        match &self.state {
+            SyncState::Mutex { owner } => *owner,
+            _ => None,
+        }
+    }
+
+    /// Try to read-lock. Writer-held blocks readers.
+    pub fn rw_lock_read(&mut self, tid: ThreadId) -> Result<bool, SyncError> {
+        self.expect_kind(SyncKind::RwLock)?;
+        match &mut self.state {
+            SyncState::RwLock { writer, readers } => {
+                if writer.is_some() {
+                    Ok(false)
+                } else {
+                    readers.push(tid);
+                    Ok(true)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Try to write-lock. Any holder blocks writers.
+    pub fn rw_lock_write(&mut self, tid: ThreadId) -> Result<bool, SyncError> {
+        self.expect_kind(SyncKind::RwLock)?;
+        match &mut self.state {
+            SyncState::RwLock { writer, readers } => {
+                if writer.is_some() || !readers.is_empty() {
+                    if *writer == Some(tid) || readers.contains(&tid) {
+                        return Err(SyncError::SelfDeadlock { tid });
+                    }
+                    Ok(false)
+                } else {
+                    *writer = Some(tid);
+                    Ok(true)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Unlock whichever mode the caller holds.
+    pub fn rw_unlock(&mut self, tid: ThreadId) -> Result<(), SyncError> {
+        self.expect_kind(SyncKind::RwLock)?;
+        match &mut self.state {
+            SyncState::RwLock { writer, readers } => {
+                if *writer == Some(tid) {
+                    *writer = None;
+                    Ok(())
+                } else if let Some(pos) = readers.iter().position(|&r| r == tid) {
+                    readers.swap_remove(pos);
+                    Ok(())
+                } else {
+                    Err(SyncError::NotHeld { tid })
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Threads currently holding the rwlock (for wait-for graphs).
+    pub fn rw_holders(&self) -> Vec<ThreadId> {
+        match &self.state {
+            SyncState::RwLock { writer, readers } => {
+                let mut v = readers.clone();
+                if let Some(w) = writer {
+                    v.push(*w);
+                }
+                v
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Park a waiter on the condvar.
+    pub fn cond_park(&mut self, tid: ThreadId) -> Result<(), SyncError> {
+        self.expect_kind(SyncKind::CondVar)?;
+        match &mut self.state {
+            SyncState::CondVar { waiters } => {
+                waiters.push_back(tid);
+                Ok(())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Pop up to `max` waiters to wake (1 for signal, all for broadcast).
+    pub fn cond_take_waiters(&mut self, broadcast: bool) -> Result<Vec<ThreadId>, SyncError> {
+        self.expect_kind(SyncKind::CondVar)?;
+        match &mut self.state {
+            SyncState::CondVar { waiters } => {
+                if broadcast {
+                    Ok(waiters.drain(..).collect())
+                } else {
+                    Ok(waiters.pop_front().into_iter().collect())
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Remove a thread from the condvar wait queue (used if it is woken by
+    /// other means). No-op if absent.
+    pub fn cond_unpark(&mut self, tid: ThreadId) {
+        if let SyncState::CondVar { waiters } = &mut self.state {
+            waiters.retain(|&w| w != tid);
+        }
+    }
+
+    pub fn sem_post(&mut self) -> Result<(), SyncError> {
+        self.expect_kind(SyncKind::Semaphore)?;
+        match &mut self.state {
+            SyncState::Semaphore { count } => {
+                *count += 1;
+                Ok(())
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Try to decrement. `Ok(true)` = acquired.
+    pub fn sem_try_wait(&mut self) -> Result<bool, SyncError> {
+        self.expect_kind(SyncKind::Semaphore)?;
+        match &mut self.state {
+            SyncState::Semaphore { count } => {
+                if *count > 0 {
+                    *count -= 1;
+                    Ok(true)
+                } else {
+                    Ok(false)
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Try to enqueue. Returns the message token on success, `None` if full.
+    pub fn queue_try_put(&mut self, value: u64) -> Result<Option<u64>, SyncError> {
+        self.expect_kind(SyncKind::Queue)?;
+        match &mut self.state {
+            SyncState::Queue { items, capacity, next_token } => {
+                if items.len() >= *capacity {
+                    Ok(None)
+                } else {
+                    let token = *next_token;
+                    *next_token += 1;
+                    items.push_back((value, token));
+                    Ok(Some(token))
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    /// Try to dequeue. Returns `(value, token)` or `None` if empty.
+    pub fn queue_try_get(&mut self) -> Result<Option<(u64, u64)>, SyncError> {
+        self.expect_kind(SyncKind::Queue)?;
+        match &mut self.state {
+            SyncState::Queue { items, .. } => Ok(items.pop_front()),
+            _ => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T1: ThreadId = ThreadId(1);
+    const T2: ThreadId = ThreadId(2);
+
+    #[test]
+    fn mutex_lock_unlock() {
+        let mut m = SyncObj::new(SyncKind::Mutex, 0);
+        assert_eq!(m.mutex_lock(T1), Ok(true));
+        assert_eq!(m.mutex_lock(T2), Ok(false));
+        assert_eq!(m.mutex_owner(), Some(T1));
+        m.mutex_unlock(T1).unwrap();
+        assert_eq!(m.mutex_lock(T2), Ok(true));
+    }
+
+    #[test]
+    fn mutex_misuse() {
+        let mut m = SyncObj::new(SyncKind::Mutex, 0);
+        assert_eq!(m.mutex_unlock(T1), Err(SyncError::NotOwner { tid: T1 }));
+        m.mutex_lock(T1).unwrap();
+        assert_eq!(m.mutex_lock(T1), Err(SyncError::SelfDeadlock { tid: T1 }));
+        assert_eq!(m.mutex_unlock(T2), Err(SyncError::NotOwner { tid: T2 }));
+    }
+
+    #[test]
+    fn rwlock_readers_share_writers_exclusive() {
+        let mut rw = SyncObj::new(SyncKind::RwLock, 0);
+        assert_eq!(rw.rw_lock_read(T1), Ok(true));
+        assert_eq!(rw.rw_lock_read(T2), Ok(true));
+        let t3 = ThreadId(3);
+        assert_eq!(rw.rw_lock_write(t3), Ok(false));
+        rw.rw_unlock(T1).unwrap();
+        rw.rw_unlock(T2).unwrap();
+        assert_eq!(rw.rw_lock_write(t3), Ok(true));
+        assert_eq!(rw.rw_lock_read(T1), Ok(false));
+        assert_eq!(rw.rw_holders(), vec![t3]);
+    }
+
+    #[test]
+    fn rwlock_self_upgrade_is_error() {
+        let mut rw = SyncObj::new(SyncKind::RwLock, 0);
+        rw.rw_lock_read(T1).unwrap();
+        assert_eq!(rw.rw_lock_write(T1), Err(SyncError::SelfDeadlock { tid: T1 }));
+    }
+
+    #[test]
+    fn condvar_signal_vs_broadcast() {
+        let mut cv = SyncObj::new(SyncKind::CondVar, 0);
+        cv.cond_park(T1).unwrap();
+        cv.cond_park(T2).unwrap();
+        assert_eq!(cv.cond_take_waiters(false).unwrap(), vec![T1]);
+        cv.cond_park(T1).unwrap();
+        let woken = cv.cond_take_waiters(true).unwrap();
+        assert_eq!(woken, vec![T2, T1]);
+        assert!(cv.cond_take_waiters(true).unwrap().is_empty());
+    }
+
+    #[test]
+    fn semaphore_counting() {
+        let mut s = SyncObj::new(SyncKind::Semaphore, 2);
+        assert_eq!(s.sem_try_wait(), Ok(true));
+        assert_eq!(s.sem_try_wait(), Ok(true));
+        assert_eq!(s.sem_try_wait(), Ok(false));
+        s.sem_post().unwrap();
+        assert_eq!(s.sem_try_wait(), Ok(true));
+    }
+
+    #[test]
+    fn queue_fifo_with_tokens_and_capacity() {
+        let mut q = SyncObj::new(SyncKind::Queue, 2);
+        assert_eq!(q.queue_try_put(10).unwrap(), Some(0));
+        assert_eq!(q.queue_try_put(20).unwrap(), Some(1));
+        assert_eq!(q.queue_try_put(30).unwrap(), None); // full
+        assert_eq!(q.queue_try_get().unwrap(), Some((10, 0)));
+        assert_eq!(q.queue_try_put(30).unwrap(), Some(2));
+        assert_eq!(q.queue_try_get().unwrap(), Some((20, 1)));
+        assert_eq!(q.queue_try_get().unwrap(), Some((30, 2)));
+        assert_eq!(q.queue_try_get().unwrap(), None);
+    }
+
+    #[test]
+    fn wrong_kind_is_error() {
+        let mut q = SyncObj::new(SyncKind::Queue, 1);
+        assert!(matches!(q.mutex_lock(T1), Err(SyncError::WrongKind { .. })));
+    }
+}

@@ -1,0 +1,110 @@
+//! The tool (skin) interface: Valgrind's core→tool boundary.
+//!
+//! A [`Tool`] receives every observable [`Event`] as the VM executes, plus a
+//! [`VmView`] for introspection (stack traces, allocation info, symbol
+//! resolution). Detectors in `helgrind-core` implement this trait; the VM
+//! knows nothing about them.
+
+use crate::event::Event;
+use crate::util::FxHashMap;
+use crate::vm::VmView;
+
+/// An execution-observing tool.
+pub trait Tool {
+    /// Called after each observable event, in program order.
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>);
+
+    /// Called once when the run terminates (for flushing summaries).
+    fn on_finish(&mut self, _vm: &VmView<'_>) {}
+}
+
+impl<T: Tool + ?Sized> Tool for &mut T {
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+        (**self).on_event(ev, vm);
+    }
+    fn on_finish(&mut self, vm: &VmView<'_>) {
+        (**self).on_finish(vm);
+    }
+}
+
+/// A tool that does nothing: the "run on the VM without instrumentation"
+/// baseline of §4.5.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullTool;
+
+impl Tool for NullTool {
+    #[inline]
+    fn on_event(&mut self, _ev: &Event, _vm: &VmView<'_>) {}
+}
+
+/// Counts events by kind; used by tests and the overhead benchmarks.
+#[derive(Debug, Default, Clone)]
+pub struct CountingTool {
+    pub total: u64,
+    pub by_kind: FxHashMap<&'static str, u64>,
+    pub finished: bool,
+}
+
+impl CountingTool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn count(&self, kind: &str) -> u64 {
+        self.by_kind.get(kind).copied().unwrap_or(0)
+    }
+}
+
+impl Tool for CountingTool {
+    fn on_event(&mut self, ev: &Event, _vm: &VmView<'_>) {
+        self.total += 1;
+        *self.by_kind.entry(ev.kind_name()).or_insert(0) += 1;
+    }
+
+    fn on_finish(&mut self, _vm: &VmView<'_>) {
+        self.finished = true;
+    }
+}
+
+/// Records the full event trace; for tests on small programs only.
+#[derive(Debug, Default, Clone)]
+pub struct RecordingTool {
+    pub events: Vec<Event>,
+}
+
+impl RecordingTool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tool for RecordingTool {
+    fn on_event(&mut self, ev: &Event, _vm: &VmView<'_>) {
+        self.events.push(*ev);
+    }
+}
+
+/// Fan an event stream out to several tools (e.g. run the lockset and the
+/// happens-before detector in the same execution, as Multi-Race does).
+pub struct FanoutTool<'a> {
+    tools: Vec<&'a mut dyn Tool>,
+}
+
+impl<'a> FanoutTool<'a> {
+    pub fn new(tools: Vec<&'a mut dyn Tool>) -> Self {
+        FanoutTool { tools }
+    }
+}
+
+impl Tool for FanoutTool<'_> {
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+        for t in self.tools.iter_mut() {
+            t.on_event(ev, vm);
+        }
+    }
+    fn on_finish(&mut self, vm: &VmView<'_>) {
+        for t in self.tools.iter_mut() {
+            t.on_finish(vm);
+        }
+    }
+}

@@ -1,0 +1,553 @@
+//! Execution-trace recording and replay: the *post-mortem* analysis mode
+//! of §2.2.
+//!
+//! "Principally, on-the-fly checkers can work post mortem and hence reduce
+//! the performance impact due to the online calculations. But they still
+//! need logging of the execution trace. Hence, offline techniques suffer
+//! from their need for large amount of data."
+//!
+//! [`TraceWriter`] is a [`Tool`] that serialises every event into a
+//! compact binary buffer; [`Trace::iter`] replays it. Detector *engines*
+//! (`helgrind-core`'s `LocksetEngine`/`HbEngine`) consume bare events, so
+//! they run identically online and offline — the difference, exactly as
+//! the paper notes, is the log volume (measure it with
+//! [`Trace::bytes_len`] / [`Trace::bytes_per_event`]).
+//!
+//! Traces reference interned symbols, so a trace is only meaningful next
+//! to the program (interner) that produced it.
+
+use crate::event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
+use crate::ir::{SrcLoc, SyncKind};
+use crate::tool::Tool;
+use crate::util::Symbol;
+use crate::vm::VmView;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A recorded execution trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Trace {
+    buf: Bytes,
+    events: u64,
+}
+
+/// Trace decoding errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceError {
+    /// Buffer ended mid-event.
+    Truncated,
+    /// Unknown event tag.
+    BadTag(u8),
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Truncated => write!(f, "trace truncated"),
+            TraceError::BadTag(t) => write!(f, "unknown event tag {t}"),
+        }
+    }
+}
+
+// Event tags.
+const T_ACCESS_READ: u8 = 0;
+const T_ACCESS_WRITE: u8 = 1;
+const T_ACCESS_RMW: u8 = 2;
+const T_ACQUIRE_EXCL: u8 = 3;
+const T_ACQUIRE_SHARED: u8 = 4;
+const T_RELEASE: u8 = 5;
+const T_CREATE: u8 = 6;
+const T_JOIN: u8 = 7;
+const T_EXIT: u8 = 8;
+const T_ALLOC: u8 = 9;
+const T_FREE: u8 = 10;
+const T_COND_SIGNAL: u8 = 11;
+const T_COND_BROADCAST: u8 = 12;
+const T_COND_WAKE: u8 = 13;
+const T_SEM_POST: u8 = 14;
+const T_SEM_ACQUIRED: u8 = 15;
+const T_QUEUE_PUT: u8 = 16;
+const T_QUEUE_GOT: u8 = 17;
+const T_HG_DESTRUCT: u8 = 18;
+const T_HG_CLEAN: u8 = 19;
+const T_LABEL: u8 = 20;
+
+fn put_loc(buf: &mut BytesMut, loc: SrcLoc) {
+    buf.put_u32_le(loc.file.0);
+    buf.put_u32_le(loc.line);
+    buf.put_u32_le(loc.func.0);
+}
+
+fn get_loc(buf: &mut Bytes) -> Result<SrcLoc, TraceError> {
+    if buf.remaining() < 12 {
+        return Err(TraceError::Truncated);
+    }
+    Ok(SrcLoc {
+        file: Symbol(buf.get_u32_le()),
+        line: buf.get_u32_le(),
+        func: Symbol(buf.get_u32_le()),
+    })
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<(), TraceError> {
+    if buf.remaining() < n {
+        Err(TraceError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+/// Encode one event.
+pub fn encode_event(buf: &mut BytesMut, ev: &Event) {
+    match *ev {
+        Event::Access { tid, addr, size, kind, loc } => {
+            buf.put_u8(match kind {
+                AccessKind::Read => T_ACCESS_READ,
+                AccessKind::Write => T_ACCESS_WRITE,
+                AccessKind::AtomicRmw => T_ACCESS_RMW,
+            });
+            buf.put_u32_le(tid.0);
+            buf.put_u64_le(addr);
+            buf.put_u8(size);
+            put_loc(buf, loc);
+        }
+        Event::Acquire { tid, sync, kind, mode, loc } => {
+            buf.put_u8(match mode {
+                AcqMode::Exclusive => T_ACQUIRE_EXCL,
+                AcqMode::Shared => T_ACQUIRE_SHARED,
+            });
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            buf.put_u8(sync_kind_code(kind));
+            put_loc(buf, loc);
+        }
+        Event::Release { tid, sync, kind, loc } => {
+            buf.put_u8(T_RELEASE);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            buf.put_u8(sync_kind_code(kind));
+            put_loc(buf, loc);
+        }
+        Event::ThreadCreate { parent, child, loc } => {
+            buf.put_u8(T_CREATE);
+            buf.put_u32_le(parent.0);
+            buf.put_u32_le(child.0);
+            put_loc(buf, loc);
+        }
+        Event::ThreadJoin { joiner, joined, loc } => {
+            buf.put_u8(T_JOIN);
+            buf.put_u32_le(joiner.0);
+            buf.put_u32_le(joined.0);
+            put_loc(buf, loc);
+        }
+        Event::ThreadExit { tid } => {
+            buf.put_u8(T_EXIT);
+            buf.put_u32_le(tid.0);
+        }
+        Event::Alloc { tid, addr, size, loc } => {
+            buf.put_u8(T_ALLOC);
+            buf.put_u32_le(tid.0);
+            buf.put_u64_le(addr);
+            buf.put_u64_le(size);
+            put_loc(buf, loc);
+        }
+        Event::Free { tid, addr, size, loc } => {
+            buf.put_u8(T_FREE);
+            buf.put_u32_le(tid.0);
+            buf.put_u64_le(addr);
+            buf.put_u64_le(size);
+            put_loc(buf, loc);
+        }
+        Event::CondSignal { tid, sync, broadcast, loc } => {
+            buf.put_u8(if broadcast { T_COND_BROADCAST } else { T_COND_SIGNAL });
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            put_loc(buf, loc);
+        }
+        Event::CondWake { tid, sync, signaler, loc } => {
+            buf.put_u8(T_COND_WAKE);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            buf.put_u32_le(signaler.0);
+            put_loc(buf, loc);
+        }
+        Event::SemPost { tid, sync, loc } => {
+            buf.put_u8(T_SEM_POST);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            put_loc(buf, loc);
+        }
+        Event::SemAcquired { tid, sync, loc } => {
+            buf.put_u8(T_SEM_ACQUIRED);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            put_loc(buf, loc);
+        }
+        Event::QueuePut { tid, sync, token, loc } => {
+            buf.put_u8(T_QUEUE_PUT);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            buf.put_u64_le(token);
+            put_loc(buf, loc);
+        }
+        Event::QueueGot { tid, sync, token, loc } => {
+            buf.put_u8(T_QUEUE_GOT);
+            buf.put_u32_le(tid.0);
+            buf.put_u32_le(sync.0);
+            buf.put_u64_le(token);
+            put_loc(buf, loc);
+        }
+        Event::Client { tid, req, loc } => match req {
+            ClientEv::HgDestruct { addr, size } => {
+                buf.put_u8(T_HG_DESTRUCT);
+                buf.put_u32_le(tid.0);
+                buf.put_u64_le(addr);
+                buf.put_u64_le(size);
+                put_loc(buf, loc);
+            }
+            ClientEv::HgCleanMemory { addr, size } => {
+                buf.put_u8(T_HG_CLEAN);
+                buf.put_u32_le(tid.0);
+                buf.put_u64_le(addr);
+                buf.put_u64_le(size);
+                put_loc(buf, loc);
+            }
+            ClientEv::Label(sym) => {
+                buf.put_u8(T_LABEL);
+                buf.put_u32_le(tid.0);
+                buf.put_u32_le(sym.0);
+                put_loc(buf, loc);
+            }
+        },
+    }
+}
+
+fn sync_kind_code(k: SyncKind) -> u8 {
+    match k {
+        SyncKind::Mutex => 0,
+        SyncKind::RwLock => 1,
+        SyncKind::CondVar => 2,
+        SyncKind::Semaphore => 3,
+        SyncKind::Queue => 4,
+    }
+}
+
+fn sync_kind_from(c: u8) -> Result<SyncKind, TraceError> {
+    Ok(match c {
+        0 => SyncKind::Mutex,
+        1 => SyncKind::RwLock,
+        2 => SyncKind::CondVar,
+        3 => SyncKind::Semaphore,
+        4 => SyncKind::Queue,
+        other => return Err(TraceError::BadTag(other)),
+    })
+}
+
+/// Decode one event; `buf` advances past it.
+pub fn decode_event(buf: &mut Bytes) -> Result<Event, TraceError> {
+    need(buf, 1)?;
+    let tag = buf.get_u8();
+    let ev = match tag {
+        T_ACCESS_READ | T_ACCESS_WRITE | T_ACCESS_RMW => {
+            need(buf, 4 + 8 + 1)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let addr = buf.get_u64_le();
+            let size = buf.get_u8();
+            let loc = get_loc(buf)?;
+            let kind = match tag {
+                T_ACCESS_READ => AccessKind::Read,
+                T_ACCESS_WRITE => AccessKind::Write,
+                _ => AccessKind::AtomicRmw,
+            };
+            Event::Access { tid, addr, size, kind, loc }
+        }
+        T_ACQUIRE_EXCL | T_ACQUIRE_SHARED => {
+            need(buf, 4 + 4 + 1)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let kind = sync_kind_from(buf.get_u8())?;
+            let loc = get_loc(buf)?;
+            let mode =
+                if tag == T_ACQUIRE_EXCL { AcqMode::Exclusive } else { AcqMode::Shared };
+            Event::Acquire { tid, sync, kind, mode, loc }
+        }
+        T_RELEASE => {
+            need(buf, 4 + 4 + 1)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let kind = sync_kind_from(buf.get_u8())?;
+            let loc = get_loc(buf)?;
+            Event::Release { tid, sync, kind, loc }
+        }
+        T_CREATE | T_JOIN => {
+            need(buf, 8)?;
+            let a = ThreadId(buf.get_u32_le());
+            let b = ThreadId(buf.get_u32_le());
+            let loc = get_loc(buf)?;
+            if tag == T_CREATE {
+                Event::ThreadCreate { parent: a, child: b, loc }
+            } else {
+                Event::ThreadJoin { joiner: a, joined: b, loc }
+            }
+        }
+        T_EXIT => {
+            need(buf, 4)?;
+            Event::ThreadExit { tid: ThreadId(buf.get_u32_le()) }
+        }
+        T_ALLOC | T_FREE => {
+            need(buf, 4 + 8 + 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let addr = buf.get_u64_le();
+            let size = buf.get_u64_le();
+            let loc = get_loc(buf)?;
+            if tag == T_ALLOC {
+                Event::Alloc { tid, addr, size, loc }
+            } else {
+                Event::Free { tid, addr, size, loc }
+            }
+        }
+        T_COND_SIGNAL | T_COND_BROADCAST => {
+            need(buf, 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let loc = get_loc(buf)?;
+            Event::CondSignal { tid, sync, broadcast: tag == T_COND_BROADCAST, loc }
+        }
+        T_COND_WAKE => {
+            need(buf, 12)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let signaler = ThreadId(buf.get_u32_le());
+            let loc = get_loc(buf)?;
+            Event::CondWake { tid, sync, signaler, loc }
+        }
+        T_SEM_POST | T_SEM_ACQUIRED => {
+            need(buf, 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let loc = get_loc(buf)?;
+            if tag == T_SEM_POST {
+                Event::SemPost { tid, sync, loc }
+            } else {
+                Event::SemAcquired { tid, sync, loc }
+            }
+        }
+        T_QUEUE_PUT | T_QUEUE_GOT => {
+            need(buf, 4 + 4 + 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sync = SyncId(buf.get_u32_le());
+            let token = buf.get_u64_le();
+            let loc = get_loc(buf)?;
+            if tag == T_QUEUE_PUT {
+                Event::QueuePut { tid, sync, token, loc }
+            } else {
+                Event::QueueGot { tid, sync, token, loc }
+            }
+        }
+        T_HG_DESTRUCT | T_HG_CLEAN => {
+            need(buf, 4 + 8 + 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let addr = buf.get_u64_le();
+            let size = buf.get_u64_le();
+            let loc = get_loc(buf)?;
+            let req = if tag == T_HG_DESTRUCT {
+                ClientEv::HgDestruct { addr, size }
+            } else {
+                ClientEv::HgCleanMemory { addr, size }
+            };
+            Event::Client { tid, req, loc }
+        }
+        T_LABEL => {
+            need(buf, 8)?;
+            let tid = ThreadId(buf.get_u32_le());
+            let sym = Symbol(buf.get_u32_le());
+            let loc = get_loc(buf)?;
+            Event::Client { tid, req: ClientEv::Label(sym), loc }
+        }
+        other => return Err(TraceError::BadTag(other)),
+    };
+    Ok(ev)
+}
+
+impl Trace {
+    /// Number of recorded events.
+    pub fn event_count(&self) -> u64 {
+        self.events
+    }
+
+    /// Encoded size in bytes — §2.2's "large amount of data".
+    pub fn bytes_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Average bytes per event.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.buf.len() as f64 / self.events as f64
+        }
+    }
+
+    /// Iterate over the recorded events (post-mortem replay).
+    pub fn iter(&self) -> TraceIter {
+        TraceIter { buf: self.buf.clone() }
+    }
+
+    /// Replay the trace into a consumer; stops on the first decode error.
+    pub fn replay(&self, mut f: impl FnMut(&Event)) -> Result<(), TraceError> {
+        for ev in self.iter() {
+            f(&ev?);
+        }
+        Ok(())
+    }
+}
+
+/// Iterator over a trace.
+pub struct TraceIter {
+    buf: Bytes,
+}
+
+impl Iterator for TraceIter {
+    type Item = Result<Event, TraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.buf.remaining() == 0 {
+            return None;
+        }
+        let r = decode_event(&mut self.buf);
+        if r.is_err() {
+            // Poison: stop after the first error.
+            self.buf = Bytes::new();
+        }
+        Some(r)
+    }
+}
+
+/// A [`Tool`] that records the execution trace for post-mortem analysis.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    buf: BytesMut,
+    events: u64,
+}
+
+impl TraceWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish recording.
+    pub fn finish(self) -> Trace {
+        Trace { buf: self.buf.freeze(), events: self.events }
+    }
+}
+
+impl Tool for TraceWriter {
+    fn on_event(&mut self, ev: &Event, _vm: &VmView<'_>) {
+        encode_event(&mut self.buf, ev);
+        self.events += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::builder::{ProcBuilder, ProgramBuilder};
+    use crate::sched::RoundRobin;
+    use crate::tool::RecordingTool;
+    use crate::vm::run_program;
+
+    fn sample_events() -> Vec<Event> {
+        let l = SrcLoc { file: Symbol(3), line: 42, func: Symbol(4) };
+        vec![
+            Event::Access { tid: ThreadId(1), addr: 0x1000, size: 8, kind: AccessKind::Read, loc: l },
+            Event::Access { tid: ThreadId(2), addr: 0x1008, size: 4, kind: AccessKind::Write, loc: l },
+            Event::Access { tid: ThreadId(2), addr: 0x1008, size: 8, kind: AccessKind::AtomicRmw, loc: l },
+            Event::Acquire { tid: ThreadId(1), sync: SyncId(0), kind: SyncKind::Mutex, mode: AcqMode::Exclusive, loc: l },
+            Event::Acquire { tid: ThreadId(1), sync: SyncId(1), kind: SyncKind::RwLock, mode: AcqMode::Shared, loc: l },
+            Event::Release { tid: ThreadId(1), sync: SyncId(0), kind: SyncKind::Mutex, loc: l },
+            Event::ThreadCreate { parent: ThreadId(0), child: ThreadId(1), loc: l },
+            Event::ThreadJoin { joiner: ThreadId(0), joined: ThreadId(1), loc: l },
+            Event::ThreadExit { tid: ThreadId(1) },
+            Event::Alloc { tid: ThreadId(0), addr: 0x2000, size: 64, loc: l },
+            Event::Free { tid: ThreadId(0), addr: 0x2000, size: 64, loc: l },
+            Event::CondSignal { tid: ThreadId(0), sync: SyncId(2), broadcast: false, loc: l },
+            Event::CondSignal { tid: ThreadId(0), sync: SyncId(2), broadcast: true, loc: l },
+            Event::CondWake { tid: ThreadId(1), sync: SyncId(2), signaler: ThreadId(0), loc: l },
+            Event::SemPost { tid: ThreadId(0), sync: SyncId(3), loc: l },
+            Event::SemAcquired { tid: ThreadId(1), sync: SyncId(3), loc: l },
+            Event::QueuePut { tid: ThreadId(0), sync: SyncId(4), token: 99, loc: l },
+            Event::QueueGot { tid: ThreadId(1), sync: SyncId(4), token: 99, loc: l },
+            Event::Client { tid: ThreadId(1), req: ClientEv::HgDestruct { addr: 0x2000, size: 16 }, loc: l },
+            Event::Client { tid: ThreadId(1), req: ClientEv::HgCleanMemory { addr: 0x2000, size: 16 }, loc: l },
+            Event::Client { tid: ThreadId(1), req: ClientEv::Label(Symbol(9)), loc: l },
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_every_variant() {
+        for ev in sample_events() {
+            let mut buf = BytesMut::new();
+            encode_event(&mut buf, &ev);
+            let mut bytes = buf.freeze();
+            let back = decode_event(&mut bytes).unwrap();
+            assert_eq!(back, ev);
+            assert_eq!(bytes.remaining(), 0, "no trailing bytes for {ev:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_trace_reports_error() {
+        let mut buf = BytesMut::new();
+        encode_event(&mut buf, &sample_events()[0]);
+        let full = buf.freeze();
+        for cut in 1..full.len() {
+            let mut partial = full.slice(..cut);
+            assert!(
+                decode_event(&mut partial).is_err() || partial.remaining() == 0,
+                "cut at {cut} must not decode garbage"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_rejected() {
+        let mut b = Bytes::from_static(&[0xFF, 0, 0, 0]);
+        assert_eq!(decode_event(&mut b), Err(TraceError::BadTag(0xFF)));
+    }
+
+    #[test]
+    fn recorded_trace_replays_identically() {
+        // Run a small program twice: once recording events directly, once
+        // through the trace writer; the replayed trace must equal the
+        // direct recording.
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("x", 8);
+        let loc = pb.loc("t.cpp", 1, "worker");
+        let mut w = ProcBuilder::new(0);
+        w.at(loc);
+        let v = w.load_new(g, 8);
+        w.store(g, crate::ir::Expr::Reg(v).add(1u64.into()), 8);
+        let worker = pb.add_proc("worker", w);
+        let mut m = ProcBuilder::new(0);
+        m.at(pb.loc("t.cpp", 9, "main"));
+        let h1 = m.spawn(worker, vec![]);
+        let h2 = m.spawn(worker, vec![]);
+        m.join(h1);
+        m.join(h2);
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        let prog = pb.finish();
+
+        let mut direct = RecordingTool::new();
+        run_program(&prog, &mut direct, &mut RoundRobin::new()).expect_clean();
+
+        let mut writer = TraceWriter::new();
+        run_program(&prog, &mut writer, &mut RoundRobin::new()).expect_clean();
+        let trace = writer.finish();
+
+        assert_eq!(trace.event_count() as usize, direct.events.len());
+        let replayed: Vec<Event> = trace.iter().map(|e| e.unwrap()).collect();
+        assert_eq!(replayed, direct.events);
+        assert!(trace.bytes_per_event() > 0.0);
+    }
+}

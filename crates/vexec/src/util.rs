@@ -1,0 +1,178 @@
+//! Small shared utilities: a fast non-cryptographic hasher for dense integer
+//! keys (the per-access hot path of every detector), and a string interner
+//! used for source locations and symbol names.
+//!
+//! The hasher is the well-known `FxHash` mixing function (as used by rustc);
+//! it is reimplemented here in ~20 lines rather than pulling in an extra
+//! dependency, per the workspace's restricted dependency policy.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `FxHash`-style hasher: multiply-and-rotate mixing, very fast for small
+/// integer-like keys. Not HashDoS resistant; all keys in this workspace are
+/// program-internal dense ids, never attacker-controlled.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, i: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ i).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Interned string handle. Cheap to copy and compare; resolved back to text
+/// through the [`Interner`] that produced it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The empty string, pre-interned in every [`Interner`].
+    pub const EMPTY: Symbol = Symbol(0);
+}
+
+/// Append-only string interner. Index 0 is always the empty string.
+#[derive(Debug, Clone)]
+pub struct Interner {
+    strings: Vec<Box<str>>,
+    lookup: FxHashMap<Box<str>, u32>,
+}
+
+impl Default for Interner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        let mut i = Interner {
+            strings: Vec::new(),
+            lookup: FxHashMap::default(),
+        };
+        i.intern("");
+        i
+    }
+
+    /// Intern a string, returning a stable [`Symbol`].
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&id) = self.lookup.get(s) {
+            return Symbol(id);
+        }
+        let id = self.strings.len() as u32;
+        let boxed: Box<str> = s.into();
+        self.strings.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        Symbol(id)
+    }
+
+    /// Resolve a symbol back to its text. Panics on a foreign symbol.
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.0 as usize]
+    }
+
+    /// Number of interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        // Never empty: the empty string is pre-interned.
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interner_roundtrip() {
+        let mut i = Interner::new();
+        let a = i.intern("hello");
+        let b = i.intern("world");
+        let a2 = i.intern("hello");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(a), "hello");
+        assert_eq!(i.resolve(b), "world");
+    }
+
+    #[test]
+    fn interner_empty_is_symbol_zero() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern(""), Symbol::EMPTY);
+        assert_eq!(i.resolve(Symbol::EMPTY), "");
+    }
+
+    #[test]
+    fn fxhash_map_works() {
+        let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, k * 3);
+        }
+        for k in 0..1000u64 {
+            assert_eq!(m[&k], k * 3);
+        }
+    }
+
+    #[test]
+    fn fxhash_distinguishes_close_keys() {
+        use std::hash::{BuildHasher, BuildHasherDefault};
+        let bh: BuildHasherDefault<FxHasher> = Default::default();
+        let h1 = bh.hash_one(1u64);
+        let h2 = bh.hash_one(2u64);
+        assert_ne!(h1, h2);
+    }
+}

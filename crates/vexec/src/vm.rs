@@ -1,0 +1,973 @@
+//! The virtual machine: serialises guest threads under a [`Scheduler`],
+//! interprets the flat bytecode, maintains guest memory and sync objects,
+//! and streams [`Event`]s to the attached [`Tool`].
+//!
+//! Execution model: one *slot* = one scheduler decision. The chosen thread
+//! executes opcodes until it (a) emits at least one observable event,
+//! (b) blocks, (c) exits, or (d) yields. Silent opcodes (register
+//! arithmetic, jumps, calls) are bounded per slot so a buggy guest cannot
+//! spin silently forever.
+//!
+//! The VM is deterministic given `(program, scheduler, options)` — the
+//! property the whole experiment suite relies on.
+
+use crate::event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
+use crate::heap::{Block, Heap, MemError};
+use crate::ir::lower::{FlatProgram, Op};
+use crate::ir::{ClientOp, Cond, Expr, ProcId, RegId, SrcLoc, SyncKind, SyncOp};
+use crate::sched::Scheduler;
+use crate::sync::{SyncError, SyncObj};
+use crate::tool::Tool;
+use crate::util::{Interner, Symbol};
+
+/// VM tuning knobs.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Maximum scheduler slots before the run is aborted.
+    pub max_slots: u64,
+    /// Maximum silent opcodes per slot (guards against silent spin loops).
+    pub silent_op_budget: u32,
+    /// Maximum call depth per thread.
+    pub max_frames: usize,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        VmOptions {
+            max_slots: 50_000_000,
+            silent_op_budget: 1_000_000,
+            max_frames: 256,
+        }
+    }
+}
+
+/// A guest-level error that aborts the run.
+#[derive(Clone, Debug)]
+pub struct GuestError {
+    pub tid: ThreadId,
+    pub loc: SrcLoc,
+    pub kind: GuestErrorKind,
+}
+
+#[derive(Clone, Debug)]
+pub enum GuestErrorKind {
+    Mem(MemError),
+    Sync(SyncError),
+    AssertFailed { msg: String, left: u64, right: u64 },
+    BadJoin { handle: u64 },
+    BadSyncHandle { handle: u64 },
+    StackOverflow,
+    SilentLoop,
+}
+
+impl std::fmt::Display for GuestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "guest error in thread {}: ", self.tid.0)?;
+        match &self.kind {
+            GuestErrorKind::Mem(e) => write!(f, "{e}"),
+            GuestErrorKind::Sync(e) => write!(f, "{e}"),
+            GuestErrorKind::AssertFailed { msg, left, right } => {
+                write!(f, "assertion failed: {msg} (left={left}, right={right})")
+            }
+            GuestErrorKind::BadJoin { handle } => write!(f, "join of invalid handle {handle}"),
+            GuestErrorKind::BadSyncHandle { handle } => {
+                write!(f, "invalid sync handle {handle}")
+            }
+            GuestErrorKind::StackOverflow => write!(f, "guest stack overflow"),
+            GuestErrorKind::SilentLoop => write!(f, "silent-op budget exhausted (spin loop?)"),
+        }
+    }
+}
+
+/// Why a thread is parked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockOn {
+    Mutex(SyncId),
+    RwRead(SyncId),
+    RwWrite(SyncId),
+    /// Parked on a condvar, waiting for a signal.
+    Cond(SyncId),
+    Sem(SyncId),
+    QueuePut(SyncId),
+    QueueGet(SyncId),
+    Join(ThreadId),
+}
+
+/// Description of one blocked thread at deadlock time.
+#[derive(Clone, Debug)]
+pub struct WaitInfo {
+    pub tid: ThreadId,
+    pub on: BlockOn,
+    /// Threads that currently hold whatever `tid` is waiting for (empty for
+    /// condvars/semaphores/queues, where any thread could unblock it).
+    pub holders: Vec<ThreadId>,
+    pub loc: SrcLoc,
+}
+
+/// How the run ended.
+#[derive(Clone, Debug)]
+pub enum Termination {
+    /// Every thread ran to completion.
+    AllExited,
+    /// No runnable threads, but blocked ones remain.
+    Deadlock(Vec<WaitInfo>),
+    /// The guest performed an illegal operation.
+    GuestError(GuestError),
+    /// `max_slots` exceeded.
+    FuelExhausted,
+}
+
+impl Termination {
+    pub fn is_clean(&self) -> bool {
+        matches!(self, Termination::AllExited)
+    }
+}
+
+/// Execution statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    pub slots: u64,
+    pub events: u64,
+    pub ops: u64,
+    pub threads_created: u32,
+    pub allocs: u64,
+}
+
+/// Result of a run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    pub termination: Termination,
+    pub stats: RunStats,
+}
+
+impl RunResult {
+    /// Panic (with the termination) unless the run completed cleanly.
+    /// Convenience for tests and examples.
+    pub fn expect_clean(&self) -> &Self {
+        assert!(
+            self.termination.is_clean(),
+            "run did not complete cleanly: {:?}",
+            self.termination
+        );
+        self
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Frame {
+    proc: ProcId,
+    pc: u32,
+    regs: Vec<u64>,
+    ret_dst: Option<RegId>,
+    cur_loc: SrcLoc,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ThreadState {
+    Runnable,
+    Blocked(BlockOn),
+    Exited,
+}
+
+#[derive(Clone, Debug)]
+struct Thread {
+    frames: Vec<Frame>,
+    state: ThreadState,
+    /// Set when this thread was signalled out of a `cond_wait` and now must
+    /// re-acquire the mutex: `(condvar, mutex, signaler)`.
+    cond_resume: Option<(SyncId, SyncId, ThreadId)>,
+}
+
+/// One step's outcome inside a slot.
+enum Flow {
+    /// Keep executing (silent op).
+    Silent,
+    /// Emitted event(s); end the slot.
+    Emitted,
+    /// Thread blocked; end the slot.
+    Blocked,
+    /// Thread exited; end the slot.
+    Exited,
+    /// Voluntary yield; end the slot.
+    Yielded,
+}
+
+/// Read-only view of the VM handed to tools alongside each event.
+pub struct VmView<'a> {
+    vm: &'a Vm<'a>,
+}
+
+/// One stack frame in a tool-visible backtrace (innermost first).
+#[derive(Clone, Copy, Debug)]
+pub struct FrameInfo {
+    pub func: Symbol,
+    pub loc: SrcLoc,
+}
+
+impl<'a> VmView<'a> {
+    pub fn interner(&self) -> &Interner {
+        &self.vm.prog.interner
+    }
+
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        self.vm.prog.interner.resolve(sym)
+    }
+
+    /// Backtrace of `tid`, innermost frame first. Frame function names come
+    /// from the source location (debug info), falling back to the
+    /// procedure name when a frame has not yet executed a located op.
+    pub fn stack(&self, tid: ThreadId) -> Vec<FrameInfo> {
+        let t = &self.vm.threads[tid.index()];
+        t.frames
+            .iter()
+            .rev()
+            .map(|f| FrameInfo {
+                func: if f.cur_loc.func != Symbol::EMPTY {
+                    f.cur_loc.func
+                } else {
+                    self.vm.prog.procs[f.proc.0 as usize].name
+                },
+                loc: f.cur_loc,
+            })
+            .collect()
+    }
+
+    /// Allocation block containing `addr`, if any.
+    pub fn block_info(&self, addr: u64) -> Option<Block> {
+        self.vm.heap.block_containing(addr).copied()
+    }
+
+    /// Number of threads ever created.
+    pub fn thread_count(&self) -> u32 {
+        self.vm.threads.len() as u32
+    }
+
+    /// Current slot number.
+    pub fn slot(&self) -> u64 {
+        self.vm.stats.slots
+    }
+
+    pub fn sync_kind(&self, sync: SyncId) -> Option<SyncKind> {
+        self.vm.syncs.get(sync.index()).map(|s| s.kind)
+    }
+}
+
+/// The virtual machine.
+pub struct Vm<'p> {
+    prog: &'p FlatProgram,
+    opts: VmOptions,
+    heap: Heap,
+    global_addrs: Vec<u64>,
+    threads: Vec<Thread>,
+    syncs: Vec<SyncObj>,
+    pending: Vec<Event>,
+    stats: RunStats,
+}
+
+impl<'p> Vm<'p> {
+    pub fn new(prog: &'p FlatProgram, opts: VmOptions) -> Self {
+        let mut heap = Heap::new();
+        let global_addrs = prog
+            .globals
+            .iter()
+            .map(|g| heap.alloc(g.size, ThreadId::MAIN, SrcLoc::UNKNOWN))
+            .collect();
+        let entry = prog.entry;
+        let main = Thread {
+            frames: vec![Frame {
+                proc: entry,
+                pc: 0,
+                regs: vec![0; prog.procs[entry.0 as usize].nregs as usize],
+                ret_dst: None,
+                cur_loc: SrcLoc::UNKNOWN,
+            }],
+            state: ThreadState::Runnable,
+            cond_resume: None,
+        };
+        Vm {
+            prog,
+            opts,
+            heap,
+            global_addrs,
+            threads: vec![main],
+            syncs: Vec::new(),
+            pending: Vec::new(),
+            stats: RunStats { threads_created: 1, ..Default::default() },
+        }
+    }
+
+    /// Run to termination, streaming events to `tool`.
+    pub fn run(mut self, tool: &mut dyn Tool, sched: &mut dyn Scheduler) -> RunResult {
+        let mut runnable: Vec<ThreadId> = Vec::new();
+        let mut scratch: Vec<Event> = Vec::new();
+        let termination = loop {
+            runnable.clear();
+            let mut any_alive = false;
+            for (i, t) in self.threads.iter().enumerate() {
+                match t.state {
+                    ThreadState::Runnable => {
+                        runnable.push(ThreadId(i as u32));
+                        any_alive = true;
+                    }
+                    ThreadState::Blocked(_) => any_alive = true,
+                    ThreadState::Exited => {}
+                }
+            }
+            if !any_alive {
+                break Termination::AllExited;
+            }
+            if runnable.is_empty() {
+                break Termination::Deadlock(self.wait_infos());
+            }
+            if self.stats.slots >= self.opts.max_slots {
+                break Termination::FuelExhausted;
+            }
+            let idx = sched.pick(&runnable, self.stats.slots);
+            let tid = runnable[idx];
+            self.stats.slots += 1;
+            if let Err(e) = self.run_slot(tid) {
+                // Deliver any events produced before the fault.
+                self.drain(tool, &mut scratch);
+                break Termination::GuestError(e);
+            }
+            self.drain(tool, &mut scratch);
+        };
+        tool.on_finish(&VmView { vm: &self });
+        RunResult { termination, stats: self.stats }
+    }
+
+    fn drain(&mut self, tool: &mut dyn Tool, scratch: &mut Vec<Event>) {
+        if self.pending.is_empty() {
+            return;
+        }
+        scratch.clear();
+        std::mem::swap(&mut self.pending, scratch);
+        self.stats.events += scratch.len() as u64;
+        let view = VmView { vm: self };
+        for ev in scratch.iter() {
+            tool.on_event(ev, &view);
+        }
+    }
+
+    fn wait_infos(&self) -> Vec<WaitInfo> {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.state {
+                ThreadState::Blocked(on) => {
+                    let holders = match on {
+                        BlockOn::Mutex(s) => {
+                            self.syncs[s.index()].mutex_owner().into_iter().collect()
+                        }
+                        BlockOn::RwRead(s) | BlockOn::RwWrite(s) => {
+                            self.syncs[s.index()].rw_holders()
+                        }
+                        BlockOn::Join(t2) => vec![t2],
+                        _ => Vec::new(),
+                    };
+                    let loc = t.frames.last().map(|f| f.cur_loc).unwrap_or(SrcLoc::UNKNOWN);
+                    Some(WaitInfo { tid: ThreadId(i as u32), on, holders, loc })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Run one scheduling slot for `tid`.
+    fn run_slot(&mut self, tid: ThreadId) -> Result<(), GuestError> {
+        let mut silent: u32 = 0;
+        loop {
+            match self.exec_op(tid)? {
+                Flow::Silent => {
+                    silent += 1;
+                    if silent > self.opts.silent_op_budget {
+                        return Err(self.err(tid, GuestErrorKind::SilentLoop));
+                    }
+                }
+                Flow::Emitted | Flow::Blocked | Flow::Exited | Flow::Yielded => return Ok(()),
+            }
+        }
+    }
+
+    fn err(&self, tid: ThreadId, kind: GuestErrorKind) -> GuestError {
+        let loc = self.threads[tid.index()]
+            .frames
+            .last()
+            .map(|f| f.cur_loc)
+            .unwrap_or(SrcLoc::UNKNOWN);
+        GuestError { tid, loc, kind }
+    }
+
+    fn err_at(&self, tid: ThreadId, loc: SrcLoc, kind: GuestErrorKind) -> GuestError {
+        GuestError { tid, loc, kind }
+    }
+
+    #[inline]
+    fn frame(&self, tid: ThreadId) -> &Frame {
+        self.threads[tid.index()].frames.last().expect("running thread has a frame")
+    }
+
+    #[inline]
+    fn frame_mut(&mut self, tid: ThreadId) -> &mut Frame {
+        self.threads[tid.index()].frames.last_mut().expect("running thread has a frame")
+    }
+
+    fn eval(&self, tid: ThreadId, e: &Expr) -> u64 {
+        eval_expr(e, &self.frame(tid).regs, &self.global_addrs)
+    }
+
+    fn eval_cond(&self, tid: ThreadId, c: &Cond) -> bool {
+        let f = self.frame(tid);
+        eval_cond(c, &f.regs, &self.global_addrs)
+    }
+
+    fn set_reg(&mut self, tid: ThreadId, r: RegId, v: u64) {
+        self.frame_mut(tid).regs[r.0 as usize] = v;
+    }
+
+    fn advance(&mut self, tid: ThreadId) {
+        self.frame_mut(tid).pc += 1;
+    }
+
+    fn set_loc(&mut self, tid: ThreadId, loc: SrcLoc) {
+        self.frame_mut(tid).cur_loc = loc;
+    }
+
+    fn sync_obj(&mut self, tid: ThreadId, handle: u64, loc: SrcLoc) -> Result<(SyncId, &mut SyncObj), GuestError> {
+        let idx = handle as usize;
+        if idx >= self.syncs.len() {
+            return Err(self.err_at(tid, loc, GuestErrorKind::BadSyncHandle { handle }));
+        }
+        Ok((SyncId(handle as u32), &mut self.syncs[idx]))
+    }
+
+    /// Execute exactly one opcode of `tid`.
+    fn exec_op(&mut self, tid: ThreadId) -> Result<Flow, GuestError> {
+        self.stats.ops += 1;
+        let prog = self.prog;
+        let (proc, pc) = {
+            let f = self.frame(tid);
+            (f.proc, f.pc)
+        };
+        let op: &'p Op = &prog.procs[proc.0 as usize].code[pc as usize];
+        match op {
+            Op::Assign { dst, value } => {
+                let v = self.eval(tid, value);
+                self.set_reg(tid, *dst, v);
+                self.advance(tid);
+                Ok(Flow::Silent)
+            }
+            Op::Jump(t) => {
+                self.frame_mut(tid).pc = *t;
+                Ok(Flow::Silent)
+            }
+            Op::BranchIfFalse { cond, target } => {
+                if self.eval_cond(tid, cond) {
+                    self.advance(tid);
+                } else {
+                    self.frame_mut(tid).pc = *target;
+                }
+                Ok(Flow::Silent)
+            }
+            Op::Load { dst, addr, size, loc } => {
+                self.set_loc(tid, *loc);
+                let a = self.eval(tid, addr);
+                let v = self
+                    .heap
+                    .read(a, *size)
+                    .map_err(|e| self.err_at(tid, *loc, GuestErrorKind::Mem(e)))?;
+                self.set_reg(tid, *dst, v);
+                self.advance(tid);
+                self.pending.push(Event::Access {
+                    tid,
+                    addr: a,
+                    size: *size,
+                    kind: AccessKind::Read,
+                    loc: *loc,
+                });
+                Ok(Flow::Emitted)
+            }
+            Op::Store { addr, value, size, loc } => {
+                self.set_loc(tid, *loc);
+                let a = self.eval(tid, addr);
+                let v = self.eval(tid, value);
+                self.heap
+                    .write(a, *size, v)
+                    .map_err(|e| self.err_at(tid, *loc, GuestErrorKind::Mem(e)))?;
+                self.advance(tid);
+                self.pending.push(Event::Access {
+                    tid,
+                    addr: a,
+                    size: *size,
+                    kind: AccessKind::Write,
+                    loc: *loc,
+                });
+                Ok(Flow::Emitted)
+            }
+            Op::AtomicRmw { dst, addr, delta, size, loc } => {
+                self.set_loc(tid, *loc);
+                let a = self.eval(tid, addr);
+                let d = self.eval(tid, delta);
+                let old = self
+                    .heap
+                    .read(a, *size)
+                    .map_err(|e| self.err_at(tid, *loc, GuestErrorKind::Mem(e)))?;
+                self.heap
+                    .write(a, *size, old.wrapping_add(d))
+                    .map_err(|e| self.err_at(tid, *loc, GuestErrorKind::Mem(e)))?;
+                if let Some(dst) = dst {
+                    self.set_reg(tid, *dst, old);
+                }
+                self.advance(tid);
+                self.pending.push(Event::Access {
+                    tid,
+                    addr: a,
+                    size: *size,
+                    kind: AccessKind::AtomicRmw,
+                    loc: *loc,
+                });
+                Ok(Flow::Emitted)
+            }
+            Op::Call { proc: callee, args, dst, loc } => {
+                self.set_loc(tid, *loc);
+                if self.threads[tid.index()].frames.len() >= self.opts.max_frames {
+                    return Err(self.err_at(tid, *loc, GuestErrorKind::StackOverflow));
+                }
+                let callee_info = &prog.procs[callee.0 as usize];
+                let mut regs = vec![0u64; callee_info.nregs as usize];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = self.eval(tid, a);
+                }
+                // Return resumes after this op.
+                self.advance(tid);
+                self.threads[tid.index()].frames.push(Frame {
+                    proc: *callee,
+                    pc: 0,
+                    regs,
+                    ret_dst: *dst,
+                    cur_loc: *loc,
+                });
+                Ok(Flow::Silent)
+            }
+            Op::Ret { value } => {
+                let v = value.as_ref().map(|e| self.eval(tid, e)).unwrap_or(0);
+                let frame = self.threads[tid.index()].frames.pop().expect("ret with frame");
+                if self.threads[tid.index()].frames.is_empty() {
+                    self.threads[tid.index()].state = ThreadState::Exited;
+                    self.pending.push(Event::ThreadExit { tid });
+                    self.wake_joiners(tid);
+                    Ok(Flow::Exited)
+                } else {
+                    if let Some(dst) = frame.ret_dst {
+                        self.set_reg(tid, dst, v);
+                    }
+                    Ok(Flow::Silent)
+                }
+            }
+            Op::Spawn { proc: child_proc, args, dst, loc } => {
+                self.set_loc(tid, *loc);
+                let callee_info = &prog.procs[child_proc.0 as usize];
+                let mut regs = vec![0u64; callee_info.nregs as usize];
+                for (i, a) in args.iter().enumerate() {
+                    regs[i] = self.eval(tid, a);
+                }
+                let child = ThreadId(self.threads.len() as u32);
+                self.threads.push(Thread {
+                    frames: vec![Frame {
+                        proc: *child_proc,
+                        pc: 0,
+                        regs,
+                        ret_dst: None,
+                        cur_loc: *loc,
+                    }],
+                    state: ThreadState::Runnable,
+                    cond_resume: None,
+                });
+                self.stats.threads_created += 1;
+                self.set_reg(tid, *dst, child.0 as u64);
+                self.advance(tid);
+                self.pending.push(Event::ThreadCreate { parent: tid, child, loc: *loc });
+                Ok(Flow::Emitted)
+            }
+            Op::Join { handle, loc } => {
+                self.set_loc(tid, *loc);
+                let h = self.eval(tid, handle);
+                let target = ThreadId(h as u32);
+                if h >= self.threads.len() as u64 || target == tid {
+                    return Err(self.err_at(tid, *loc, GuestErrorKind::BadJoin { handle: h }));
+                }
+                if self.threads[target.index()].state == ThreadState::Exited {
+                    self.advance(tid);
+                    self.pending.push(Event::ThreadJoin { joiner: tid, joined: target, loc: *loc });
+                    Ok(Flow::Emitted)
+                } else {
+                    self.threads[tid.index()].state = ThreadState::Blocked(BlockOn::Join(target));
+                    Ok(Flow::Blocked)
+                }
+            }
+            Op::NewSync { dst, kind, init } => {
+                let init_v = self.eval(tid, init);
+                let id = self.syncs.len() as u64;
+                self.syncs.push(SyncObj::new(*kind, init_v));
+                self.set_reg(tid, *dst, id);
+                self.advance(tid);
+                Ok(Flow::Silent)
+            }
+            Op::Sync { op, loc } => {
+                self.set_loc(tid, *loc);
+                self.exec_sync(tid, op, *loc)
+            }
+            Op::Alloc { dst, size, loc } => {
+                self.set_loc(tid, *loc);
+                let sz = self.eval(tid, size);
+                let addr = self.heap.alloc(sz, tid, *loc);
+                self.stats.allocs += 1;
+                self.set_reg(tid, *dst, addr);
+                self.advance(tid);
+                self.pending.push(Event::Alloc { tid, addr, size: sz.max(1), loc: *loc });
+                Ok(Flow::Emitted)
+            }
+            Op::Free { addr, loc } => {
+                self.set_loc(tid, *loc);
+                let a = self.eval(tid, addr);
+                let blk = self
+                    .heap
+                    .free(a)
+                    .map_err(|e| self.err_at(tid, *loc, GuestErrorKind::Mem(e)))?;
+                self.advance(tid);
+                self.pending.push(Event::Free { tid, addr: a, size: blk.size, loc: *loc });
+                Ok(Flow::Emitted)
+            }
+            Op::Client { req, loc } => {
+                self.set_loc(tid, *loc);
+                let ev = match req {
+                    ClientOp::HgDestruct { addr, size } => ClientEv::HgDestruct {
+                        addr: self.eval(tid, addr),
+                        size: self.eval(tid, size),
+                    },
+                    ClientOp::HgCleanMemory { addr, size } => ClientEv::HgCleanMemory {
+                        addr: self.eval(tid, addr),
+                        size: self.eval(tid, size),
+                    },
+                    ClientOp::Label(sym) => ClientEv::Label(*sym),
+                };
+                self.advance(tid);
+                self.pending.push(Event::Client { tid, req: ev, loc: *loc });
+                Ok(Flow::Emitted)
+            }
+            Op::Yield => {
+                self.advance(tid);
+                Ok(Flow::Yielded)
+            }
+            Op::AssertEq { a, b, msg } => {
+                let va = self.eval(tid, a);
+                let vb = self.eval(tid, b);
+                if va != vb {
+                    let loc = self.frame(tid).cur_loc;
+                    return Err(self.err_at(
+                        tid,
+                        loc,
+                        GuestErrorKind::AssertFailed { msg: msg.clone(), left: va, right: vb },
+                    ));
+                }
+                self.advance(tid);
+                Ok(Flow::Silent)
+            }
+        }
+    }
+
+    fn exec_sync(&mut self, tid: ThreadId, op: &SyncOp, loc: SrcLoc) -> Result<Flow, GuestError> {
+        match op {
+            SyncOp::MutexLock(m) => {
+                let h = self.eval(tid, m);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.mutex_lock(tid) {
+                    Ok(true) => {
+                        self.advance(tid);
+                        self.pending.push(Event::Acquire {
+                            tid,
+                            sync: sid,
+                            kind: SyncKind::Mutex,
+                            mode: AcqMode::Exclusive,
+                            loc,
+                        });
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(false) => {
+                        self.threads[tid.index()].state =
+                            ThreadState::Blocked(BlockOn::Mutex(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+            SyncOp::MutexUnlock(m) => {
+                let h = self.eval(tid, m);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                obj.mutex_unlock(tid)
+                    .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                self.advance(tid);
+                self.pending.push(Event::Release { tid, sync: sid, kind: SyncKind::Mutex, loc });
+                self.wake_blocked_on(|b| matches!(b, BlockOn::Mutex(s) if *s == sid));
+                Ok(Flow::Emitted)
+            }
+            SyncOp::RwLockRead(m) => {
+                let h = self.eval(tid, m);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.rw_lock_read(tid) {
+                    Ok(true) => {
+                        self.advance(tid);
+                        self.pending.push(Event::Acquire {
+                            tid,
+                            sync: sid,
+                            kind: SyncKind::RwLock,
+                            mode: AcqMode::Shared,
+                            loc,
+                        });
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(false) => {
+                        self.threads[tid.index()].state =
+                            ThreadState::Blocked(BlockOn::RwRead(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+            SyncOp::RwLockWrite(m) => {
+                let h = self.eval(tid, m);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.rw_lock_write(tid) {
+                    Ok(true) => {
+                        self.advance(tid);
+                        self.pending.push(Event::Acquire {
+                            tid,
+                            sync: sid,
+                            kind: SyncKind::RwLock,
+                            mode: AcqMode::Exclusive,
+                            loc,
+                        });
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(false) => {
+                        self.threads[tid.index()].state =
+                            ThreadState::Blocked(BlockOn::RwWrite(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+            SyncOp::RwUnlock(m) => {
+                let h = self.eval(tid, m);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                obj.rw_unlock(tid)
+                    .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                self.advance(tid);
+                self.pending.push(Event::Release { tid, sync: sid, kind: SyncKind::RwLock, loc });
+                self.wake_blocked_on(
+                    |b| matches!(b, BlockOn::RwRead(s) | BlockOn::RwWrite(s) if *s == sid),
+                );
+                Ok(Flow::Emitted)
+            }
+            SyncOp::CondWait { cond, mutex } => {
+                let ch = self.eval(tid, cond);
+                let mh = self.eval(tid, mutex);
+                if let Some((cv, m, signaler)) = self.threads[tid.index()].cond_resume {
+                    // Phase 2: woken by a signal; re-acquire the mutex.
+                    let (msid, mobj) = self.sync_obj(tid, m.0 as u64, loc)?;
+                    debug_assert_eq!(msid, m);
+                    match mobj.mutex_lock(tid) {
+                        Ok(true) => {
+                            self.threads[tid.index()].cond_resume = None;
+                            self.advance(tid);
+                            self.pending.push(Event::CondWake { tid, sync: cv, signaler, loc });
+                            self.pending.push(Event::Acquire {
+                                tid,
+                                sync: m,
+                                kind: SyncKind::Mutex,
+                                mode: AcqMode::Exclusive,
+                                loc,
+                            });
+                            Ok(Flow::Emitted)
+                        }
+                        Ok(false) => {
+                            self.threads[tid.index()].state =
+                                ThreadState::Blocked(BlockOn::Mutex(m));
+                            Ok(Flow::Blocked)
+                        }
+                        Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                    }
+                } else {
+                    // Phase 1: release the mutex and park on the condvar.
+                    let (msid, mobj) = self.sync_obj(tid, mh, loc)?;
+                    mobj.mutex_unlock(tid)
+                        .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                    let (csid, cobj) = self.sync_obj(tid, ch, loc)?;
+                    cobj.cond_park(tid)
+                        .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                    self.threads[tid.index()].state = ThreadState::Blocked(BlockOn::Cond(csid));
+                    self.pending.push(Event::Release {
+                        tid,
+                        sync: msid,
+                        kind: SyncKind::Mutex,
+                        loc,
+                    });
+                    self.wake_blocked_on(|b| matches!(b, BlockOn::Mutex(s) if *s == msid));
+                    Ok(Flow::Blocked)
+                }
+            }
+            SyncOp::CondSignal(c) | SyncOp::CondBroadcast(c) => {
+                let broadcast = matches!(op, SyncOp::CondBroadcast(_));
+                let ch = self.eval(tid, c);
+                let (csid, cobj) = self.sync_obj(tid, ch, loc)?;
+                let woken = cobj
+                    .cond_take_waiters(broadcast)
+                    .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                for w in woken {
+                    // The waiter re-executes its CondWait in phase 2. It
+                    // needs the mutex handle, which it stored in its own
+                    // frame; recover it by re-evaluating its current op.
+                    let m = self.cond_wait_mutex_of(w);
+                    self.threads[w.index()].cond_resume = Some((csid, m, tid));
+                    self.threads[w.index()].state = ThreadState::Runnable;
+                }
+                self.advance(tid);
+                self.pending.push(Event::CondSignal { tid, sync: csid, broadcast, loc });
+                Ok(Flow::Emitted)
+            }
+            SyncOp::SemWait(s) => {
+                let h = self.eval(tid, s);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.sem_try_wait() {
+                    Ok(true) => {
+                        self.advance(tid);
+                        self.pending.push(Event::SemAcquired { tid, sync: sid, loc });
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(false) => {
+                        self.threads[tid.index()].state = ThreadState::Blocked(BlockOn::Sem(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+            SyncOp::SemPost(s) => {
+                let h = self.eval(tid, s);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                obj.sem_post().map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                self.advance(tid);
+                self.pending.push(Event::SemPost { tid, sync: sid, loc });
+                self.wake_blocked_on(|b| matches!(b, BlockOn::Sem(s2) if *s2 == sid));
+                Ok(Flow::Emitted)
+            }
+            SyncOp::QueuePut { queue, value } => {
+                let h = self.eval(tid, queue);
+                let v = self.eval(tid, value);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.queue_try_put(v) {
+                    Ok(Some(token)) => {
+                        self.advance(tid);
+                        self.pending.push(Event::QueuePut { tid, sync: sid, token, loc });
+                        self.wake_blocked_on(|b| matches!(b, BlockOn::QueueGet(s2) if *s2 == sid));
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(None) => {
+                        self.threads[tid.index()].state =
+                            ThreadState::Blocked(BlockOn::QueuePut(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+            SyncOp::QueueGet { queue, dst } => {
+                let h = self.eval(tid, queue);
+                let (sid, obj) = self.sync_obj(tid, h, loc)?;
+                match obj.queue_try_get() {
+                    Ok(Some((v, token))) => {
+                        self.set_reg(tid, *dst, v);
+                        self.advance(tid);
+                        self.pending.push(Event::QueueGot { tid, sync: sid, token, loc });
+                        self.wake_blocked_on(|b| matches!(b, BlockOn::QueuePut(s2) if *s2 == sid));
+                        Ok(Flow::Emitted)
+                    }
+                    Ok(None) => {
+                        self.threads[tid.index()].state =
+                            ThreadState::Blocked(BlockOn::QueueGet(sid));
+                        Ok(Flow::Blocked)
+                    }
+                    Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
+                }
+            }
+        }
+    }
+
+    /// The mutex handle a cond-waiting thread passed to its `CondWait` op.
+    fn cond_wait_mutex_of(&self, tid: ThreadId) -> SyncId {
+        let f = self.threads[tid.index()].frames.last().expect("waiter has a frame");
+        let op = &self.prog.procs[f.proc.0 as usize].code[f.pc as usize];
+        match op {
+            Op::Sync { op: SyncOp::CondWait { mutex, .. }, .. } => {
+                SyncId(eval_expr(mutex, &f.regs, &self.global_addrs) as u32)
+            }
+            other => panic!("cond waiter parked on non-CondWait op {other:?}"),
+        }
+    }
+
+    fn wake_blocked_on(&mut self, pred: impl Fn(&BlockOn) -> bool) {
+        for t in self.threads.iter_mut() {
+            if let ThreadState::Blocked(on) = &t.state {
+                if pred(on) {
+                    t.state = ThreadState::Runnable;
+                }
+            }
+        }
+    }
+
+    fn wake_joiners(&mut self, exited: ThreadId) {
+        self.wake_blocked_on(|b| matches!(b, BlockOn::Join(t) if *t == exited));
+    }
+}
+
+fn eval_expr(e: &Expr, regs: &[u64], globals: &[u64]) -> u64 {
+    match e {
+        Expr::Const(v) => *v,
+        Expr::Reg(r) => regs[r.0 as usize],
+        Expr::Global(g) => globals[g.0 as usize],
+        Expr::Add(a, b) => eval_expr(a, regs, globals).wrapping_add(eval_expr(b, regs, globals)),
+        Expr::Sub(a, b) => eval_expr(a, regs, globals).wrapping_sub(eval_expr(b, regs, globals)),
+        Expr::Mul(a, b) => eval_expr(a, regs, globals).wrapping_mul(eval_expr(b, regs, globals)),
+    }
+}
+
+fn eval_cond(c: &Cond, regs: &[u64], globals: &[u64]) -> bool {
+    let ev = |e: &Expr| eval_expr(e, regs, globals);
+    match c {
+        Cond::True => true,
+        Cond::Eq(a, b) => ev(a) == ev(b),
+        Cond::Ne(a, b) => ev(a) != ev(b),
+        Cond::Lt(a, b) => ev(a) < ev(b),
+        Cond::Le(a, b) => ev(a) <= ev(b),
+        Cond::Gt(a, b) => ev(a) > ev(b),
+        Cond::Ge(a, b) => ev(a) >= ev(b),
+    }
+}
+
+/// Convenience: lower (if needed) and run a program.
+pub fn run_flat(
+    prog: &FlatProgram,
+    tool: &mut dyn Tool,
+    sched: &mut dyn Scheduler,
+    opts: VmOptions,
+) -> RunResult {
+    Vm::new(prog, opts).run(tool, sched)
+}
+
+/// Convenience: run a structured [`crate::ir::Program`] with defaults.
+pub fn run_program(
+    prog: &crate::ir::Program,
+    tool: &mut dyn Tool,
+    sched: &mut dyn Scheduler,
+) -> RunResult {
+    let flat = prog.lower();
+    run_flat(&flat, tool, sched, VmOptions::default())
+}

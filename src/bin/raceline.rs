@@ -1,0 +1,236 @@
+//! `raceline` — check a mini-C++ program for races and deadlocks, the way
+//! the paper's debugging process (Fig 3) runs a server under Helgrind.
+//!
+//! ```text
+//! raceline check app.mcpp [lib.mcpp ...] [options]
+//!
+//! options:
+//!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
+//!   --schedule rr|random:<seed>|pct:<seed>:<depth>              (default rr)
+//!   --raw <file>            compile <file> without instrumentation
+//!                           (third-party source, §3.1)
+//!   --suppressions <file>   load a Valgrind-style suppression file
+//!   --gen-suppressions      print a suppression entry for each warning
+//!   --explore <n>           run under <n> random schedules and aggregate
+//!   --emit-annotated        print the annotated source (Fig 4 view)
+//!   --emit-ir               print the lowered guest IR (disassembly)
+//! ```
+
+use helgrind_core::explore::explore_schedules;
+use helgrind_core::{
+    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Suppression, SuppressionSet,
+};
+use minicpp::pipeline::{run_pipeline, SourceFile};
+use vexec::sched::{Pct, RoundRobin, Scheduler, SeededRandom};
+use vexec::vm::{run_program, Termination};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: raceline check <file.mcpp>... [--raw <file.mcpp>]... \
+         [--detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue] \
+         [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
+         [--suppressions <file>] [--gen-suppressions] [--explore <n>] [--emit-annotated] [--emit-ir]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_detector(s: &str) -> DetectorConfig {
+    match s {
+        "original" => DetectorConfig::original(),
+        "hwlc" => DetectorConfig::hwlc(),
+        "hwlc-dr" => DetectorConfig::hwlc_dr(),
+        "djit" => DetectorConfig::djit(),
+        "hybrid" => DetectorConfig::hybrid(),
+        "hybrid-queue" => DetectorConfig::hybrid_queue_hb(),
+        other => {
+            eprintln!("unknown detector: {other}");
+            usage()
+        }
+    }
+}
+
+fn parse_schedule(s: &str) -> Box<dyn Scheduler> {
+    if s == "rr" {
+        return Box::new(RoundRobin::new());
+    }
+    if let Some(seed) = s.strip_prefix("random:") {
+        let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+        return Box::new(SeededRandom::new(seed));
+    }
+    if let Some(rest) = s.strip_prefix("pct:") {
+        let mut it = rest.split(':');
+        let seed: u64 = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+        let depth: u32 = it.next().and_then(|x| x.parse().ok()).unwrap_or(2);
+        return Box::new(Pct::new(seed, depth, 10_000));
+    }
+    eprintln!("unknown schedule: {s}");
+    usage()
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("check") => {}
+        _ => usage(),
+    }
+
+    let mut files: Vec<SourceFile> = Vec::new();
+    let mut detector_name = "hwlc-dr".to_string();
+    let mut schedule = "rr".to_string();
+    let mut suppressions = SuppressionSet::new();
+    let mut gen_suppressions = false;
+    let mut explore: Option<usize> = None;
+    let mut emit_annotated = false;
+    let mut emit_ir = false;
+
+    let args: Vec<String> = args.collect();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--detector" => detector_name = it.next().unwrap_or_else(|| usage()).clone(),
+            "--schedule" => schedule = it.next().unwrap_or_else(|| usage()).clone(),
+            "--raw" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                files.push(SourceFile::without_instrumentation(path, &text));
+            }
+            "--suppressions" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                suppressions = SuppressionSet::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(1);
+                });
+            }
+            "--gen-suppressions" => gen_suppressions = true,
+            "--emit-annotated" => emit_annotated = true,
+            "--emit-ir" => emit_ir = true,
+            "--explore" => {
+                explore = Some(
+                    it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()),
+                );
+            }
+            path if !path.starts_with('-') => {
+                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                    eprintln!("cannot read {path}: {e}");
+                    std::process::exit(1);
+                });
+                files.push(SourceFile::new(path, &text));
+            }
+            _ => usage(),
+        }
+    }
+    if files.is_empty() {
+        usage();
+    }
+
+    // Stage 1+2+3 (Fig 3): preprocess, parse + annotate, compile.
+    let out = run_pipeline(&files).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "compiled {} unit(s); {} delete site(s) annotated",
+        files.len(),
+        out.deletes_annotated
+    );
+    if emit_annotated {
+        for (name, src) in &out.annotated_sources {
+            println!("// ---- {name} (annotated) ----");
+            println!("{src}");
+        }
+    }
+
+    if emit_ir {
+        println!("{}", vexec::ir::disasm::disassemble(&out.program.lower()));
+    }
+
+    let cfg = parse_detector(&detector_name);
+
+    // Exploration mode: aggregate warnings across many schedules.
+    if let Some(runs) = explore {
+        let summary = explore_schedules(&out.program, cfg, runs, 0xACE);
+        println!(
+            "explored {} schedules: {} clean, {} deadlocked",
+            summary.runs, summary.clean_runs, summary.deadlocked_runs
+        );
+        for hit in &summary.locations {
+            println!(
+                "[{:>3}/{:<3}] {}",
+                hit.hits,
+                summary.runs,
+                hit.report.render().trim_end()
+            );
+        }
+        std::process::exit(if summary.locations.is_empty() { 0 } else { 1 });
+    }
+
+    // Single-run mode.
+    let mut sched = parse_schedule(&schedule);
+    let mut warnings = 0usize;
+    let termination;
+    match detector_name.as_str() {
+        "djit" => {
+            let mut det = DjitDetector::new(cfg);
+            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            report(det.sink.take_reports(), &suppressions, gen_suppressions, &mut warnings);
+        }
+        "hybrid" | "hybrid-queue" => {
+            let mut det = HybridDetector::new(cfg);
+            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            report(det.sink.take_reports(), &suppressions, gen_suppressions, &mut warnings);
+        }
+        _ => {
+            let mut det = EraserDetector::with_suppressions(cfg, suppressions.clone());
+            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            report(det.sink.take_reports(), &SuppressionSet::new(), gen_suppressions, &mut warnings);
+        }
+    }
+
+    match &termination {
+        Termination::AllExited => {}
+        Termination::Deadlock(waits) => {
+            println!("DEADLOCK: {} thread(s) blocked:", waits.len());
+            for w in waits {
+                println!(
+                    "  thread {} blocked on {:?} held by {:?}",
+                    w.tid.0,
+                    w.on,
+                    w.holders.iter().map(|t| t.0).collect::<Vec<_>>()
+                );
+            }
+            warnings += 1;
+        }
+        other => {
+            println!("abnormal termination: {other:?}");
+            warnings += 1;
+        }
+    }
+
+    eprintln!("{warnings} warning(s)");
+    std::process::exit(if warnings == 0 { 0 } else { 1 });
+}
+
+fn report(
+    reports: Vec<helgrind_core::Report>,
+    suppressions: &SuppressionSet,
+    gen: bool,
+    warnings: &mut usize,
+) {
+    for (i, r) in reports.into_iter().enumerate() {
+        if suppressions.matches(&r) {
+            continue;
+        }
+        *warnings += 1;
+        println!("{}", r.render());
+        if gen {
+            println!("{}", Suppression::from_report(&format!("auto-{}", i + 1), &r, 3).render());
+        }
+    }
+}

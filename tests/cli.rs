@@ -1,0 +1,103 @@
+//! Integration tests for the `raceline` CLI binary, driven through the
+//! real executable (CARGO_BIN_EXE) on the shipped sample program.
+
+use std::process::Command;
+
+fn raceline(args: &[&str]) -> (String, String, i32) {
+    let out = Command::new(env!("CARGO_BIN_EXE_raceline"))
+        .args(args)
+        .output()
+        .expect("run raceline");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+const SAMPLE: &str = "examples/programs/session.mcpp";
+
+#[test]
+fn check_finds_the_real_race_under_hwlc_dr() {
+    let (stdout, stderr, code) = raceline(&["check", SAMPLE, "--detector", "hwlc-dr"]);
+    assert_eq!(code, 1, "warnings => nonzero exit\n{stdout}{stderr}");
+    assert!(stdout.contains("Possible Race (write)"));
+    assert!(stdout.contains("session.mcpp:20"), "the unlocked counter line\n{stdout}");
+    assert!(stderr.contains("1 delete site(s) annotated"));
+    assert!(stderr.contains("1 warning(s)"));
+    // No destructor FP: the annotation pass + DR removed it.
+    assert!(!stdout.contains("~Session"));
+}
+
+#[test]
+fn original_config_also_reports_the_destructor_fp() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--detector", "original"]);
+    assert_eq!(code, 1);
+    let n = stdout.matches("Possible Race").count();
+    assert_eq!(n, 2, "real race + destructor FP\n{stdout}");
+    assert!(stdout.contains("~Session"), "{stdout}");
+}
+
+#[test]
+fn raw_units_keep_their_destructor_fp() {
+    let (stdout, _, code) = raceline(&["check", "--raw", SAMPLE, "--detector", "hwlc-dr"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("~Session"), "uninstrumented source warns\n{stdout}");
+}
+
+#[test]
+fn gen_suppressions_emits_matching_entries() {
+    let (stdout, _, _) =
+        raceline(&["check", SAMPLE, "--detector", "hwlc-dr", "--gen-suppressions"]);
+    assert!(stdout.contains("Helgrind:Race"), "{stdout}");
+    assert!(stdout.contains("fun:use_session"), "{stdout}");
+
+    // Write the generated suppression to a file and re-check: silence.
+    // The suppression block is the lines from a bare "{" to a bare "}".
+    let lines: Vec<&str> = stdout.lines().collect();
+    let start = lines.iter().position(|l| l.trim() == "{").unwrap();
+    let end = lines.iter().position(|l| l.trim() == "}").unwrap();
+    let block = lines[start..=end].join("\n");
+    let supp_path = std::env::temp_dir().join("raceline_gen.supp");
+    std::fs::write(&supp_path, block).unwrap();
+    let (stdout2, stderr2, code2) = raceline(&[
+        "check",
+        SAMPLE,
+        "--detector",
+        "hwlc-dr",
+        "--suppressions",
+        supp_path.to_str().unwrap(),
+    ]);
+    assert_eq!(code2, 0, "{stdout2}{stderr2}");
+    assert!(stderr2.contains("0 warning(s)"));
+}
+
+#[test]
+fn explore_mode_aggregates_schedules() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--explore", "8"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("explored 8 schedules"), "{stdout}");
+    assert!(stdout.contains("8 clean"), "{stdout}");
+    assert!(stdout.contains("/8"), "per-location hit counts\n{stdout}");
+}
+
+#[test]
+fn emit_annotated_prints_fig4_view() {
+    let (stdout, _, _) = raceline(&["check", SAMPLE, "--emit-annotated"]);
+    assert!(stdout.contains("delete ca_deletor_single(s);"), "{stdout}");
+    assert!(stdout.contains("VALGRIND_HG_DESTRUCT"), "{stdout}");
+}
+
+#[test]
+fn pct_schedule_accepted() {
+    let (_, stderr, code) = raceline(&["check", SAMPLE, "--schedule", "pct:7:3"]);
+    assert!(code == 0 || code == 1, "{stderr}");
+}
+
+#[test]
+fn bad_usage_exits_2() {
+    let (_, _, code) = raceline(&["check"]);
+    assert_eq!(code, 2);
+    let (_, _, code) = raceline(&["frobnicate"]);
+    assert_eq!(code, 2);
+}
