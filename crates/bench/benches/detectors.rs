@@ -37,9 +37,8 @@ fn nested_locks_program(depth: u64, iters: u64) -> Program {
     let wloc = pb.loc("nested.cpp", 5, "worker");
     let mut w = ProcBuilder::new(0);
     w.at(wloc);
-    let handles: Vec<_> = (0..depth)
-        .map(|i| w.load_new(Expr::Global(cells).add(Expr::Const(8 * i)), 8))
-        .collect();
+    let handles: Vec<_> =
+        (0..depth).map(|i| w.load_new(Expr::Global(cells).add(Expr::Const(8 * i)), 8)).collect();
     w.begin_repeat(iters);
     for &h in &handles {
         w.lock(h);

@@ -23,9 +23,7 @@ fn bench_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("overhead");
     group.sample_size(10);
 
-    group.bench_function("native-threads", |b| {
-        b.iter(|| black_box(native_workload(SPEC)))
-    });
+    group.bench_function("native-threads", |b| b.iter(|| black_box(native_workload(SPEC))));
 
     group.bench_function("vm-no-tool", |b| {
         b.iter(|| {

@@ -27,11 +27,10 @@ fn maybe_json<T: Serialize>(json_path: &Option<String>, name: &str, value: &T) {
 }
 
 fn fig6(json: &Option<String>) {
-    println!("## E1 / Fig 6 — reported possible-data-race locations (paper values in parentheses)\n");
     println!(
-        "{:<5} {:>16} {:>16} {:>16}  {:>8}",
-        "Case", "Original", "HWLC", "HWLC+DR", "FP cut"
+        "## E1 / Fig 6 — reported possible-data-race locations (paper values in parentheses)\n"
     );
+    println!("{:<5} {:>16} {:>16} {:>16}  {:>8}", "Case", "Original", "HWLC", "HWLC+DR", "FP cut");
     let rows = e1_fig6();
     #[derive(Serialize)]
     struct Row {
@@ -122,8 +121,14 @@ fn fig8(json: &Option<String>) {
 fn fig10(json: &Option<String>) {
     println!("## E4 / Fig 10+11 — ownership hand-off: thread-per-request vs thread pool\n");
     let r = e4_handoff();
-    println!("thread-per-request: {} total locations, {} hand-off FPs", r.tpr_total, r.tpr_handoff_fps);
-    println!("thread pool:        {} total locations, {} hand-off FPs", r.pool_total, r.pool_handoff_fps);
+    println!(
+        "thread-per-request: {} total locations, {} hand-off FPs",
+        r.tpr_total, r.tpr_handoff_fps
+    );
+    println!(
+        "thread pool:        {} total locations, {} hand-off FPs",
+        r.pool_total, r.pool_handoff_fps
+    );
     println!(
         "thread pool + queue-aware hybrid (E12 / §5): {} hand-off FPs\n",
         r.pool_queue_hb_handoff_fps
@@ -158,12 +163,23 @@ fn e7(json: &Option<String>) {
     println!("## E7 / §4.5 — execution overhead (paper: VM 8-10x, VM+analysis 20-30x)\n");
     let spec = WorkloadSpec { threads: 4, iterations: 5_000 };
     let r = e7_performance(spec, 5);
-    println!("workload: {} threads x {} iterations, {} events", spec.threads, spec.iterations, r.events);
+    println!(
+        "workload: {} threads x {} iterations, {} events",
+        spec.threads, spec.iterations, r.events
+    );
     println!("native threads:        {:>9.3} ms   (1.0x)", r.native_ms);
     println!("VM, no tool:           {:>9.3} ms   ({:.1}x)", r.vm_null_ms, r.vm_slowdown);
     println!("VM + Eraser (HWLC+DR): {:>9.3} ms   ({:.1}x)", r.vm_eraser_ms, r.analysis_slowdown);
-    println!("VM + DJIT:             {:>9.3} ms   ({:.1}x)", r.vm_djit_ms, r.vm_djit_ms / r.native_ms);
-    println!("VM + hybrid:           {:>9.3} ms   ({:.1}x)\n", r.vm_hybrid_ms, r.vm_hybrid_ms / r.native_ms);
+    println!(
+        "VM + DJIT:             {:>9.3} ms   ({:.1}x)",
+        r.vm_djit_ms,
+        r.vm_djit_ms / r.native_ms
+    );
+    println!(
+        "VM + hybrid:           {:>9.3} ms   ({:.1}x)\n",
+        r.vm_hybrid_ms,
+        r.vm_hybrid_ms / r.native_ms
+    );
     maybe_json(json, "e7-perf", &r);
 }
 
@@ -200,8 +216,14 @@ fn e9(json: &Option<String>) {
 fn e10(json: &Option<String>) {
     println!("## E10 — ablations: thread segments and detector families\n");
     let r = e10_ablation();
-    println!("fork-join hand-off, thread segments ON  (Visual Threads): {} warnings", r.fork_join_with_segments);
-    println!("fork-join hand-off, thread segments OFF (plain Eraser):   {} warnings", r.fork_join_without_segments);
+    println!(
+        "fork-join hand-off, thread segments ON  (Visual Threads): {} warnings",
+        r.fork_join_with_segments
+    );
+    println!(
+        "fork-join hand-off, thread segments OFF (plain Eraser):   {} warnings",
+        r.fork_join_without_segments
+    );
     println!();
     println!("queue hand-off under each detector:");
     println!("  lockset (Eraser):        {}", r.queue_lockset);

@@ -3,9 +3,7 @@
 //! the `repro` binary prints and EXPERIMENTS.md records.
 
 use crate::scenarios::*;
-use helgrind_core::{
-    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, ReportKind,
-};
+use helgrind_core::{DetectorConfig, DjitDetector, EraserDetector, HybridDetector, ReportKind};
 use minicpp::pipeline::{run_pipeline, SourceFile};
 use serde::Serialize;
 use sipsim::bugs::all_bugs;
@@ -51,7 +49,8 @@ pub struct Fig8Result {
 
 pub fn e3_fig8() -> Fig8Result {
     let prog = fig8_string_program();
-    let (orig, reports) = eraser_locations(&prog, DetectorConfig::original(), &mut RoundRobin::new());
+    let (orig, reports) =
+        eraser_locations(&prog, DetectorConfig::original(), &mut RoundRobin::new());
     let (hwlc, _) = eraser_locations(&prog, DetectorConfig::hwlc(), &mut RoundRobin::new());
     Fig8Result {
         original_locations: orig,
@@ -160,11 +159,8 @@ pub fn e5_pipeline() -> PipelineResult {
         run_pipeline(&[SourceFile::without_instrumentation("session.cpp", PIPELINE_APP)]).unwrap();
     let (plain_warnings, _) =
         eraser_locations(&plain.program, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
-    let (instrumented_warnings, _) = eraser_locations(
-        &instrumented.program,
-        DetectorConfig::hwlc_dr(),
-        &mut RoundRobin::new(),
-    );
+    let (instrumented_warnings, _) =
+        eraser_locations(&instrumented.program, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
     PipelineResult {
         deletes_annotated: instrumented.deletes_annotated,
         annotated_source: instrumented
@@ -296,9 +292,9 @@ pub fn e8_true_positives() -> Vec<BugResult> {
         .map(|bug| {
             let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
             let mut sched: Box<dyn Scheduler> = match &bug.schedule {
-                Some(order) => Box::new(PriorityOrder::new(
-                    order.iter().map(|&t| ThreadId(t)).collect(),
-                )),
+                Some(order) => {
+                    Box::new(PriorityOrder::new(order.iter().map(|&t| ThreadId(t)).collect()))
+                }
                 None => Box::new(RoundRobin::new()),
             };
             run_program(&bug.program, &mut det, sched.as_mut());
@@ -373,8 +369,7 @@ pub struct AblationResult {
 
 pub fn e10_ablation() -> AblationResult {
     let fj = fork_join_handoff_program();
-    let (with_seg, _) =
-        eraser_locations(&fj, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
+    let (with_seg, _) = eraser_locations(&fj, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
     let mut no_seg_cfg = DetectorConfig::hwlc_dr();
     no_seg_cfg.thread_segments = false;
     let (without_seg, _) = eraser_locations(&fj, no_seg_cfg, &mut RoundRobin::new());
@@ -501,8 +496,7 @@ pub fn e14_explore() -> ExploreResult {
     use helgrind_core::explore::explore_schedules;
     let prog = false_negative_program();
     let summary = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 40, 0x5EED);
-    let (single, _) =
-        eraser_locations(&prog, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
+    let (single, _) = eraser_locations(&prog, DetectorConfig::hwlc_dr(), &mut RoundRobin::new());
     ExploreResult {
         runs: summary.runs,
         distinct_locations: summary.locations.len(),

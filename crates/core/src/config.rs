@@ -73,11 +73,7 @@ impl DetectorConfig {
 
     /// Corrected hardware bus lock + rwlock support. Column "HWLC".
     pub fn hwlc() -> Self {
-        DetectorConfig {
-            bus_lock: BusLockModel::RwLock,
-            track_rwlocks: true,
-            ..Self::original()
-        }
+        DetectorConfig { bus_lock: BusLockModel::RwLock, track_rwlocks: true, ..Self::original() }
     }
 
     /// HWLC plus destructor annotations. Column "HWLC+DR".

@@ -202,8 +202,7 @@ impl Tool for HybridDetector {
             if self.sink.seen(kind, ls.loc) {
                 return;
             }
-            let details =
-                format!("Previous state: {}; hb: {}", ls.prev_state, hb.conflict);
+            let details = format!("Previous state: {}; hb: {}", ls.prev_state, hb.conflict);
             let report = build_report(vm, kind, ls.tid, ls.addr, ls.loc, details);
             self.sink.add(ls.loc, report);
         }

@@ -173,11 +173,8 @@ impl LocksetEngine {
     fn rebuild_locksets(&mut self, tid: ThreadId) {
         let held = self.thread_mut(tid).held.clone();
         let any: Vec<LockId> = held.iter().map(|&(l, _)| l).collect();
-        let write: Vec<LockId> = held
-            .iter()
-            .filter(|&&(_, m)| m == AcqMode::Exclusive)
-            .map(|&(l, _)| l)
-            .collect();
+        let write: Vec<LockId> =
+            held.iter().filter(|&&(_, m)| m == AcqMode::Exclusive).map(|&(l, _)| l).collect();
         let any_id = self.table.intern(any.clone());
         let write_id = self.table.intern(write.clone());
         let any_bus = self.table.with(any_id, LockId::BUS);
@@ -367,10 +364,7 @@ impl LocksetEngine {
                 let nls = self.table.intersect(ls, effective);
                 if is_write {
                     let empty = self.table.is_empty(nls);
-                    (
-                        VarState::SharedMod { ls: nls, reported: empty && self.report_once },
-                        empty,
-                    )
+                    (VarState::SharedMod { ls: nls, reported: empty && self.report_once }, empty)
                 } else {
                     (VarState::SharedRead { ls: nls }, false)
                 }
@@ -380,7 +374,10 @@ impl LocksetEngine {
                 let empty = self.table.is_empty(nls);
                 let race = empty && !reported;
                 (
-                    VarState::SharedMod { ls: nls, reported: reported || (race && self.report_once) },
+                    VarState::SharedMod {
+                        ls: nls,
+                        reported: reported || (race && self.report_once),
+                    },
                     race,
                 )
             }

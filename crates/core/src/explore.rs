@@ -80,9 +80,7 @@ pub fn explore_schedules(
         }
         for report in det.sink.take_reports() {
             let key = (report.file.clone(), report.line, report.func.clone());
-            agg.entry(key)
-                .and_modify(|l| l.hits += 1)
-                .or_insert(LocationHit { report, hits: 1 });
+            agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit { report, hits: 1 });
         }
     }
     let mut locations: Vec<LocationHit> = agg.into_values().collect();

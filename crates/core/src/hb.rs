@@ -273,8 +273,7 @@ impl HbEngine {
                     ReadState::None => {}
                     ReadState::Single(e) => {
                         if !e.visible_to(&tvc) {
-                            conflict =
-                                Some(format!("unordered prior read by thread {}", e.tid));
+                            conflict = Some(format!("unordered prior read by thread {}", e.tid));
                         }
                     }
                     ReadState::Shared(vc) => {

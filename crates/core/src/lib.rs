@@ -40,12 +40,12 @@ pub mod vc;
 
 pub use config::{BusLockModel, DetectorConfig};
 pub use detector::{DjitDetector, EraserDetector, HybridDetector};
-pub use explore::{explore_schedules, ExploreSummary, LocationHit};
 pub use eraser::{LocksetEngine, RaceInfo, VarState};
+pub use explore::{explore_schedules, ExploreSummary, LocationHit};
 pub use hb::{HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};
-pub use offline::{analyze_trace, OfflineAnalysis};
 pub use locksets::{LockId, LockSetId, LockSetTable};
+pub use offline::{analyze_trace, OfflineAnalysis};
 pub use report::{Report, ReportKind, ReportSink, StackFrame};
 pub use segments::{SegmentGraph, SegmentId};
 pub use suppress::{Suppression, SuppressionSet};

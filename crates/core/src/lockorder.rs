@@ -153,12 +153,7 @@ impl LockOrderGraph {
 /// rotate so the minimum lock comes first.
 fn canonicalise(cycle: &[LockId]) -> Vec<LockId> {
     let body = &cycle[..cycle.len() - 1];
-    let min_pos = body
-        .iter()
-        .enumerate()
-        .min_by_key(|&(_, l)| l)
-        .map(|(i, _)| i)
-        .unwrap_or(0);
+    let min_pos = body.iter().enumerate().min_by_key(|&(_, l)| l).map(|(i, _)| i).unwrap_or(0);
     let mut out = Vec::with_capacity(body.len());
     out.extend_from_slice(&body[min_pos..]);
     out.extend_from_slice(&body[..min_pos]);

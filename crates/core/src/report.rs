@@ -11,8 +11,8 @@ use crate::suppress::SuppressionSet;
 use serde::{Deserialize, Serialize};
 use vexec::event::ThreadId;
 use vexec::ir::SrcLoc;
-use vexec::vm::VmView;
 use vexec::util::FxHashSet;
+use vexec::vm::VmView;
 
 /// The kind of a warning.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, PartialOrd, Ord)]
@@ -27,6 +27,18 @@ pub enum ReportKind {
     HbRaceWrite,
     /// Cycle in the lock acquisition order graph (potential deadlock).
     LockOrderCycle,
+    /// Static lint: acquiring a lock already held on every path here.
+    DoubleLock,
+    /// Static lint: releasing a lock not held on any path here.
+    UnlockWithoutLock,
+    /// Static lint: a `return` path keeps a lock the function releases on
+    /// another path.
+    LockLeak,
+    /// Static lint: `delete` of a polymorphic object the DR annotation
+    /// pass has not rewritten (the destructor FP stays live).
+    UnannotatedDelete,
+    /// Static lint: `delete` while holding a lock.
+    DeleteWhileLocked,
 }
 
 impl ReportKind {
@@ -37,6 +49,11 @@ impl ReportKind {
             ReportKind::HbRaceRead => "HbRace (read)",
             ReportKind::HbRaceWrite => "HbRace (write)",
             ReportKind::LockOrderCycle => "LockOrder",
+            ReportKind::DoubleLock => "DoubleLock",
+            ReportKind::UnlockWithoutLock => "UnlockWithoutLock",
+            ReportKind::LockLeak => "LockLeak",
+            ReportKind::UnannotatedDelete => "UnannotatedDelete",
+            ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
         }
     }
 
@@ -46,6 +63,11 @@ impl ReportKind {
             ReportKind::RaceRead | ReportKind::RaceWrite => "Race",
             ReportKind::HbRaceRead | ReportKind::HbRaceWrite => "HbRace",
             ReportKind::LockOrderCycle => "LockOrder",
+            ReportKind::DoubleLock => "DoubleLock",
+            ReportKind::UnlockWithoutLock => "UnlockWithoutLock",
+            ReportKind::LockLeak => "LockLeak",
+            ReportKind::UnannotatedDelete => "UnannotatedDelete",
+            ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
         }
     }
 }

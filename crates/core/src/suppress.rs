@@ -153,13 +153,19 @@ impl SuppressionSet {
                 continue;
             }
             if line != "{" {
-                return Err(ParseError { line: ln + 1, message: format!("expected '{{', got {line:?}") });
+                return Err(ParseError {
+                    line: ln + 1,
+                    message: format!("expected '{{', got {line:?}"),
+                });
             }
             // Name line.
             let (nln, name) = next_content(&mut lines)
                 .ok_or(ParseError { line: ln + 1, message: "unterminated suppression".into() })?;
             if name == "}" {
-                return Err(ParseError { line: nln + 1, message: "missing suppression name".into() });
+                return Err(ParseError {
+                    line: nln + 1,
+                    message: "missing suppression name".into(),
+                });
             }
             // Kind line: Tool:Kind.
             let (kln, kind_line) = next_content(&mut lines)
@@ -170,8 +176,10 @@ impl SuppressionSet {
             })?;
             let mut frames = Vec::new();
             loop {
-                let (fln, fl) = next_content(&mut lines)
-                    .ok_or(ParseError { line: kln + 1, message: "unterminated suppression".into() })?;
+                let (fln, fl) = next_content(&mut lines).ok_or(ParseError {
+                    line: kln + 1,
+                    message: "unterminated suppression".into(),
+                })?;
                 if fl == "}" {
                     break;
                 }
@@ -391,12 +399,14 @@ mod tests {
         let report = report_with_stack(&["M_grab", "copy_string"]);
         let mut set = SuppressionSet::new();
         set.push(Suppression::from_report("auto-1", &report, 2));
-        set.push(SuppressionSet::parse("{\n manual\n Helgrind:LockOrder\n src:a.cpp:3\n}")
-            .unwrap()
-            .iter()
-            .next()
-            .unwrap()
-            .clone());
+        set.push(
+            SuppressionSet::parse("{\n manual\n Helgrind:LockOrder\n src:a.cpp:3\n}")
+                .unwrap()
+                .iter()
+                .next()
+                .unwrap()
+                .clone(),
+        );
         let text = set.render();
         let back = SuppressionSet::parse(&text).unwrap();
         assert_eq!(back.render(), text);

@@ -52,10 +52,7 @@ impl VectorClock {
 
     /// Pointwise `self ≤ other`: everything self knows, other knows too.
     pub fn leq(&self, other: &VectorClock) -> bool {
-        self.0
-            .iter()
-            .enumerate()
-            .all(|(i, &v)| v <= other.get(i))
+        self.0.iter().enumerate().all(|(i, &v)| v <= other.get(i))
     }
 
     /// Number of non-trivial components tracked.

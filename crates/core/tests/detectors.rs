@@ -4,9 +4,7 @@
 //! Fig 8 (string refcount), the destructor scenario, Fig 10/11 (ownership
 //! transfer), and the §4.3 schedule-dependent false negative.
 
-use helgrind_core::{
-    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, ReportKind,
-};
+use helgrind_core::{DetectorConfig, DjitDetector, EraserDetector, HybridDetector, ReportKind};
 use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
 use vexec::ir::{Cond, Expr, Program, SyncKind, SyncOp};
 use vexec::sched::{PriorityOrder, RoundRobin};
@@ -168,8 +166,7 @@ fn destructor_fp_without_dr_clean_with_dr() {
     let prog = destructor_program(true);
     let run = |cfg| {
         let mut det = EraserDetector::new(cfg);
-        let mut sched =
-            PriorityOrder::new(vec![ThreadId(1), ThreadId(2), ThreadId(0)]);
+        let mut sched = PriorityOrder::new(vec![ThreadId(1), ThreadId(2), ThreadId(0)]);
         run_program(&prog, &mut det, &mut sched).expect_clean();
         det
     };
@@ -542,10 +539,6 @@ fn reports_include_the_conflicting_access() {
     assert_eq!(det.sink.race_location_count(), 1);
     let rep = &det.sink.reports()[0];
     assert_eq!(rep.func, "writer_b", "the second writer triggers the warning");
-    assert!(
-        rep.details.contains("conflicts with a previous write by thread 1"),
-        "{}",
-        rep.details
-    );
+    assert!(rep.details.contains("conflicts with a previous write by thread 1"), "{}", rep.details);
     assert!(rep.details.contains("conf.cpp:5"), "{}", rep.details);
 }

@@ -25,11 +25,7 @@ struct Section {
 }
 
 fn section_strategy(threads: u32, mutexes: u32) -> impl Strategy<Value = Section> {
-    (
-        1..=threads,
-        0..mutexes,
-        prop::collection::vec((0u8..4, any::<bool>()), 1..6),
-    )
+    (1..=threads, 0..mutexes, prop::collection::vec((0u8..4, any::<bool>()), 1..6))
         .prop_map(|(tid, mutex, accesses)| Section { tid, mutex, accesses })
 }
 

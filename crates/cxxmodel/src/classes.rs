@@ -188,7 +188,9 @@ mod tests {
     mod helpers {
         use super::*;
 
-        pub fn model_with_hierarchy(pb: &mut ProgramBuilder) -> (ClassModel, ClassId, ClassId, ClassId) {
+        pub fn model_with_hierarchy(
+            pb: &mut ProgramBuilder,
+        ) -> (ClassModel, ClassId, ClassId, ClassId) {
             let mut m = ClassModel::new();
             let base = m.declare(pb, "SipMessage", "msg.cpp", 10, None, 2);
             let mid = m.declare(pb, "SipRequest", "msg.cpp", 40, Some(base), 1);

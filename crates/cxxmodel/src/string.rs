@@ -136,9 +136,7 @@ mod tests {
         let rmws = rec
             .events
             .iter()
-            .filter(|e| {
-                matches!(e, Event::Access { kind: AccessKind::AtomicRmw, .. })
-            })
+            .filter(|e| matches!(e, Event::Access { kind: AccessKind::AtomicRmw, .. }))
             .count();
         assert_eq!(rmws, 3, "one grab + two disposes");
     }

@@ -20,11 +20,7 @@ fn build_hierarchy(
     let mut model = ClassModel::new();
     let mut ids = Vec::new();
     for (i, &(base, fields)) in spec.iter().enumerate() {
-        let base_id = if ids.is_empty() {
-            None
-        } else {
-            base.map(|b| ids[b % ids.len()])
-        };
+        let base_id = if ids.is_empty() { None } else { base.map(|b| ids[b % ids.len()]) };
         let id = model.declare(pb, &format!("C{i}"), "h.cpp", 10 * (i as u32 + 1), base_id, fields);
         ids.push(id);
     }

@@ -1,0 +1,637 @@
+//! Call graph, thread-structure discovery, and a small points-to analysis.
+//!
+//! Threads in mini-C++ are created by `thread t = spawn f(args);` and
+//! reaped by `join(t);`. The spawn/join structure inside one function frame
+//! gives precise *static concurrency*: a thread is live between its spawn
+//! statement and its join, so two threads race only if those windows
+//! overlap, and code the spawner runs outside the window cannot race with
+//! the thread at all. Everything the window logic cannot see (threads
+//! spawned from different functions, spawns in loops, missing joins) is
+//! treated as concurrent — the analysis over-approximates, like the
+//! dynamic detectors it cross-checks.
+
+use crate::ast::{Expr, FuncDef, ParamType, Stmt, Unit};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Pre-order position of a statement within its function. Used as a
+/// program point for spawn/join windows.
+pub type Pos = u32;
+
+/// One `spawn` site.
+#[derive(Clone, Debug)]
+pub struct SpawnSite {
+    /// Function containing the spawn.
+    pub spawner: String,
+    /// Thread entry function.
+    pub entry: String,
+    pub thread_var: String,
+    pub spawn_pos: Pos,
+    /// Position of the matching `join(t)` in the same function, if any.
+    pub join_pos: Option<Pos>,
+    /// Spawn occurs inside a loop (an unbounded family of threads).
+    pub in_loop: bool,
+    pub line: u32,
+    pub args: Vec<Expr>,
+}
+
+/// A statically-distinguished thread: `main`, plus one per spawn site.
+#[derive(Clone, Debug)]
+pub struct ThreadInstance {
+    pub entry: String,
+    /// Index into [`ThreadModel::sites`]; `None` for the main thread.
+    pub site: Option<usize>,
+}
+
+/// Assign every statement a pre-order position, keyed by address (the
+/// AST is borrowed for the whole analysis, so addresses are stable).
+pub fn stmt_positions(func: &FuncDef) -> HashMap<*const Stmt, Pos> {
+    fn walk(stmts: &[Stmt], next: &mut Pos, out: &mut HashMap<*const Stmt, Pos>) {
+        for s in stmts {
+            out.insert(s as *const Stmt, *next);
+            *next += 1;
+            match s {
+                Stmt::If { then_branch, else_branch, .. } => {
+                    walk(then_branch, next, out);
+                    walk(else_branch, next, out);
+                }
+                Stmt::While { body, .. } => walk(body, next, out),
+                _ => {}
+            }
+        }
+    }
+    let mut out = HashMap::new();
+    let mut next = 0;
+    walk(&func.body, &mut next, &mut out);
+    out
+}
+
+fn expr_calls<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+    match e {
+        Expr::Call { func, args } => {
+            out.push(func);
+            for a in args {
+                expr_calls(a, out);
+            }
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_calls(lhs, out);
+            expr_calls(rhs, out);
+        }
+        _ => {}
+    }
+}
+
+/// Every function called from `s` (statement-level and expression-level).
+pub fn stmt_callees(s: &Stmt) -> Vec<&str> {
+    let mut out = Vec::new();
+    match s {
+        Stmt::Call { func, args, .. } => {
+            out.push(func.as_str());
+            for a in args {
+                expr_calls(a, &mut out);
+            }
+        }
+        Stmt::LetInt { value, .. }
+        | Stmt::LetPtr { value, .. }
+        | Stmt::Assign { value, .. }
+        | Stmt::FieldAssign { value, .. }
+        | Stmt::AtomicInc { target: value, .. } => expr_calls(value, &mut out),
+        Stmt::If { cond, .. } | Stmt::While { cond, .. } => expr_calls(cond, &mut out),
+        Stmt::Return { value: Some(v), .. } => expr_calls(v, &mut out),
+        // Spawn arguments are evaluated by the spawner, but the spawned
+        // function itself is not a call edge.
+        Stmt::LetThread { args, .. } => {
+            for a in args {
+                expr_calls(a, &mut out);
+            }
+        }
+        _ => {}
+    }
+    out
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// caller -> callees (plain calls; spawns excluded).
+    pub calls: BTreeMap<String, BTreeSet<String>>,
+    /// caller -> (position, callee) per call site.
+    pub call_sites: BTreeMap<String, Vec<(Pos, String)>>,
+    /// f -> {f} ∪ everything transitively callable from f.
+    pub reach: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl CallGraph {
+    pub fn build(funcs: &BTreeMap<String, &FuncDef>) -> CallGraph {
+        let mut cg = CallGraph::default();
+        for (name, f) in funcs {
+            let pos = stmt_positions(f);
+            let mut callees = BTreeSet::new();
+            let mut sites = Vec::new();
+            visit_stmts(&f.body, &mut |s| {
+                let p = pos[&(s as *const Stmt)];
+                for c in stmt_callees(s) {
+                    callees.insert(c.to_string());
+                    sites.push((p, c.to_string()));
+                }
+            });
+            cg.calls.insert(name.clone(), callees);
+            cg.call_sites.insert(name.clone(), sites);
+        }
+        // Transitive closure by fixpoint (the graphs are tiny).
+        for name in funcs.keys() {
+            let mut r: BTreeSet<String> = BTreeSet::new();
+            r.insert(name.clone());
+            loop {
+                let mut next = r.clone();
+                for f in &r {
+                    if let Some(cs) = cg.calls.get(f) {
+                        next.extend(cs.iter().cloned());
+                    }
+                }
+                if next.len() == r.len() {
+                    break;
+                }
+                r = next;
+            }
+            cg.reach.insert(name.clone(), r);
+        }
+        cg
+    }
+
+    pub fn reach(&self, f: &str) -> Option<&BTreeSet<String>> {
+        self.reach.get(f)
+    }
+}
+
+/// Walk every statement of a body in pre-order.
+pub fn visit_stmts<'a>(stmts: &'a [Stmt], f: &mut impl FnMut(&'a Stmt)) {
+    for s in stmts {
+        f(s);
+        match s {
+            Stmt::If { then_branch, else_branch, .. } => {
+                visit_stmts(then_branch, f);
+                visit_stmts(else_branch, f);
+            }
+            Stmt::While { body, .. } => visit_stmts(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// The static thread model: spawn sites, distinguished instances, and the
+/// may-run-concurrently relation between program points.
+#[derive(Clone, Debug)]
+pub struct ThreadModel {
+    pub sites: Vec<SpawnSite>,
+    pub instances: Vec<ThreadInstance>,
+    /// Entry functions that may have two overlapping activations.
+    self_concurrent: BTreeSet<String>,
+    cg: CallGraph,
+}
+
+impl ThreadModel {
+    pub fn build(funcs: &BTreeMap<String, &FuncDef>, cg: &CallGraph) -> ThreadModel {
+        // Discover spawn sites with their join windows.
+        let mut sites: Vec<SpawnSite> = Vec::new();
+        for (name, f) in funcs {
+            let pos = stmt_positions(f);
+            let mut local: Vec<usize> = Vec::new();
+            discover_sites(&f.body, name, false, &pos, &mut sites, &mut local);
+        }
+
+        // Instantiate: main, plus every site whose spawner actually runs.
+        let mut instances = vec![ThreadInstance { entry: "main".to_string(), site: None }];
+        let mut active: BTreeSet<String> =
+            cg.reach("main").cloned().unwrap_or_else(|| std::iter::once("main".into()).collect());
+        let mut instantiated = vec![false; sites.len()];
+        loop {
+            let mut changed = false;
+            for (idx, s) in sites.iter().enumerate() {
+                if !instantiated[idx] && active.contains(&s.spawner) {
+                    instantiated[idx] = true;
+                    instances.push(ThreadInstance { entry: s.entry.clone(), site: Some(idx) });
+                    if let Some(r) = cg.reach(&s.entry) {
+                        active.extend(r.iter().cloned());
+                    } else {
+                        active.insert(s.entry.clone());
+                    }
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut model =
+            ThreadModel { sites, instances, self_concurrent: BTreeSet::new(), cg: cg.clone() };
+        model.mark_self_concurrent();
+        model
+    }
+
+    fn live_sites(&self) -> impl Iterator<Item = (usize, &SpawnSite)> {
+        self.instances
+            .iter()
+            .filter_map(|i| i.site)
+            .map(|idx| (idx, &self.sites[idx]))
+            .collect::<Vec<_>>()
+            .into_iter()
+    }
+
+    fn mark_self_concurrent(&mut self) {
+        let mut marked: BTreeSet<String> = BTreeSet::new();
+        // Direct sources: spawn-in-loop, and two window-overlapping spawns
+        // of the same entry.
+        for (i, si) in self.live_sites() {
+            if si.in_loop {
+                marked.insert(si.entry.clone());
+            }
+            for (j, sj) in self.live_sites() {
+                if i < j && si.entry == sj.entry && sites_overlap(si, sj) {
+                    marked.insert(si.entry.clone());
+                }
+            }
+        }
+        // Inherited: the spawner itself runs in several concurrent
+        // activations, so each of its spawns does too.
+        loop {
+            let mut changed = false;
+            for (_, s) in self.live_sites() {
+                if marked.contains(&s.entry) {
+                    continue;
+                }
+                let spawner_hosts: Vec<&ThreadInstance> =
+                    self.instances.iter().filter(|i| self.executes(&i.entry, &s.spawner)).collect();
+                let multi = spawner_hosts.len() >= 2
+                    || spawner_hosts.iter().any(|h| marked.contains(&h.entry));
+                if multi {
+                    marked.insert(s.entry.clone());
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.self_concurrent = marked;
+    }
+
+    fn executes(&self, entry: &str, f: &str) -> bool {
+        self.cg.reach(entry).is_some_and(|r| r.contains(f))
+    }
+
+    /// Instances that may execute function `f`.
+    pub fn executors(&self, f: &str) -> Vec<usize> {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| self.executes(&i.entry, f))
+            .map(|(idx, _)| idx)
+            .collect()
+    }
+
+    pub fn is_self_concurrent(&self, entry: &str) -> bool {
+        self.self_concurrent.contains(entry)
+    }
+
+    /// Positions within `frame_fn`'s frame at which code of `f` runs:
+    /// the access's own position if `f == frame_fn`, else every call site
+    /// whose callee reaches `f`.
+    fn frame_positions(&self, frame_fn: &str, f: &str, p: Pos) -> Vec<Pos> {
+        if frame_fn == f {
+            return vec![p];
+        }
+        self.cg
+            .call_sites
+            .get(frame_fn)
+            .map(|sites| {
+                sites
+                    .iter()
+                    .filter(|(_, callee)| self.executes(callee, f))
+                    .map(|&(pos, _)| pos)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Is an access by the spawning activation (at positions of `f`/`p`
+    /// within the spawner frame) inside the child's live window?
+    fn in_window(&self, site: &SpawnSite, f: &str, p: Pos) -> bool {
+        if site.in_loop {
+            return true;
+        }
+        let end = site.join_pos.unwrap_or(Pos::MAX);
+        self.frame_positions(&site.spawner, f, p)
+            .into_iter()
+            .any(|pos| pos > site.spawn_pos && pos < end)
+    }
+
+    /// May instance `i`'s access at (`fa`, `pa`) run concurrently with
+    /// instance `j`'s access at (`fb`, `pb`)?
+    pub fn pair_concurrent(
+        &self,
+        i: usize,
+        fa: &str,
+        pa: Pos,
+        j: usize,
+        fb: &str,
+        pb: Pos,
+    ) -> bool {
+        if i == j {
+            return self.is_self_concurrent(&self.instances[i].entry);
+        }
+        let site_of = |k: usize| self.instances[k].site.map(|idx| &self.sites[idx]);
+        // "i hosts j": the spawn of j happens inside i's own frame tree,
+        // so j is live only within its spawn..join window there.
+        let i_hosts_j =
+            site_of(j).is_some_and(|s| self.executes(&self.instances[i].entry, &s.spawner));
+        let j_hosts_i =
+            site_of(i).is_some_and(|s| self.executes(&self.instances[j].entry, &s.spawner));
+        if i_hosts_j || j_hosts_i {
+            let w1 = i_hosts_j && self.in_window(site_of(j).unwrap(), fa, pa);
+            let w2 = j_hosts_i && self.in_window(site_of(i).unwrap(), fb, pb);
+            return w1 || w2;
+        }
+        match (site_of(i), site_of(j)) {
+            (Some(si), Some(sj)) if si.spawner == sj.spawner => {
+                sites_overlap(si, sj) || self.spawner_multi(&si.spawner)
+            }
+            // Different spawners, or a main-thread access we could not
+            // window: conservatively concurrent.
+            _ => true,
+        }
+    }
+
+    /// Is `f` activated by two or more (potentially concurrent) instances?
+    fn spawner_multi(&self, f: &str) -> bool {
+        let hosts: Vec<&ThreadInstance> =
+            self.instances.iter().filter(|i| self.executes(&i.entry, f)).collect();
+        hosts.len() >= 2 || hosts.iter().any(|h| self.is_self_concurrent(&h.entry))
+    }
+}
+
+fn sites_overlap(a: &SpawnSite, b: &SpawnSite) -> bool {
+    let end_a = a.join_pos.unwrap_or(Pos::MAX);
+    let end_b = b.join_pos.unwrap_or(Pos::MAX);
+    a.spawn_pos < end_b && b.spawn_pos < end_a
+}
+
+fn discover_sites(
+    stmts: &[Stmt],
+    func: &str,
+    in_loop: bool,
+    pos: &HashMap<*const Stmt, Pos>,
+    sites: &mut Vec<SpawnSite>,
+    open: &mut Vec<usize>,
+) {
+    for s in stmts {
+        let p = pos[&(s as *const Stmt)];
+        match s {
+            Stmt::LetThread { name, func: entry, args, line } => {
+                open.push(sites.len());
+                sites.push(SpawnSite {
+                    spawner: func.to_string(),
+                    entry: entry.clone(),
+                    thread_var: name.clone(),
+                    spawn_pos: p,
+                    join_pos: None,
+                    in_loop,
+                    line: *line,
+                    args: args.clone(),
+                });
+            }
+            Stmt::Join { thread, .. } => {
+                // Match the most recent unjoined spawn of this variable.
+                if let Some(k) = open
+                    .iter()
+                    .rev()
+                    .copied()
+                    .find(|&k| sites[k].thread_var == *thread && sites[k].join_pos.is_none())
+                {
+                    sites[k].join_pos = Some(p);
+                }
+            }
+            Stmt::If { then_branch, else_branch, .. } => {
+                discover_sites(then_branch, func, in_loop, pos, sites, open);
+                discover_sites(else_branch, func, in_loop, pos, sites, open);
+            }
+            Stmt::While { body, .. } => {
+                discover_sites(body, func, true, pos, sites, open);
+            }
+            _ => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Points-to: allocation-site abstraction for class pointers.
+// ---------------------------------------------------------------------
+
+/// An allocation site `new Class` at a line.
+pub type AllocSite = (String, u32);
+
+/// (function, pointer variable) -> possible allocation sites.
+#[derive(Clone, Debug, Default)]
+pub struct PointsTo {
+    map: BTreeMap<(String, String), BTreeSet<AllocSite>>,
+}
+
+impl PointsTo {
+    pub fn build(units: &[(Unit, String)], funcs: &BTreeMap<String, &FuncDef>) -> PointsTo {
+        let mut pt = PointsTo::default();
+        // Seed: direct `Class* p = new Class;`.
+        for (unit, _) in units {
+            for f in &unit.functions {
+                visit_stmts(&f.body, &mut |s| {
+                    if let Stmt::LetPtr { class, name, value: Expr::New { .. }, line } = s {
+                        pt.map
+                            .entry((f.name.clone(), name.clone()))
+                            .or_default()
+                            .insert((class.clone(), *line));
+                    }
+                });
+            }
+        }
+        // Propagate through copies, call arguments, and spawn arguments.
+        loop {
+            let mut changed = false;
+            for (unit, _) in units {
+                for f in &unit.functions {
+                    visit_stmts(&f.body, &mut |s| match s {
+                        Stmt::LetPtr { name, value: Expr::Var(src), .. } => {
+                            changed |= pt.flow(&f.name, src, &f.name, name);
+                        }
+                        Stmt::Call { func, args, .. } => {
+                            changed |= pt.bind_args(funcs, &f.name, func, args);
+                        }
+                        Stmt::LetThread { func, args, .. } => {
+                            changed |= pt.bind_args(funcs, &f.name, func, args);
+                        }
+                        _ => {}
+                    });
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        pt
+    }
+
+    fn flow(&mut self, src_fn: &str, src: &str, dst_fn: &str, dst: &str) -> bool {
+        let from = match self.map.get(&(src_fn.to_string(), src.to_string())) {
+            Some(s) if !s.is_empty() => s.clone(),
+            _ => return false,
+        };
+        let into = self.map.entry((dst_fn.to_string(), dst.to_string())).or_default();
+        let before = into.len();
+        into.extend(from);
+        into.len() != before
+    }
+
+    fn bind_args(
+        &mut self,
+        funcs: &BTreeMap<String, &FuncDef>,
+        caller: &str,
+        callee: &str,
+        args: &[Expr],
+    ) -> bool {
+        let Some(f) = funcs.get(callee) else { return false };
+        let mut changed = false;
+        for (k, (ty, pname)) in f.params.iter().enumerate() {
+            if let (ParamType::Ptr(_), Some(Expr::Var(v))) = (ty, args.get(k)) {
+                changed |= self.flow(caller, v, callee, pname);
+            }
+        }
+        changed
+    }
+
+    /// Allocation sites a pointer may refer to (empty = unknown).
+    pub fn sites(&self, func: &str, var: &str) -> BTreeSet<AllocSite> {
+        self.map.get(&(func.to_string(), var.to_string())).cloned().unwrap_or_default()
+    }
+
+    /// Could two pointers alias? Unknown points-to sets alias everything.
+    pub fn may_alias(&self, fa: &str, va: &str, fb: &str, vb: &str) -> bool {
+        let a = self.sites(fa, va);
+        let b = self.sites(fb, vb);
+        if a.is_empty() || b.is_empty() {
+            return true;
+        }
+        a.intersection(&b).next().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn model(src: &str) -> (Unit, ThreadModel) {
+        let unit = parse(src).unwrap();
+        let funcs: BTreeMap<String, &FuncDef> =
+            unit.functions.iter().map(|f| (f.name.clone(), f)).collect();
+        let cg = CallGraph::build(&funcs);
+        let tm = ThreadModel::build(&funcs, &cg);
+        (unit, tm)
+    }
+
+    const TWO_WORKERS: &str = "
+int g;
+void worker(int x) { g = x; }
+void main() {
+    thread a = spawn worker(1);
+    thread b = spawn worker(2);
+    join(a);
+    join(b);
+    g = 3;
+}
+";
+
+    #[test]
+    fn two_overlapping_spawns_of_same_entry_are_self_concurrent() {
+        let (_unit, tm) = model(TWO_WORKERS);
+        assert_eq!(tm.instances.len(), 3);
+        assert!(tm.is_self_concurrent("worker"));
+        assert!(!tm.is_self_concurrent("main"));
+    }
+
+    #[test]
+    fn main_access_after_joins_not_concurrent_with_workers() {
+        let (unit, tm) = model(TWO_WORKERS);
+        let main = unit.functions.iter().find(|f| f.name == "main").unwrap();
+        let pos = stmt_positions(main);
+        // `g = 3;` is the last statement of main.
+        let last = main.body.last().unwrap();
+        let p = pos[&(last as *const Stmt)];
+        // Instance 1 is worker `a`; main is instance 0. The worker access
+        // is inside worker itself.
+        assert!(!tm.pair_concurrent(0, "main", p, 1, "worker", 0));
+        // But a main access between spawn and join would be concurrent:
+        // the spawn of `b` sits inside `a`'s window.
+        let second_spawn = main
+            .body
+            .iter()
+            .filter(|s| matches!(s, Stmt::LetThread { .. }))
+            .nth(1)
+            .map(|s| pos[&(s as *const Stmt)])
+            .unwrap();
+        assert!(tm.pair_concurrent(0, "main", second_spawn, 1, "worker", 0));
+    }
+
+    #[test]
+    fn sequential_spawn_join_pairs_do_not_overlap() {
+        let (_, tm) = model(
+            "int g;
+void worker(int x) { g = x; }
+void main() {
+    thread a = spawn worker(1);
+    join(a);
+    thread b = spawn worker(2);
+    join(b);
+}
+",
+        );
+        assert!(!tm.is_self_concurrent("worker"));
+        // worker-instance vs worker-instance: windows are disjoint.
+        assert!(!tm.pair_concurrent(1, "worker", 0, 2, "worker", 0));
+    }
+
+    #[test]
+    fn spawn_in_loop_is_self_concurrent() {
+        let (_, tm) = model(
+            "int g;
+void worker(int x) { g = x; }
+void main() {
+    int i = 0;
+    while (i < 3) {
+        thread t = spawn worker(i);
+        i = i + 1;
+    }
+}
+",
+        );
+        assert!(tm.is_self_concurrent("worker"));
+        assert!(tm.pair_concurrent(1, "worker", 0, 1, "worker", 0));
+    }
+
+    #[test]
+    fn points_to_flows_through_spawn_args() {
+        let src = "
+class Obj { int f; virtual ~Obj() {} };
+void worker(Obj* o) { o->f = 1; }
+void main() {
+    Obj* p = new Obj;
+    thread t = spawn worker(p);
+    join(t);
+}
+";
+        let unit = parse(src).unwrap();
+        let funcs: BTreeMap<String, &FuncDef> =
+            unit.functions.iter().map(|f| (f.name.clone(), f)).collect();
+        let units = vec![(unit.clone(), "a.cpp".to_string())];
+        let pt = PointsTo::build(&units, &funcs);
+        assert_eq!(pt.sites("worker", "o").len(), 1);
+        assert!(pt.may_alias("worker", "o", "main", "p"));
+    }
+}

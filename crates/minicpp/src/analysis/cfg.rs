@@ -1,0 +1,168 @@
+//! Per-function control-flow graphs over the mini-C++ AST.
+//!
+//! The static passes (locksets, deadlock prediction, lints) are all
+//! forward dataflow problems, so the CFG keeps the AST statements intact
+//! and only makes control edges explicit: `if` becomes a two-way branch
+//! that rejoins, `while` a header with a back edge, `return` an edge to
+//! the synthetic exit block. Branch conditions are kept as [`CfgStmt::Cond`]
+//! nodes so their reads participate in the race check.
+
+use crate::ast::{Expr, FuncDef, Stmt};
+
+pub type BlockId = usize;
+
+/// One CFG node: either a real statement or a branch condition.
+#[derive(Clone, Debug)]
+pub enum CfgStmt<'a> {
+    Stmt(&'a Stmt),
+    /// Condition of an `if`/`while`, evaluated in this block (reads only).
+    Cond(&'a Expr, u32),
+}
+
+impl CfgStmt<'_> {
+    pub fn line(&self) -> u32 {
+        match self {
+            CfgStmt::Stmt(s) => s.line(),
+            CfgStmt::Cond(_, line) => *line,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+pub struct Block<'a> {
+    pub stmts: Vec<CfgStmt<'a>>,
+    pub succs: Vec<BlockId>,
+}
+
+#[derive(Clone, Debug)]
+pub struct Cfg<'a> {
+    pub blocks: Vec<Block<'a>>,
+    pub entry: BlockId,
+    /// Synthetic exit; every `return` and the final fallthrough edge here.
+    pub exit: BlockId,
+}
+
+impl<'a> Cfg<'a> {
+    pub fn build(func: &'a FuncDef) -> Cfg<'a> {
+        let mut blocks: Vec<Block<'a>> = vec![Block::default(), Block::default()];
+        let entry = 0;
+        let exit = 1;
+        let last = lower(&func.body, entry, exit, &mut blocks);
+        blocks[last].succs.push(exit);
+        Cfg { blocks, entry, exit }
+    }
+
+    pub fn preds(&self) -> Vec<Vec<BlockId>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+fn new_block<'a>(blocks: &mut Vec<Block<'a>>) -> BlockId {
+    blocks.push(Block::default());
+    blocks.len() - 1
+}
+
+/// Lower a statement sequence starting in `cur`; returns the block left
+/// open after the sequence (its terminator edge is the caller's job).
+fn lower<'a>(
+    stmts: &'a [Stmt],
+    mut cur: BlockId,
+    exit: BlockId,
+    blocks: &mut Vec<Block<'a>>,
+) -> BlockId {
+    for s in stmts {
+        match s {
+            Stmt::If { cond, then_branch, else_branch, line } => {
+                blocks[cur].stmts.push(CfgStmt::Cond(cond, *line));
+                let then_entry = new_block(blocks);
+                let else_entry = new_block(blocks);
+                blocks[cur].succs.push(then_entry);
+                blocks[cur].succs.push(else_entry);
+                let t_end = lower(then_branch, then_entry, exit, blocks);
+                let e_end = lower(else_branch, else_entry, exit, blocks);
+                let join = new_block(blocks);
+                blocks[t_end].succs.push(join);
+                blocks[e_end].succs.push(join);
+                cur = join;
+            }
+            Stmt::While { cond, body, line } => {
+                let header = new_block(blocks);
+                blocks[cur].succs.push(header);
+                blocks[header].stmts.push(CfgStmt::Cond(cond, *line));
+                let body_entry = new_block(blocks);
+                let after = new_block(blocks);
+                blocks[header].succs.push(body_entry);
+                blocks[header].succs.push(after);
+                let b_end = lower(body, body_entry, exit, blocks);
+                blocks[b_end].succs.push(header);
+                cur = after;
+            }
+            Stmt::Return { .. } => {
+                blocks[cur].stmts.push(CfgStmt::Stmt(s));
+                blocks[cur].succs.push(exit);
+                // Anything after a return is dead; give it an unreachable
+                // block (no predecessors), which the dataflow skips.
+                cur = new_block(blocks);
+            }
+            _ => blocks[cur].stmts.push(CfgStmt::Stmt(s)),
+        }
+    }
+    cur
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn cfg_of(src: &str) -> (crate::ast::Unit, usize) {
+        let unit = parse(src).unwrap();
+        let n = Cfg::build(&unit.functions[0]).blocks.len();
+        (unit, n)
+    }
+
+    #[test]
+    fn straight_line_is_two_blocks() {
+        let (_, n) = cfg_of("mutex m;\nvoid main() { lock(m); unlock(m); }");
+        assert_eq!(n, 2, "entry + exit");
+    }
+
+    #[test]
+    fn if_adds_branches_and_join() {
+        let unit =
+            parse("int g;\nvoid main() { if (g == 1) { g = 2; } else { g = 3; } g = 4; }").unwrap();
+        let cfg = Cfg::build(&unit.functions[0]);
+        // entry (cond), exit, then, else, join
+        assert_eq!(cfg.blocks.len(), 5);
+        assert_eq!(cfg.blocks[cfg.entry].succs.len(), 2);
+        let preds = cfg.preds();
+        // The join block has two predecessors and falls through to exit.
+        let join = (0..cfg.blocks.len()).find(|&b| preds[b].len() == 2).unwrap();
+        assert_eq!(cfg.blocks[join].succs, vec![cfg.exit]);
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let unit = parse("int g;\nvoid main() { while (g < 3) { g = g + 1; } }").unwrap();
+        let cfg = Cfg::build(&unit.functions[0]);
+        let preds = cfg.preds();
+        // Header: reached from both entry and the loop body.
+        let header = (0..cfg.blocks.len())
+            .find(|&b| preds[b].len() == 2 && !cfg.blocks[b].stmts.is_empty())
+            .expect("loop header");
+        assert!(matches!(cfg.blocks[header].stmts[0], CfgStmt::Cond(..)));
+    }
+
+    #[test]
+    fn return_edges_to_exit() {
+        let unit = parse("int g;\nint f() { return 1; }\nvoid main() { g = f(); }").unwrap();
+        let cfg = Cfg::build(&unit.functions[0]);
+        assert!(cfg.blocks[cfg.entry].succs.contains(&cfg.exit));
+    }
+}

@@ -1,0 +1,120 @@
+//! Static lock-order graph and AB-BA cycle prediction.
+//!
+//! Mirrors `helgrind_core::lockorder` on the static side: every lock
+//! acquisition performed while other locks are must-held contributes
+//! ordering edges `held -> acquired`; a cycle in the resulting graph is a
+//! potential deadlock even if no schedule has exercised it yet — the
+//! paper's motivation for pairing dynamic detection with prediction.
+
+use super::cfg::CfgStmt;
+use super::lockset::LockAnalysis;
+use super::ProgramView;
+use crate::ast::Stmt;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where an ordering edge was observed.
+#[derive(Clone, Debug)]
+pub struct EdgeLoc {
+    pub file: String,
+    pub line: u32,
+    pub func: String,
+}
+
+/// A predicted deadlock cycle.
+#[derive(Clone, Debug)]
+pub struct StaticCycle {
+    /// Lock names, closing element repeated: `[a, b, a]`.
+    pub cycle: Vec<String>,
+    /// One location per edge of the cycle.
+    pub edge_locs: Vec<EdgeLoc>,
+}
+
+impl StaticCycle {
+    pub fn describe(&self) -> String {
+        format!("lock order cycle: {}", self.cycle.join(" -> "))
+    }
+}
+
+/// Canonical cycle body: drop the closing element, rotate min-first
+/// (same scheme as the dynamic graph's deduplication).
+fn canonicalise(cycle: &[String]) -> Vec<String> {
+    let body = &cycle[..cycle.len() - 1];
+    let min_pos = body.iter().enumerate().min_by_key(|&(_, l)| l).map(|(i, _)| i).unwrap_or(0);
+    body.iter().cycle().skip(min_pos).take(body.len()).cloned().collect()
+}
+
+pub fn find_cycles(view: &ProgramView<'_>, la: &LockAnalysis<'_>) -> Vec<StaticCycle> {
+    // held -> acquired -> first location.
+    let mut edges: BTreeMap<String, BTreeMap<String, EdgeLoc>> = BTreeMap::new();
+    for (name, flow) in &la.flows {
+        let file = view.files.get(name).cloned().unwrap_or_default();
+        for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+            for (k, cs) in blk.stmts.iter().enumerate() {
+                let acquired = match cs {
+                    CfgStmt::Stmt(Stmt::Lock { mutex: m, line })
+                    | CfgStmt::Stmt(Stmt::RdLock { rwlock: m, line })
+                    | CfgStmt::Stmt(Stmt::WrLock { rwlock: m, line }) => Some((m, *line)),
+                    _ => None,
+                };
+                let Some((m, line)) = acquired else { continue };
+                let Some(held) = &flow.must_in[b][k] else { continue };
+                for h in held.keys().filter(|h| *h != m) {
+                    edges.entry(h.clone()).or_default().entry(m.clone()).or_insert(EdgeLoc {
+                        file: file.clone(),
+                        line,
+                        func: name.clone(),
+                    });
+                }
+            }
+        }
+    }
+
+    // For each edge a->b, a path b ->* a closes a cycle.
+    let mut seen: BTreeSet<Vec<String>> = BTreeSet::new();
+    let mut cycles = Vec::new();
+    for (a, succs) in &edges {
+        for b in succs.keys() {
+            if let Some(mut path) = path(&edges, b, a) {
+                // path = [b, ..., a]; close it through the a->b edge.
+                path.push(b.clone());
+                if !seen.insert(canonicalise(&path)) {
+                    continue;
+                }
+                let edge_locs = path.windows(2).map(|w| edges[&w[0]][&w[1]].clone()).collect();
+                cycles.push(StaticCycle { cycle: path, edge_locs });
+            }
+        }
+    }
+    cycles
+}
+
+fn path(
+    edges: &BTreeMap<String, BTreeMap<String, EdgeLoc>>,
+    from: &str,
+    to: &str,
+) -> Option<Vec<String>> {
+    fn dfs(
+        edges: &BTreeMap<String, BTreeMap<String, EdgeLoc>>,
+        cur: &str,
+        to: &str,
+        visited: &mut BTreeSet<String>,
+        trail: &mut Vec<String>,
+    ) -> bool {
+        trail.push(cur.to_string());
+        if cur == to {
+            return true;
+        }
+        if let Some(succs) = edges.get(cur) {
+            for next in succs.keys() {
+                if visited.insert(next.clone()) && dfs(edges, next, to, visited, trail) {
+                    return true;
+                }
+            }
+        }
+        trail.pop();
+        false
+    }
+    let mut visited: BTreeSet<String> = std::iter::once(from.to_string()).collect();
+    let mut trail = Vec::new();
+    dfs(edges, from, to, &mut visited, &mut trail).then_some(trail)
+}

@@ -1,0 +1,196 @@
+//! Lint passes over the lockset dataflow: lock-discipline mistakes and
+//! the paper's destructor-annotation gap, caught before any execution.
+
+use super::cfg::CfgStmt;
+use super::lockset::{LockAnalysis, LockSet, Mode};
+use super::ProgramView;
+use crate::ast::{ParamType, Stmt};
+use std::collections::BTreeSet;
+
+/// One lint finding, pre-`Report` (the caller attaches files/rendering).
+#[derive(Clone, Debug)]
+pub struct LintFinding {
+    pub kind: LintKind,
+    pub func: String,
+    pub line: u32,
+    pub details: String,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LintKind {
+    DoubleLock,
+    UnlockWithoutLock,
+    LockLeak,
+    UnannotatedDelete,
+    DeleteWhileLocked,
+}
+
+/// Does `class` (or an ancestor) declare a virtual destructor?
+fn polymorphic(view: &ProgramView<'_>, class: &str) -> bool {
+    let mut cur = Some(class.to_string());
+    let mut fuel = 64; // cycle guard for malformed hierarchies
+    while let Some(c) = cur {
+        let Some(def) = view.classes.get(&c) else { return false };
+        if def.virtual_dtor {
+            return true;
+        }
+        fuel -= 1;
+        if fuel == 0 {
+            return false;
+        }
+        cur = def.base.clone();
+    }
+    false
+}
+
+/// The declared class of a pointer variable in `func`: a `Class* p = ...`
+/// declaration or a `Class*` parameter.
+fn pointer_class(view: &ProgramView<'_>, func: &str, var: &str) -> Option<String> {
+    let f = view.funcs.get(func)?;
+    for (ty, name) in &f.params {
+        if let (ParamType::Ptr(c), true) = (ty, name == var) {
+            return Some(c.clone());
+        }
+    }
+    let mut found = None;
+    super::callgraph::visit_stmts(&f.body, &mut |s| {
+        if let Stmt::LetPtr { class, name, .. } = s {
+            if name == var && found.is_none() {
+                found = Some(class.clone());
+            }
+        }
+    });
+    found
+}
+
+pub fn run(view: &ProgramView<'_>, la: &LockAnalysis<'_>) -> Vec<LintFinding> {
+    let mut out = Vec::new();
+    for (name, flow) in &la.flows {
+        let entry_keys: BTreeSet<String> = la
+            .entry_ctx
+            .get(name)
+            .and_then(|c| c.as_ref())
+            .map(|c| c.keys().cloned().collect())
+            .unwrap_or_default();
+        let own_releases = &la.summaries[name].may_release;
+
+        for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+            for (k, cs) in blk.stmts.iter().enumerate() {
+                let CfgStmt::Stmt(stmt) = cs else { continue };
+                let must = flow.must_in[b][k].as_ref();
+                let may = flow.may_in[b][k].as_ref();
+                match stmt {
+                    Stmt::Lock { mutex: m, line } | Stmt::WrLock { rwlock: m, line }
+                        if must.is_some_and(|h| h.contains_key(m)) =>
+                    {
+                        out.push(LintFinding {
+                            kind: LintKind::DoubleLock,
+                            func: name.clone(),
+                            line: *line,
+                            details: format!(
+                                "'{m}' is already held on every path reaching this \
+                                 acquisition (self-deadlock)"
+                            ),
+                        });
+                    }
+                    // rd-after-rd is legal on POSIX rwlocks; only a
+                    // write-held relock self-deadlocks.
+                    Stmt::RdLock { rwlock: m, line }
+                        if must.is_some_and(|h| h.get(m) == Some(&Mode::Exclusive)) =>
+                    {
+                        out.push(LintFinding {
+                            kind: LintKind::DoubleLock,
+                            func: name.clone(),
+                            line: *line,
+                            details: format!(
+                                "'{m}' is already write-held on every path reaching \
+                                 this rdlock (self-deadlock)"
+                            ),
+                        });
+                    }
+                    Stmt::Unlock { mutex: m, line } | Stmt::RwUnlock { rwlock: m, line }
+                        if may.is_some_and(|h| !h.contains(m)) =>
+                    {
+                        out.push(LintFinding {
+                            kind: LintKind::UnlockWithoutLock,
+                            func: name.clone(),
+                            line: *line,
+                            details: format!("'{m}' cannot be held on any path here"),
+                        });
+                    }
+                    Stmt::Delete { ptr, annotated, line } => {
+                        if let Some(held) = must {
+                            if !held.is_empty() {
+                                let names: Vec<&str> = held.keys().map(|s| s.as_str()).collect();
+                                out.push(LintFinding {
+                                    kind: LintKind::DeleteWhileLocked,
+                                    func: name.clone(),
+                                    line: *line,
+                                    details: format!(
+                                        "'delete {ptr}' runs while holding {}; destructors \
+                                         are opaque and may block or re-enter",
+                                        names.join(", ")
+                                    ),
+                                });
+                            }
+                        }
+                        if !annotated {
+                            if let Some(class) = pointer_class(view, name, ptr) {
+                                if polymorphic(view, &class) {
+                                    out.push(LintFinding {
+                                        kind: LintKind::UnannotatedDelete,
+                                        func: name.clone(),
+                                        line: *line,
+                                        details: format!(
+                                            "'delete {ptr}' destroys polymorphic class \
+                                             '{class}' without the DR annotation; the \
+                                             vptr write in the destructor stays invisible \
+                                             to the dynamic detector"
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+
+        // Lock leaks: a path reaches the function exit still holding a
+        // lock this function (transitively) does release elsewhere —
+        // deliberate lock-wrapper functions never release, so they are
+        // exempt. Locks already held at entry belong to the caller.
+        let mut leaked_seen: BTreeSet<(u32, String)> = BTreeSet::new();
+        for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+            if !blk.succs.contains(&flow.cfg.exit) || b == flow.cfg.exit {
+                continue;
+            }
+            // Empty or unreachable blocks carry nothing to report.
+            let Some(Some(first_in)) = flow.must_in[b].first() else { continue };
+            // Replay the block to its out-state.
+            let mut cur: LockSet = first_in.clone();
+            for s in &blk.stmts {
+                super::lockset::replay_must(s, &mut cur, &la.summaries);
+            }
+            let Some(line) = blk.stmts.last().map(|s| s.line()) else { continue };
+            for (m, _) in cur.iter() {
+                if entry_keys.contains(m) || !own_releases.contains(m) {
+                    continue;
+                }
+                if leaked_seen.insert((line, m.clone())) {
+                    out.push(LintFinding {
+                        kind: LintKind::LockLeak,
+                        func: name.clone(),
+                        line,
+                        details: format!(
+                            "this exit path leaves '{m}' held, but other paths in \
+                             '{name}' release it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,605 @@
+//! Flow-sensitive must-held lockset dataflow and the static race check.
+//!
+//! The must analysis computes, for every program point, the set of locks
+//! held on *every* path reaching it (meet = intersection over CFG joins),
+//! with the mode a rwlock is held in. It is interprocedural via call-graph
+//! summaries: a callee's summary says which locks it definitely acquires
+//! (exit must-set from an empty entry) and which it may release anywhere.
+//! A companion may-held analysis (join = union) feeds the
+//! unlock-without-lock lint.
+//!
+//! The race check mirrors the dynamic HWLC rules of
+//! `helgrind_core::eraser` (the `BusLockModel::RwLock` arm): a read's
+//! effective lockset is every lock held in any mode plus the bus lock, a
+//! plain write's is the exclusively-held locks only, and a LOCK-prefixed
+//! RMW holds the bus exclusively — so two `atomic_inc`s never race with
+//! each other, but an `atomic_inc` against a plain write does.
+
+use super::callgraph::{stmt_callees, stmt_positions, Pos};
+use super::cfg::{Cfg, CfgStmt};
+use super::ProgramView;
+use crate::ast::{Expr, GlobalKind, Stmt};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The bus pseudo-lock of the HWLC model (held by atomics, read-held by
+/// plain reads). Named so it cannot collide with a program lock.
+pub const BUS_LOCK: &str = "<bus>";
+
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Mode {
+    /// Read-held (rdlock).
+    Shared,
+    /// Write-held (mutex lock / wrlock).
+    Exclusive,
+}
+
+/// Locks definitely held, with the weakest mode they are held in.
+pub type LockSet = BTreeMap<String, Mode>;
+
+/// Meet for the must analysis: keys in both, weaker mode wins.
+fn meet(a: &LockSet, b: &LockSet) -> LockSet {
+    a.iter().filter_map(|(k, &ma)| b.get(k).map(|&mb| (k.clone(), ma.min(mb)))).collect()
+}
+
+/// Interprocedural effect of calling a function.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Summary {
+    /// Locks definitely held at exit when entered holding nothing.
+    pub acquired: LockSet,
+    /// Locks the function (transitively) may release.
+    pub may_release: BTreeSet<String>,
+    /// Locks the function (transitively) may acquire.
+    pub may_acquire: BTreeSet<String>,
+}
+
+fn cfg_stmt_callees<'a>(s: &CfgStmt<'a>) -> Vec<&'a str> {
+    match s {
+        CfgStmt::Stmt(st) => stmt_callees(st),
+        CfgStmt::Cond(e, _) => {
+            fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a str>) {
+                match e {
+                    Expr::Call { func, args } => {
+                        out.push(func);
+                        args.iter().for_each(|a| walk(a, out));
+                    }
+                    Expr::Bin { lhs, rhs, .. } => {
+                        walk(lhs, out);
+                        walk(rhs, out);
+                    }
+                    _ => {}
+                }
+            }
+            let mut out = Vec::new();
+            walk(e, &mut out);
+            out
+        }
+    }
+}
+
+fn transfer_must(s: &CfgStmt<'_>, st: &mut LockSet, summaries: &BTreeMap<String, Summary>) {
+    match s {
+        CfgStmt::Stmt(Stmt::Lock { mutex, .. }) => {
+            st.insert(mutex.clone(), Mode::Exclusive);
+        }
+        CfgStmt::Stmt(Stmt::WrLock { rwlock, .. }) => {
+            st.insert(rwlock.clone(), Mode::Exclusive);
+        }
+        CfgStmt::Stmt(Stmt::RdLock { rwlock, .. }) => {
+            // Keep a stronger mode if the lock is somehow already held.
+            st.entry(rwlock.clone()).or_insert(Mode::Shared);
+        }
+        CfgStmt::Stmt(Stmt::Unlock { mutex: name, .. })
+        | CfgStmt::Stmt(Stmt::RwUnlock { rwlock: name, .. }) => {
+            st.remove(name);
+        }
+        other => {
+            for callee in cfg_stmt_callees(other) {
+                if let Some(sum) = summaries.get(callee) {
+                    for m in &sum.may_release {
+                        st.remove(m);
+                    }
+                    for (m, mode) in &sum.acquired {
+                        st.entry(m.clone()).or_insert(*mode);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn transfer_may(s: &CfgStmt<'_>, st: &mut BTreeSet<String>, summaries: &BTreeMap<String, Summary>) {
+    match s {
+        CfgStmt::Stmt(Stmt::Lock { mutex: name, .. })
+        | CfgStmt::Stmt(Stmt::WrLock { rwlock: name, .. })
+        | CfgStmt::Stmt(Stmt::RdLock { rwlock: name, .. }) => {
+            st.insert(name.clone());
+        }
+        CfgStmt::Stmt(Stmt::Unlock { mutex: name, .. })
+        | CfgStmt::Stmt(Stmt::RwUnlock { rwlock: name, .. }) => {
+            st.remove(name);
+        }
+        other => {
+            for callee in cfg_stmt_callees(other) {
+                if let Some(sum) = summaries.get(callee) {
+                    // A callee may acquire; releases are not guaranteed, so
+                    // for an over-approximation nothing is removed.
+                    st.extend(sum.may_acquire.iter().cloned());
+                }
+            }
+        }
+    }
+}
+
+/// The must transfer, exposed so consumers (lints) can replay a block
+/// from its in-state to its out-state.
+pub fn replay_must(s: &CfgStmt<'_>, st: &mut LockSet, summaries: &BTreeMap<String, Summary>) {
+    transfer_must(s, st, summaries)
+}
+
+/// Per-function dataflow results. Indexed `[block][stmt]`; `None` means
+/// the point is unreachable (or the function is never invoked).
+pub struct FuncFlow<'a> {
+    pub cfg: Cfg<'a>,
+    pub pos: HashMap<*const Stmt, Pos>,
+    pub must_in: Vec<Vec<Option<LockSet>>>,
+    pub may_in: Vec<Vec<Option<BTreeSet<String>>>>,
+    pub exit_must: Option<LockSet>,
+}
+
+fn block_fixpoint<T: Clone + PartialEq>(
+    cfg: &Cfg<'_>,
+    entry: Option<T>,
+    transfer: &impl Fn(&CfgStmt<'_>, &mut T),
+    merge: &impl Fn(&T, &T) -> T,
+) -> Vec<Option<T>> {
+    let n = cfg.blocks.len();
+    let mut in_state: Vec<Option<T>> = vec![None; n];
+    in_state[cfg.entry] = entry;
+    loop {
+        let mut changed = false;
+        for b in 0..n {
+            let Some(st) = in_state[b].clone() else { continue };
+            let mut cur = st;
+            for s in &cfg.blocks[b].stmts {
+                transfer(s, &mut cur);
+            }
+            for &succ in &cfg.blocks[b].succs {
+                let merged = match &in_state[succ] {
+                    None => cur.clone(),
+                    Some(prev) => merge(prev, &cur),
+                };
+                if in_state[succ].as_ref() != Some(&merged) {
+                    in_state[succ] = Some(merged);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return in_state;
+        }
+    }
+}
+
+/// Replay transfers to record the state *before* every statement.
+fn per_stmt<T: Clone>(
+    cfg: &Cfg<'_>,
+    block_in: &[Option<T>],
+    transfer: &impl Fn(&CfgStmt<'_>, &mut T),
+) -> Vec<Vec<Option<T>>> {
+    cfg.blocks
+        .iter()
+        .enumerate()
+        .map(|(b, blk)| match &block_in[b] {
+            None => vec![None; blk.stmts.len()],
+            Some(st) => {
+                let mut cur = st.clone();
+                blk.stmts
+                    .iter()
+                    .map(|s| {
+                        let before = cur.clone();
+                        transfer(s, &mut cur);
+                        Some(before)
+                    })
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+/// Whole-program lockset analysis.
+pub struct LockAnalysis<'a> {
+    pub flows: BTreeMap<String, FuncFlow<'a>>,
+    pub summaries: BTreeMap<String, Summary>,
+    pub entry_ctx: BTreeMap<String, Option<LockSet>>,
+}
+
+impl<'a> LockAnalysis<'a> {
+    pub fn run(view: &ProgramView<'a>) -> LockAnalysis<'a> {
+        let cfgs: BTreeMap<String, Cfg<'a>> =
+            view.funcs.iter().map(|(n, f)| (n.clone(), Cfg::build(f))).collect();
+
+        // Syntactic may-release / may-acquire, closed over the call graph.
+        let mut summaries: BTreeMap<String, Summary> = BTreeMap::new();
+        for (name, f) in &view.funcs {
+            let mut rel = BTreeSet::new();
+            let mut acq = BTreeSet::new();
+            super::callgraph::visit_stmts(&f.body, &mut |s| match s {
+                Stmt::Unlock { mutex: m, .. } | Stmt::RwUnlock { rwlock: m, .. } => {
+                    rel.insert(m.clone());
+                }
+                Stmt::Lock { mutex: m, .. }
+                | Stmt::RdLock { rwlock: m, .. }
+                | Stmt::WrLock { rwlock: m, .. } => {
+                    acq.insert(m.clone());
+                }
+                _ => {}
+            });
+            summaries.insert(
+                name.clone(),
+                Summary { acquired: LockSet::new(), may_release: rel, may_acquire: acq },
+            );
+        }
+        for name in view.funcs.keys() {
+            let reach = view.cg.reach(name).cloned().unwrap_or_default();
+            let (mut rel, mut acq) = (BTreeSet::new(), BTreeSet::new());
+            for g in &reach {
+                if let Some(s) = summaries.get(g) {
+                    rel.extend(s.may_release.iter().cloned());
+                    acq.extend(s.may_acquire.iter().cloned());
+                }
+            }
+            let s = summaries.get_mut(name).unwrap();
+            s.may_release = rel;
+            s.may_acquire = acq;
+        }
+
+        // `acquired` summaries: ascending fixpoint from the empty set.
+        loop {
+            let mut changed = false;
+            for (name, cfg) in &cfgs {
+                let block_in = block_fixpoint(
+                    cfg,
+                    Some(LockSet::new()),
+                    &|s, st| transfer_must(s, st, &summaries),
+                    &meet,
+                );
+                let acq = block_in[cfg.exit].clone().unwrap_or_default();
+                if summaries[name].acquired != acq {
+                    summaries.get_mut(name).unwrap().acquired = acq;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Entry contexts: empty for main and thread entries, meet over call
+        // sites for everything else; descending fixpoint.
+        let mut entry_ctx: BTreeMap<String, Option<LockSet>> =
+            view.funcs.keys().map(|n| (n.clone(), None)).collect();
+        let mut may_ctx: BTreeMap<String, Option<BTreeSet<String>>> =
+            view.funcs.keys().map(|n| (n.clone(), None)).collect();
+        for inst in &view.tm.instances {
+            entry_ctx.insert(inst.entry.clone(), Some(LockSet::new()));
+            may_ctx.insert(inst.entry.clone(), Some(BTreeSet::new()));
+        }
+        loop {
+            let mut changed = false;
+            for (name, cfg) in &cfgs {
+                let Some(ctx) = entry_ctx[name].clone() else { continue };
+                let block_in = block_fixpoint(
+                    cfg,
+                    Some(ctx),
+                    &|s, st| transfer_must(s, st, &summaries),
+                    &meet,
+                );
+                let stmt_in = per_stmt(cfg, &block_in, &|s, st| transfer_must(s, st, &summaries));
+                let may_block = block_fixpoint(
+                    cfg,
+                    may_ctx[name].clone(),
+                    &|s, st| transfer_may(s, st, &summaries),
+                    &|a: &BTreeSet<String>, b: &BTreeSet<String>| a.union(b).cloned().collect(),
+                );
+                let may_stmt = per_stmt(cfg, &may_block, &|s, st| transfer_may(s, st, &summaries));
+                for (b, blk) in cfg.blocks.iter().enumerate() {
+                    for (k, s) in blk.stmts.iter().enumerate() {
+                        for callee in cfg_stmt_callees(s) {
+                            if !view.funcs.contains_key(callee) {
+                                continue;
+                            }
+                            if let Some(site_st) = &stmt_in[b][k] {
+                                let cur = entry_ctx.get_mut(callee).unwrap();
+                                let merged = match cur.as_ref() {
+                                    None => site_st.clone(),
+                                    Some(prev) => meet(prev, site_st),
+                                };
+                                if cur.as_ref() != Some(&merged) {
+                                    *cur = Some(merged);
+                                    changed = true;
+                                }
+                            }
+                            if let Some(site_may) = &may_stmt[b][k] {
+                                let cur = may_ctx.get_mut(callee).unwrap();
+                                let merged: BTreeSet<String> = match cur.as_ref() {
+                                    None => site_may.clone(),
+                                    Some(prev) => prev.union(site_may).cloned().collect(),
+                                };
+                                if cur.as_ref() != Some(&merged) {
+                                    *cur = Some(merged);
+                                    changed = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Final per-statement states under the stable contexts.
+        let mut flows = BTreeMap::new();
+        for (name, cfg) in cfgs {
+            let f = view.funcs[&name];
+            let block_in = block_fixpoint(
+                &cfg,
+                entry_ctx[&name].clone(),
+                &|s, st| transfer_must(s, st, &summaries),
+                &meet,
+            );
+            let must_in = per_stmt(&cfg, &block_in, &|s, st| transfer_must(s, st, &summaries));
+            let may_block = block_fixpoint(
+                &cfg,
+                may_ctx[&name].clone(),
+                &|s, st| transfer_may(s, st, &summaries),
+                &|a: &BTreeSet<String>, b: &BTreeSet<String>| a.union(b).cloned().collect(),
+            );
+            let may_in = per_stmt(&cfg, &may_block, &|s, st| transfer_may(s, st, &summaries));
+            let exit_must = block_in[cfg.exit].clone();
+            flows.insert(
+                name.clone(),
+                FuncFlow { pos: stmt_positions(f), cfg, must_in, may_in, exit_must },
+            );
+        }
+        LockAnalysis { flows, summaries, entry_ctx }
+    }
+
+    /// Must-held lockset (names only) before each (func, line) point, for
+    /// cross-checking against dynamically observed locksets. Where a line
+    /// holds several statements the states are met.
+    pub fn must_by_line(&self) -> BTreeMap<(String, u32), BTreeSet<String>> {
+        let mut out: BTreeMap<(String, u32), Option<LockSet>> = BTreeMap::new();
+        for (name, flow) in &self.flows {
+            for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+                for (k, s) in blk.stmts.iter().enumerate() {
+                    let Some(st) = &flow.must_in[b][k] else { continue };
+                    let key = (name.clone(), s.line());
+                    let cur = out.entry(key).or_insert_with(|| Some(st.clone()));
+                    if let Some(prev) = cur {
+                        *cur = Some(meet(prev, st));
+                    }
+                }
+            }
+        }
+        out.into_iter().filter_map(|(k, v)| v.map(|set| (k, set.into_keys().collect()))).collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Static race check.
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    Read,
+    Write,
+    Atomic,
+}
+
+impl AccessKind {
+    pub fn is_write(self) -> bool {
+        !matches!(self, AccessKind::Read)
+    }
+}
+
+/// What a statement touches.
+#[derive(Clone, Debug)]
+pub enum Target {
+    Global(String),
+    Field { base: String, field: String },
+}
+
+impl Target {
+    pub fn describe(&self) -> String {
+        match self {
+            Target::Global(g) => g.clone(),
+            Target::Field { base, field } => format!("{base}->{field}"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+pub struct AccessRec {
+    pub func: String,
+    pub pos: Pos,
+    pub line: u32,
+    pub target: Target,
+    pub kind: AccessKind,
+    /// Effective lockset per the HWLC rules (bus lock included).
+    pub effective: BTreeSet<String>,
+}
+
+fn expr_reads(e: &Expr, out: &mut Vec<Target>) {
+    match e {
+        Expr::Var(n) => out.push(Target::Global(n.clone())),
+        Expr::Field { base, field } => {
+            out.push(Target::Field { base: base.clone(), field: field.clone() })
+        }
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_reads(lhs, out);
+            expr_reads(rhs, out);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| expr_reads(a, out)),
+        _ => {}
+    }
+}
+
+fn effective_set(kind: AccessKind, held: &LockSet) -> BTreeSet<String> {
+    let mut s: BTreeSet<String> = match kind {
+        // A read is protected by locks held in any mode, and is atomic
+        // w.r.t. the bus for word-sized data.
+        AccessKind::Read => held.keys().cloned().collect(),
+        // A plain write needs exclusive ownership; the bus gives none.
+        AccessKind::Write => {
+            held.iter().filter(|(_, &m)| m == Mode::Exclusive).map(|(k, _)| k.clone()).collect()
+        }
+        // LOCK-prefixed RMW: exclusively-held locks plus the bus.
+        AccessKind::Atomic => {
+            held.iter().filter(|(_, &m)| m == Mode::Exclusive).map(|(k, _)| k.clone()).collect()
+        }
+    };
+    if matches!(kind, AccessKind::Read | AccessKind::Atomic) {
+        s.insert(BUS_LOCK.to_string());
+    }
+    s
+}
+
+/// Collect every shared-memory access with its effective lockset.
+pub fn collect_accesses(view: &ProgramView<'_>, la: &LockAnalysis<'_>) -> Vec<AccessRec> {
+    let mut out = Vec::new();
+    for (name, flow) in &la.flows {
+        let func = view.funcs[name];
+        // Names shadowed by params or locals are not globals here.
+        let mut locals: BTreeSet<&str> = func.params.iter().map(|(_, n)| n.as_str()).collect();
+        super::callgraph::visit_stmts(&func.body, &mut |s| match s {
+            Stmt::LetInt { name, .. } | Stmt::LetPtr { name, .. } => {
+                locals.insert(name);
+            }
+            _ => {}
+        });
+        let is_global_int =
+            |n: &str| !locals.contains(n) && matches!(view.globals.get(n), Some(GlobalKind::Int));
+
+        for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+            for (k, cs) in blk.stmts.iter().enumerate() {
+                let Some(held) = &flow.must_in[b][k] else { continue };
+                let line = cs.line();
+                let pos = match cs {
+                    CfgStmt::Stmt(st) => flow.pos[&(*st as *const Stmt)],
+                    // Conditions share the position of their If/While; the
+                    // closest stable proxy is the first position in the
+                    // block, or 0 for an empty prefix.
+                    CfgStmt::Cond(..) => blk
+                        .stmts
+                        .iter()
+                        .find_map(|s| match s {
+                            CfgStmt::Stmt(st) => Some(flow.pos[&(*st as *const Stmt)]),
+                            _ => None,
+                        })
+                        .unwrap_or(0),
+                };
+                let mut push = |target: Target, kind: AccessKind| {
+                    let keep = match &target {
+                        Target::Global(g) => is_global_int(g),
+                        Target::Field { .. } => true,
+                    };
+                    if keep {
+                        out.push(AccessRec {
+                            func: name.clone(),
+                            pos,
+                            line,
+                            target,
+                            kind,
+                            effective: effective_set(kind, held),
+                        });
+                    }
+                };
+                let mut reads: Vec<Target> = Vec::new();
+                match cs {
+                    CfgStmt::Cond(e, _) => expr_reads(e, &mut reads),
+                    CfgStmt::Stmt(st) => match st {
+                        Stmt::LetInt { value, .. }
+                        | Stmt::LetPtr { value, .. }
+                        | Stmt::Assign { value, .. }
+                        | Stmt::FieldAssign { value, .. } => expr_reads(value, &mut reads),
+                        Stmt::Return { value: Some(v), .. } => expr_reads(v, &mut reads),
+                        Stmt::LetThread { args, .. } | Stmt::Call { args, .. } => {
+                            args.iter().for_each(|a| expr_reads(a, &mut reads))
+                        }
+                        _ => {}
+                    },
+                }
+                match cs {
+                    CfgStmt::Stmt(Stmt::Assign { name: n, .. }) => {
+                        push(Target::Global(n.clone()), AccessKind::Write)
+                    }
+                    CfgStmt::Stmt(Stmt::FieldAssign { base, field, .. }) => push(
+                        Target::Field { base: base.clone(), field: field.clone() },
+                        AccessKind::Write,
+                    ),
+                    CfgStmt::Stmt(Stmt::AtomicInc { target, .. }) => match target {
+                        Expr::Var(n) => push(Target::Global(n.clone()), AccessKind::Atomic),
+                        Expr::Field { base, field } => push(
+                            Target::Field { base: base.clone(), field: field.clone() },
+                            AccessKind::Atomic,
+                        ),
+                        _ => {}
+                    },
+                    _ => {}
+                }
+                for t in reads {
+                    push(t, AccessKind::Read);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn same_location(view: &ProgramView<'_>, a: &AccessRec, b: &AccessRec) -> bool {
+    match (&a.target, &b.target) {
+        (Target::Global(x), Target::Global(y)) => x == y,
+        (Target::Field { base: ba, field: fa }, Target::Field { base: bb, field: fb }) => {
+            fa == fb && view.pt.may_alias(&a.func, ba, &b.func, bb)
+        }
+        _ => false,
+    }
+}
+
+/// A race between two statically-concurrent accesses with disjoint
+/// effective locksets.
+#[derive(Clone, Debug)]
+pub struct StaticRace {
+    pub a: AccessRec,
+    pub b: AccessRec,
+}
+
+pub fn find_races(view: &ProgramView<'_>, la: &LockAnalysis<'_>) -> Vec<StaticRace> {
+    let accesses = collect_accesses(view, la);
+    let mut races = Vec::new();
+    for (ai, a) in accesses.iter().enumerate() {
+        for b in &accesses[ai..] {
+            if !(a.kind.is_write() || b.kind.is_write()) {
+                continue;
+            }
+            if !same_location(view, a, b) {
+                continue;
+            }
+            if a.effective.intersection(&b.effective).next().is_some() {
+                continue;
+            }
+            let concurrent = view.tm.executors(&a.func).into_iter().any(|i| {
+                view.tm
+                    .executors(&b.func)
+                    .into_iter()
+                    .any(|j| view.tm.pair_concurrent(i, &a.func, a.pos, j, &b.func, b.pos))
+            });
+            if concurrent {
+                races.push(StaticRace { a: a.clone(), b: b.clone() });
+            }
+        }
+    }
+    races
+}

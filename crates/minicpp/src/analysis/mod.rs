@@ -1,0 +1,182 @@
+//! # Static analysis over the mini-C++ AST
+//!
+//! The dynamic detectors in `helgrind-core` only see what a schedule
+//! executes; the paper's Fig 7 bug escaped them for exactly that reason.
+//! This module is the complementary static side: a per-function CFG and
+//! call graph with thread-structure discovery ([`cfg`], [`callgraph`]), a
+//! flow-sensitive must-held lockset dataflow mirroring the HWLC rw-lockset
+//! rules ([`lockset`]), lock-order deadlock prediction ([`deadlock`]), and
+//! lock-discipline/destructor lints ([`lint`]).
+//!
+//! Findings use the same [`helgrind_core::ReportKind`] vocabulary and
+//! location conventions as the dynamic detectors, so the CLI can join the
+//! two sides by *(kind, file, line)* and label every finding
+//! confirmed-both, static-only, or dynamic-only.
+
+pub mod callgraph;
+pub mod cfg;
+pub mod deadlock;
+pub mod lint;
+pub mod lockset;
+
+use crate::ast::{ClassDef, FuncDef, GlobalKind, Unit};
+use crate::pipeline::{preprocess, CompileError, SourceFile};
+use helgrind_core::{Report, ReportKind, StackFrame};
+use std::collections::{BTreeMap, BTreeSet};
+
+use callgraph::{CallGraph, PointsTo, ThreadModel};
+use lockset::{AccessKind, LockAnalysis};
+
+/// Merged, indexed view of every translation unit under analysis.
+pub struct ProgramView<'a> {
+    pub units: &'a [(Unit, String)],
+    pub funcs: BTreeMap<String, &'a FuncDef>,
+    /// Function name -> file it was defined in.
+    pub files: BTreeMap<String, String>,
+    pub classes: BTreeMap<String, &'a ClassDef>,
+    pub globals: BTreeMap<String, GlobalKind>,
+    pub cg: CallGraph,
+    pub tm: ThreadModel,
+    pub pt: PointsTo,
+}
+
+impl<'a> ProgramView<'a> {
+    pub fn build(units: &'a [(Unit, String)]) -> ProgramView<'a> {
+        let mut funcs = BTreeMap::new();
+        let mut files = BTreeMap::new();
+        let mut classes = BTreeMap::new();
+        let mut globals = BTreeMap::new();
+        for (unit, file) in units {
+            for f in &unit.functions {
+                funcs.insert(f.name.clone(), f);
+                files.insert(f.name.clone(), file.clone());
+            }
+            for c in &unit.classes {
+                classes.insert(c.name.clone(), c);
+            }
+            for g in &unit.globals {
+                globals.insert(g.name.clone(), g.kind.clone());
+            }
+        }
+        let cg = CallGraph::build(&funcs);
+        let tm = ThreadModel::build(&funcs, &cg);
+        let pt = PointsTo::build(units, &funcs);
+        ProgramView { units, funcs, files, classes, globals, cg, tm, pt }
+    }
+
+    fn file_of(&self, func: &str) -> String {
+        self.files.get(func).cloned().unwrap_or_default()
+    }
+}
+
+/// Everything the static passes produced.
+pub struct AnalysisResult {
+    /// All findings, sorted by (file, line, kind) and deduplicated by
+    /// (kind, file, line) — the same key the cross-check joins on.
+    pub reports: Vec<Report>,
+    /// Must-held lockset (lock names) before each (func, line) point.
+    /// By construction a subset of any lockset a real execution observes
+    /// there — the property the proptest in `tests/analysis.rs` checks.
+    pub must_locksets: BTreeMap<(String, u32), BTreeSet<String>>,
+}
+
+fn mk_report(kind: ReportKind, file: String, line: u32, func: String, details: String) -> Report {
+    Report {
+        kind,
+        tid: 0,
+        file: file.clone(),
+        line,
+        func: func.clone(),
+        addr: 0,
+        stack: vec![StackFrame { func, file, line }],
+        block: None,
+        details,
+    }
+}
+
+/// Run every static pass over a set of parsed units.
+pub fn analyze(units: &[(Unit, String)]) -> AnalysisResult {
+    let view = ProgramView::build(units);
+    let la = LockAnalysis::run(&view);
+    let mut reports: Vec<Report> = Vec::new();
+
+    // Races: one report per side of each racing pair, so the location a
+    // dynamic detector reports is always present for the join.
+    for race in lockset::find_races(&view, &la) {
+        for (this, other) in [(&race.a, &race.b), (&race.b, &race.a)] {
+            let kind =
+                if this.kind.is_write() { ReportKind::RaceWrite } else { ReportKind::RaceRead };
+            let how = match other.kind {
+                AccessKind::Read => "read",
+                AccessKind::Write => "written",
+                AccessKind::Atomic => "atomically updated",
+            };
+            reports.push(mk_report(
+                kind,
+                view.file_of(&this.func),
+                this.line,
+                this.func.clone(),
+                format!(
+                    "static locksets: '{}' is also {how} by {} ({}:{}) and no common lock \
+                     protects both accesses",
+                    this.target.describe(),
+                    other.func,
+                    view.file_of(&other.func),
+                    other.line
+                ),
+            ));
+        }
+    }
+
+    // Deadlock prediction: one report per acquisition edge of each cycle,
+    // so whichever site a dynamic run closes the cycle at will join.
+    for cycle in deadlock::find_cycles(&view, &la) {
+        for loc in &cycle.edge_locs {
+            reports.push(mk_report(
+                ReportKind::LockOrderCycle,
+                loc.file.clone(),
+                loc.line,
+                loc.func.clone(),
+                cycle.describe(),
+            ));
+        }
+    }
+
+    // Lints.
+    for f in lint::run(&view, &la) {
+        let kind = match f.kind {
+            lint::LintKind::DoubleLock => ReportKind::DoubleLock,
+            lint::LintKind::UnlockWithoutLock => ReportKind::UnlockWithoutLock,
+            lint::LintKind::LockLeak => ReportKind::LockLeak,
+            lint::LintKind::UnannotatedDelete => ReportKind::UnannotatedDelete,
+            lint::LintKind::DeleteWhileLocked => ReportKind::DeleteWhileLocked,
+        };
+        reports.push(mk_report(kind, view.file_of(&f.func), f.line, f.func, f.details));
+    }
+
+    // Deduplicate by the join key, deterministically ordered.
+    let mut seen: BTreeSet<(ReportKind, String, u32)> = BTreeSet::new();
+    reports.retain(|r| seen.insert((r.kind, r.file.clone(), r.line)));
+    reports.sort_by(|a, b| {
+        (&a.file, a.line, a.kind, &a.func).cmp(&(&b.file, b.line, b.kind, &b.func))
+    });
+
+    AnalysisResult { reports, must_locksets: la.must_by_line() }
+}
+
+/// Parse (and, for instrumented units, annotate) source files and analyze
+/// them — the front half of the pipeline without codegen, for `raceline
+/// lint`.
+pub fn analyze_files(files: &[SourceFile]) -> Result<AnalysisResult, CompileError> {
+    let mut units: Vec<(Unit, String)> = Vec::new();
+    for f in files {
+        let pre = preprocess(&f.text);
+        let mut unit = crate::parser::parse(&pre)
+            .map_err(|error| CompileError::Parse { unit: f.name.clone(), error })?;
+        if f.instrument {
+            crate::annotate::annotate_unit(&mut unit);
+        }
+        units.push((unit, f.name.clone()));
+    }
+    Ok(analyze(&units))
+}

@@ -54,39 +54,107 @@ pub struct FuncDef {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// `int x = e;`
-    LetInt { name: String, value: Expr, line: u32 },
+    LetInt {
+        name: String,
+        value: Expr,
+        line: u32,
+    },
     /// `Class* p = e;` (e is `new Class`, a call, or a pointer expression)
-    LetPtr { class: String, name: String, value: Expr, line: u32 },
+    LetPtr {
+        class: String,
+        name: String,
+        value: Expr,
+        line: u32,
+    },
     /// `thread t = spawn f(args);`
-    LetThread { name: String, func: String, args: Vec<Expr>, line: u32 },
+    LetThread {
+        name: String,
+        func: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
     /// `x = e;` (local or global int)
-    Assign { name: String, value: Expr, line: u32 },
+    Assign {
+        name: String,
+        value: Expr,
+        line: u32,
+    },
     /// `p->f = e;`
-    FieldAssign { base: String, field: String, value: Expr, line: u32 },
+    FieldAssign {
+        base: String,
+        field: String,
+        value: Expr,
+        line: u32,
+    },
     /// `p->method();` — a virtual call. Mini-C++ methods are opaque (no
     /// bodies); what matters for race detection is the dispatch itself,
     /// which reads the object's vptr.
-    VirtualCall { base: String, method: String, line: u32 },
+    VirtualCall {
+        base: String,
+        method: String,
+        line: u32,
+    },
     /// `delete p;` — `annotated` is set by the instrumentation pass.
-    Delete { ptr: String, annotated: bool, line: u32 },
+    Delete {
+        ptr: String,
+        annotated: bool,
+        line: u32,
+    },
     /// `lock(m);` / `unlock(m);`
-    Lock { mutex: String, line: u32 },
-    Unlock { mutex: String, line: u32 },
+    Lock {
+        mutex: String,
+        line: u32,
+    },
+    Unlock {
+        mutex: String,
+        line: u32,
+    },
     /// `rdlock(r);` / `wrlock(r);` / `rwunlock(r);` — POSIX rwlocks,
     /// intercepted only by detectors with `track_rwlocks` (the HWLC
     /// addition).
-    RdLock { rwlock: String, line: u32 },
-    WrLock { rwlock: String, line: u32 },
-    RwUnlock { rwlock: String, line: u32 },
+    RdLock {
+        rwlock: String,
+        line: u32,
+    },
+    WrLock {
+        rwlock: String,
+        line: u32,
+    },
+    RwUnlock {
+        rwlock: String,
+        line: u32,
+    },
     /// `atomic_inc(x);` — a LOCK-prefixed increment of a global or field.
-    AtomicInc { target: Expr, line: u32 },
+    AtomicInc {
+        target: Expr,
+        line: u32,
+    },
     /// `join(t);`
-    Join { thread: String, line: u32 },
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt>, line: u32 },
-    While { cond: Expr, body: Vec<Stmt>, line: u32 },
-    Return { value: Option<Expr>, line: u32 },
+    Join {
+        thread: String,
+        line: u32,
+    },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+        line: u32,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+        line: u32,
+    },
+    Return {
+        value: Option<Expr>,
+        line: u32,
+    },
     /// Bare call statement.
-    Call { func: String, args: Vec<Expr>, line: u32 },
+    Call {
+        func: String,
+        args: Vec<Expr>,
+        line: u32,
+    },
 }
 
 impl Stmt {
@@ -133,12 +201,24 @@ pub enum Expr {
     /// A variable: local, parameter or global.
     Var(String),
     /// `p->f`
-    Field { base: String, field: String },
+    Field {
+        base: String,
+        field: String,
+    },
     /// `new Class`
-    New { class: String },
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    New {
+        class: String,
+    },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `f(args)` in expression position (int-returning function).
-    Call { func: String, args: Vec<Expr> },
+    Call {
+        func: String,
+        args: Vec<Expr>,
+    },
 }
 
 // ---------------------------------------------------------------------

@@ -10,8 +10,8 @@ use crate::ast::*;
 use cxxmodel::classes::{ClassId, ClassModel};
 use std::collections::HashMap;
 use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
-use vexec::ir::{Cond, Expr as VExpr, GlobalId, ProcId, RegId};
 use vexec::ir::Program;
+use vexec::ir::{Cond, Expr as VExpr, GlobalId, ProcId, RegId};
 
 /// A semantic/codegen error.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -117,25 +117,18 @@ pub fn compile(units: &[(Unit, String)]) -> Result<Program, SemaError> {
             for (ty, _) in &f.params {
                 params.push(match ty {
                     ParamType::Int => VarKind::Int,
-                    ParamType::Ptr(c) => VarKind::Ptr(
-                        *cx.class_ids.get(c).ok_or(SemaError {
-                            line: f.line,
-                            message: format!("unknown class {c} in parameter"),
-                        })?,
-                    ),
+                    ParamType::Ptr(c) => VarKind::Ptr(*cx.class_ids.get(c).ok_or(SemaError {
+                        line: f.line,
+                        message: format!("unknown class {c} in parameter"),
+                    })?),
                 });
             }
-            cx.funcs.insert(
-                f.name.clone(),
-                FuncSig { proc, params, returns_int: f.returns_int },
-            );
+            cx.funcs.insert(f.name.clone(), FuncSig { proc, params, returns_int: f.returns_int });
         }
     }
 
-    let main_sig = cx.funcs.get("main").ok_or(SemaError {
-        line: 1,
-        message: "no `main` function".into(),
-    })?;
+    let main_sig =
+        cx.funcs.get("main").ok_or(SemaError { line: 1, message: "no `main` function".into() })?;
     if !main_sig.params.is_empty() {
         return err(1, "`main` must take no parameters");
     }
@@ -230,12 +223,7 @@ impl<'cx> FuncGen<'cx> {
         None
     }
 
-    fn declare_local(
-        &mut self,
-        name: &str,
-        kind: VarKind,
-        line: u32,
-    ) -> Result<RegId, SemaError> {
+    fn declare_local(&mut self, name: &str, kind: VarKind, line: u32) -> Result<RegId, SemaError> {
         if self.locals.last().unwrap().contains_key(name) {
             return err(line, format!("variable {name} redeclared"));
         }
@@ -354,7 +342,8 @@ impl<'cx> FuncGen<'cx> {
                 }
                 Ok(())
             }
-            Stmt::RdLock { rwlock, .. } | Stmt::WrLock { rwlock, .. }
+            Stmt::RdLock { rwlock, .. }
+            | Stmt::WrLock { rwlock, .. }
             | Stmt::RwUnlock { rwlock, .. } => {
                 let (gk, gid) = self
                     .cx
@@ -571,10 +560,8 @@ impl<'cx> FuncGen<'cx> {
         line: u32,
     ) -> Result<Cond, SemaError> {
         if let Expr::Bin { op, lhs, rhs } = e {
-            let cmp = matches!(
-                op,
-                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-            );
+            let cmp =
+                matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge);
             if cmp {
                 let l = self.expr_value(pb, lhs, line)?;
                 let r = self.expr_value(pb, rhs, line)?;
@@ -617,7 +604,8 @@ mod tests {
         let mut rec = RecordingTool::new();
         run_program(&prog, &mut rec, &mut RoundRobin::new()).expect_clean();
         // The final store writes 49 — find it.
-        let wrote_49 = rec.events.iter().any(|e| matches!(e, Event::Access { kind: AccessKind::Write, .. }));
+        let wrote_49 =
+            rec.events.iter().any(|e| matches!(e, Event::Access { kind: AccessKind::Write, .. }));
         assert!(wrote_49);
     }
 

@@ -14,6 +14,7 @@
 //! The [`pipeline`] module wires the three build stages of Fig 3 together,
 //! including the "source not available" case for third-party units.
 
+pub mod analysis;
 pub mod annotate;
 pub mod ast;
 pub mod codegen;
@@ -21,6 +22,7 @@ pub mod parser;
 pub mod pipeline;
 pub mod token;
 
+pub use analysis::{analyze, analyze_files, AnalysisResult};
 pub use annotate::annotate_unit;
 pub use ast::{render, Unit};
 pub use codegen::{compile, SemaError};

@@ -155,9 +155,8 @@ impl Parser {
                     self.expect(TokenKind::Tilde)?;
                     let dname = self.ident()?;
                     if dname != name {
-                        return self.err(format!(
-                            "destructor ~{dname} does not match class {name}"
-                        ));
+                        return self
+                            .err(format!("destructor ~{dname} does not match class {name}"));
                     }
                     self.expect(TokenKind::LParen)?;
                     self.expect(TokenKind::RParen)?;
@@ -325,11 +324,7 @@ impl Parser {
             }
             TokenKind::KwReturn => {
                 self.bump();
-                let value = if *self.peek() == TokenKind::Semi {
-                    None
-                } else {
-                    Some(self.expr()?)
-                };
+                let value = if *self.peek() == TokenKind::Semi { None } else { Some(self.expr()?) };
                 self.expect(TokenKind::Semi)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -378,10 +373,9 @@ impl Parser {
                         self.expect(TokenKind::Semi)?;
                         Ok(Stmt::Call { func: first, args, line })
                     }
-                    other => self.err(format!(
-                        "unexpected token after identifier: {}",
-                        other.describe()
-                    )),
+                    other => {
+                        self.err(format!("unexpected token after identifier: {}", other.describe()))
+                    }
                 }
             }
             other => self.err(format!("unexpected statement start: {}", other.describe())),

@@ -67,6 +67,10 @@ pub struct PipelineOutput {
     pub annotated_sources: Vec<(String, String)>,
     /// Total number of delete sites annotated.
     pub deletes_annotated: usize,
+    /// The parsed (and, where instrumented, annotated) units, kept so the
+    /// static passes in [`crate::analysis`] can run over exactly what was
+    /// compiled.
+    pub units: Vec<(Unit, String)>,
 }
 
 /// Stage 1: preprocessing. The real pipeline runs `gcc -E`; here we strip
@@ -114,8 +118,8 @@ pub fn run_pipeline(files: &[SourceFile]) -> Result<PipelineOutput, CompileError
         // Stage 1.
         let pre = preprocess(&f.text);
         // Stage 2.
-        let mut unit = parse(&pre)
-            .map_err(|error| CompileError::Parse { unit: f.name.clone(), error })?;
+        let mut unit =
+            parse(&pre).map_err(|error| CompileError::Parse { unit: f.name.clone(), error })?;
         if f.instrument {
             let n = annotate_unit(&mut unit);
             deletes_annotated += n;
@@ -127,7 +131,7 @@ pub fn run_pipeline(files: &[SourceFile]) -> Result<PipelineOutput, CompileError
     }
     // Stage 3.
     let program = compile(&units).map_err(|error| CompileError::Sema { error })?;
-    Ok(PipelineOutput { program, annotated_sources, deletes_annotated })
+    Ok(PipelineOutput { program, annotated_sources, deletes_annotated, units })
 }
 
 #[cfg(test)]

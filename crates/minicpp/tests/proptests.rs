@@ -16,10 +16,8 @@ fn ident_strategy(prefix: &'static str) -> impl Strategy<Value = String> {
 }
 
 fn expr_strategy() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (0u64..1000).prop_map(Expr::Int),
-        ident_strategy("x").prop_map(Expr::Var),
-    ];
+    let leaf =
+        prop_oneof![(0u64..1000).prop_map(Expr::Int), ident_strategy("x").prop_map(Expr::Var),];
     leaf.prop_recursive(3, 12, 3, |inner| {
         (
             inner.clone(),
@@ -42,23 +40,24 @@ fn expr_strategy() -> impl Strategy<Value = Expr> {
 
 fn stmt_strategy() -> impl Strategy<Value = Stmt> {
     let leaf = prop_oneof![
-        (ident_strategy("x"), expr_strategy())
-            .prop_map(|(name, value)| Stmt::Assign { name, value, line: 1 }),
+        (ident_strategy("x"), expr_strategy()).prop_map(|(name, value)| Stmt::Assign {
+            name,
+            value,
+            line: 1
+        }),
         ident_strategy("p").prop_map(|ptr| Stmt::Delete { ptr, annotated: false, line: 1 }),
         ident_strategy("m").prop_map(|mutex| Stmt::Lock { mutex, line: 1 }),
         ident_strategy("m").prop_map(|mutex| Stmt::Unlock { mutex, line: 1 }),
-        (ident_strategy("p"), ident_strategy("f"), expr_strategy()).prop_map(
-            |(base, field, value)| Stmt::FieldAssign { base, field, value, line: 1 }
-        ),
+        (ident_strategy("p"), ident_strategy("f"), expr_strategy())
+            .prop_map(|(base, field, value)| Stmt::FieldAssign { base, field, value, line: 1 }),
         (ident_strategy("p"), ident_strategy("meth"))
             .prop_map(|(base, method)| Stmt::VirtualCall { base, method, line: 1 }),
         expr_strategy().prop_map(|value| Stmt::Return { value: Some(value), line: 1 }),
     ];
     leaf.prop_recursive(2, 10, 4, |inner| {
         prop_oneof![
-            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3)).prop_map(
-                |(cond, body)| Stmt::While { cond, body, line: 1 }
-            ),
+            (expr_strategy(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(cond, body)| Stmt::While { cond, body, line: 1 }),
             (
                 expr_strategy(),
                 prop::collection::vec(inner.clone(), 0..3),
@@ -98,7 +97,10 @@ fn unit_strategy() -> impl Strategy<Value = Unit> {
                 .enumerate()
                 .map(|(i, (name, body))| FuncDef {
                     name: format!("{name}_{i}"),
-                    params: vec![(ParamType::Int, "a".into()), (ParamType::Ptr("C".into()), "p".into())],
+                    params: vec![
+                        (ParamType::Int, "a".into()),
+                        (ParamType::Ptr("C".into()), "p".into()),
+                    ],
                     returns_int: i % 2 == 0,
                     body,
                     line: 1,

@@ -1,0 +1,152 @@
+//! Offline stand-in for the `rand` crate: a seeded xoshiro256** generator
+//! behind the small slice of the rand 0.10 API this workspace uses
+//! (`StdRng`, `SeedableRng::seed_from_u64`, `RngExt::random_range`).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic xoshiro256** generator (the statistical properties of
+    /// the real StdRng are irrelevant here; determinism per seed is what
+    /// the workload generator needs).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seeding, matching `rand::SeedableRng::seed_from_u64`.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, the standard way to seed xoshiro.
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng { s: [next(), next(), next(), next()] }
+    }
+}
+
+/// A range a uniform sample can be drawn from.
+pub trait UniformRange {
+    type Output;
+    fn sample(&self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! impl_uniform {
+    ($($t:ty),*) => {$(
+        impl UniformRange for Range<$t> {
+            type Output = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl UniformRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi - lo) as u64 + 1;
+                if span == 0 {
+                    // Full-width range: every value is fair game.
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform!(u8, u16, u32, u64, usize);
+
+/// The sampling methods of rand 0.10's `Rng` extension trait.
+pub trait RngExt {
+    fn random_range<R: UniformRange>(&mut self, range: R) -> R::Output;
+    fn random_bool(&mut self, p: f64) -> bool;
+    fn random<T: Standard>(&mut self) -> T;
+}
+
+/// Types with a full-width "standard" distribution.
+pub trait Standard {
+    fn standard(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn standard(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn standard(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl RngExt for StdRng {
+    fn random_range<R: UniformRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    fn random_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+
+    fn random<T: Standard>(&mut self) -> T {
+        T::standard(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u32> = (0..10).map(|_| a.random_range(0..1000u32)).collect();
+        let vb: Vec<u32> = (0..10).map(|_| b.random_range(0..1000u32)).collect();
+        let vc: Vec<u32> = (0..10).map(|_| c.random_range(0..1000u32)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.random_range(10..20usize);
+            assert!((10..20).contains(&v));
+            let w = r.random_range(1..=6u8);
+            assert!((1..=6).contains(&w));
+        }
+    }
+}

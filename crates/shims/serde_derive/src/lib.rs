@@ -1,0 +1,121 @@
+//! Derive macros for the offline serde stand-in. `Serialize` is generated
+//! by walking the raw token stream (no `syn` available offline):
+//!
+//! * named-field structs serialize to an object of their fields;
+//! * enums serialize to their `Debug` rendering (every derived enum in
+//!   this workspace is fieldless, so that is exactly the variant name);
+//! * generics are not supported — nothing in the workspace derives on a
+//!   generic type.
+//!
+//! `Deserialize` only implements the inert `serde::Deserialize` marker.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What kind of item the derive is attached to, plus what we need from it.
+enum Item {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String },
+}
+
+/// Minimal token-level parse of a struct/enum item.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`), visibility, and anything before the
+    // `struct`/`enum` keyword.
+    let kind = loop {
+        match &tokens[i] {
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => break "struct",
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => break "enum",
+            _ => i += 1,
+        }
+        assert!(i < tokens.len(), "derive input has no struct/enum keyword");
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected item name, found {other}"),
+    };
+    if kind == "enum" {
+        return Item::Enum { name };
+    }
+    // Find the brace-delimited field block (skipping generics — none used).
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .expect("derive(Serialize) supports only named-field structs");
+    Item::Struct { name, fields: field_names(body) }
+}
+
+/// Field names of a named-field struct body: for each top-level
+/// comma-separated segment (commas inside `<...>` or any group don't
+/// count), the last ident before the first `:`.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon = false;
+    for t in body {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                last_ident = None;
+                seen_colon = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 && !seen_colon => {
+                seen_colon = true;
+                if let Some(name) = last_ident.take() {
+                    fields.push(name);
+                }
+            }
+            TokenTree::Ident(id) if !seen_colon => {
+                let s = id.to_string();
+                if s != "pub" && s != "crate" && s != "r#" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{}])\n\
+                     }}\n\
+                 }}",
+                pairs.join(", ")
+            )
+        }
+        Item::Enum { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Str(format!(\"{{self:?}}\"))\n\
+                 }}\n\
+             }}"
+        ),
+    };
+    body.parse().expect("generated impl parses")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_item(input) {
+        Item::Struct { name, .. } | Item::Enum { name } => name,
+    };
+    format!("impl ::serde::Deserialize for {name} {{}}").parse().unwrap()
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `serde_json`, rendering the `serde` shim's value
+//! model. Covers `json!`, `to_string`, `to_string_pretty`, and
+//! `to_value` — the surface this workspace uses.
+
+pub use serde::Value;
+
+/// Serialize to compact JSON.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to pretty JSON (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    pretty_into(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Convert any serializable value into the JSON value model.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+fn pretty_into(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                pretty_into(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(fields) if !fields.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                out.push_str(&Value::Str(k.clone()).to_string());
+                out.push_str(": ");
+                pretty_into(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => out.push_str(&other.to_string()),
+    }
+}
+
+/// Error type for signature compatibility; serialization here is total.
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Build a `Value` from JSON-ish syntax. Keys may be identifiers or
+/// string literals; values are any serializable expression, nested
+/// `{...}` objects, or `[...]` arrays.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($crate::json_key!($key).to_string(), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => { ::serde::Serialize::to_value(&$other) };
+}
+
+/// Normalize a `json!` object key (identifier or string literal) to `&str`.
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        $key
+    };
+    ($key:ident) => {
+        stringify!($key)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let name = "run";
+        let v = json!({
+            "experiment": name,
+            "count": 3,
+            "nested": { "ok": true, "xs": [1, 2] },
+        });
+        assert_eq!(
+            v.to_string(),
+            r#"{"experiment":"run","count":3,"nested":{"ok":true,"xs":[1,2]}}"#
+        );
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let v = json!({ "a": [1] });
+        assert_eq!(to_string_pretty(&v).unwrap(), "{\n  \"a\": [\n    1\n  ]\n}");
+    }
+}

@@ -246,9 +246,9 @@ mod tests {
         for bug in all_bugs() {
             let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
             let mut sched: Box<dyn Scheduler> = match &bug.schedule {
-                Some(order) => Box::new(PriorityOrder::new(
-                    order.iter().map(|&t| ThreadId(t)).collect(),
-                )),
+                Some(order) => {
+                    Box::new(PriorityOrder::new(order.iter().map(|&t| ThreadId(t)).collect()))
+                }
                 None => Box::new(RoundRobin::new()),
             };
             let r = run_program(&bug.program, &mut det, sched.as_mut());

@@ -125,8 +125,16 @@ pub struct BuiltProxy {
 
 /// The proxy's source-tree modules; sites are spread across them.
 pub const MODULES: [&str; 10] = [
-    "transport", "parser", "registrar", "session", "billing", "stats", "config", "logging",
-    "routing", "timer",
+    "transport",
+    "parser",
+    "registrar",
+    "session",
+    "billing",
+    "stats",
+    "config",
+    "logging",
+    "routing",
+    "timer",
 ];
 
 enum SiteKind {
@@ -485,10 +493,8 @@ mod tests {
 
     #[test]
     fn thread_pool_variant_runs_cleanly() {
-        let cfg = ProxyConfig {
-            dispatch: Dispatch::ThreadPool { workers: 4 },
-            ..ProxyConfig::default()
-        };
+        let cfg =
+            ProxyConfig { dispatch: Dispatch::ThreadPool { workers: 4 }, ..ProxyConfig::default() };
         let built = build_proxy(&cfg);
         let mut tool = CountingTool::new();
         let r = run_program(&built.program, &mut tool, &mut RoundRobin::new());

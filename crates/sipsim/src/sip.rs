@@ -100,10 +100,7 @@ impl SipRequest {
     pub fn render(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push_str(&format!("{} {} SIP/2.0\r\n", self.method, self.uri));
-        out.push_str(&format!(
-            "Via: SIP/2.0/UDP proxy.example.com;branch={}\r\n",
-            self.via_branch
-        ));
+        out.push_str(&format!("Via: SIP/2.0/UDP proxy.example.com;branch={}\r\n", self.via_branch));
         out.push_str(&format!("From: <{}>;tag={}\r\n", self.from, self.from_tag));
         out.push_str(&format!("To: <{}>\r\n", self.to));
         out.push_str(&format!("Call-ID: {}\r\n", self.call_id));
@@ -129,9 +126,8 @@ impl SipRequest {
         }
         let mut parts = request_line.split(' ');
         let method_s = parts.next().unwrap_or("");
-        let uri = parts.next().ok_or_else(|| {
-            SipParseError::BadRequestLine(request_line.to_string())
-        })?;
+        let uri =
+            parts.next().ok_or_else(|| SipParseError::BadRequestLine(request_line.to_string()))?;
         let version = parts.next();
         if version != Some("SIP/2.0") {
             return Err(SipParseError::BadRequestLine(request_line.to_string()));
@@ -172,9 +168,8 @@ impl SipRequest {
                 "Call-ID" => call_id = Some(value.to_string()),
                 "CSeq" => {
                     let num = value.split(' ').next().unwrap_or("");
-                    cseq = Some(
-                        num.parse().map_err(|_| SipParseError::BadCseq(value.to_string()))?,
-                    );
+                    cseq =
+                        Some(num.parse().map_err(|_| SipParseError::BadCseq(value.to_string()))?);
                 }
                 "Content-Length" => {
                     content_length = value.parse().unwrap_or(0);
@@ -184,11 +179,7 @@ impl SipRequest {
         }
         let rest: Vec<&str> = lines.collect();
         let body_text = rest.join("\r\n");
-        let body = if content_length > 0 && !body_text.is_empty() {
-            Some(body_text)
-        } else {
-            None
-        };
+        let body = if content_length > 0 && !body_text.is_empty() { Some(body_text) } else { None };
         Ok(SipRequest {
             method,
             uri: uri.to_string(),
@@ -255,10 +246,7 @@ mod tests {
             Err(SipParseError::BadRequestLine(_))
         ));
         let no_callid = "INVITE sip:x SIP/2.0\r\nVia: SIP/2.0/UDP h;branch=z9\r\nFrom: <a>;tag=1\r\nTo: <b>\r\nCSeq: 1 INVITE\r\nContent-Length: 0\r\n\r\n";
-        assert_eq!(
-            SipRequest::parse(no_callid),
-            Err(SipParseError::MissingHeader("Call-ID"))
-        );
+        assert_eq!(SipRequest::parse(no_callid), Err(SipParseError::MissingHeader("Call-ID")));
     }
 
     #[test]

@@ -57,9 +57,7 @@ impl ScenarioSpec {
 
 fn token(rng: &mut StdRng, len: usize) -> String {
     const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
-    (0..len)
-        .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
-        .collect()
+    (0..len).map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char).collect()
 }
 
 /// Expand a scenario into concrete requests. Deterministic per seed.
@@ -80,8 +78,13 @@ pub fn generate(spec: &ScenarioSpec) -> Vec<SipRequest> {
         let cseq0 = rng.random_range(1..1000u32);
         for (step, &method) in flow.methods().iter().enumerate() {
             let cseq = cseq0 + step as u32;
-            let body = (method == Method::Invite)
-                .then(|| format!("v=0\r\no={} IN IP4 10.0.0.{}", token(&mut rng, 8), rng.random_range(1..255u32)));
+            let body = (method == Method::Invite).then(|| {
+                format!(
+                    "v=0\r\no={} IN IP4 10.0.0.{}",
+                    token(&mut rng, 8),
+                    rng.random_range(1..255u32)
+                )
+            });
             out.push(SipRequest {
                 method,
                 uri: user_b.clone(),
@@ -134,7 +137,8 @@ mod tests {
 
     #[test]
     fn generated_requests_render_and_parse() {
-        let spec = ScenarioSpec { registers: 2, calls: 2, cancelled_calls: 1, options: 1, seed: 42 };
+        let spec =
+            ScenarioSpec { registers: 2, calls: 2, cancelled_calls: 1, options: 1, seed: 42 };
         for req in generate(&spec) {
             let back = crate::sip::SipRequest::parse(&req.render()).unwrap();
             assert_eq!(back, req);

@@ -72,73 +72,28 @@ pub enum ClientEv {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Event {
     /// A data memory access.
-    Access {
-        tid: ThreadId,
-        addr: u64,
-        size: u8,
-        kind: AccessKind,
-        loc: SrcLoc,
-    },
+    Access { tid: ThreadId, addr: u64, size: u8, kind: AccessKind, loc: SrcLoc },
     /// A lock was acquired (mutex lock, rwlock rd/wr lock, and the mutex
     /// re-acquisition on return from `cond_wait`).
-    Acquire {
-        tid: ThreadId,
-        sync: SyncId,
-        kind: SyncKind,
-        mode: AcqMode,
-        loc: SrcLoc,
-    },
+    Acquire { tid: ThreadId, sync: SyncId, kind: SyncKind, mode: AcqMode, loc: SrcLoc },
     /// A lock was released (mutex unlock, rwlock unlock, and the mutex
     /// release inside `cond_wait`).
-    Release {
-        tid: ThreadId,
-        sync: SyncId,
-        kind: SyncKind,
-        loc: SrcLoc,
-    },
+    Release { tid: ThreadId, sync: SyncId, kind: SyncKind, loc: SrcLoc },
     /// `parent` created `child` (pthread_create).
-    ThreadCreate {
-        parent: ThreadId,
-        child: ThreadId,
-        loc: SrcLoc,
-    },
+    ThreadCreate { parent: ThreadId, child: ThreadId, loc: SrcLoc },
     /// `joiner` observed `joined` terminate (pthread_join return).
-    ThreadJoin {
-        joiner: ThreadId,
-        joined: ThreadId,
-        loc: SrcLoc,
-    },
+    ThreadJoin { joiner: ThreadId, joined: ThreadId, loc: SrcLoc },
     /// A thread ran to completion.
     ThreadExit { tid: ThreadId },
     /// Guest heap allocation.
-    Alloc {
-        tid: ThreadId,
-        addr: u64,
-        size: u64,
-        loc: SrcLoc,
-    },
+    Alloc { tid: ThreadId, addr: u64, size: u64, loc: SrcLoc },
     /// Guest heap release.
-    Free {
-        tid: ThreadId,
-        addr: u64,
-        size: u64,
-        loc: SrcLoc,
-    },
+    Free { tid: ThreadId, addr: u64, size: u64, loc: SrcLoc },
     /// `pthread_cond_signal` / `_broadcast`.
-    CondSignal {
-        tid: ThreadId,
-        sync: SyncId,
-        broadcast: bool,
-        loc: SrcLoc,
-    },
+    CondSignal { tid: ThreadId, sync: SyncId, broadcast: bool, loc: SrcLoc },
     /// A waiter woke up from `cond_wait` due to `signaler`'s signal. Emitted
     /// before the mutex re-acquisition `Acquire`.
-    CondWake {
-        tid: ThreadId,
-        sync: SyncId,
-        signaler: ThreadId,
-        loc: SrcLoc,
-    },
+    CondWake { tid: ThreadId, sync: SyncId, signaler: ThreadId, loc: SrcLoc },
     /// Semaphore post.
     SemPost { tid: ThreadId, sync: SyncId, loc: SrcLoc },
     /// Semaphore wait completed (count successfully decremented).
@@ -146,25 +101,11 @@ pub enum Event {
     /// A value was enqueued. `token` identifies the message instance so a
     /// tool can pair this put with the matching [`Event::QueueGot`] — the
     /// higher-level hand-off edge of Fig 11 / §5 future work.
-    QueuePut {
-        tid: ThreadId,
-        sync: SyncId,
-        token: u64,
-        loc: SrcLoc,
-    },
+    QueuePut { tid: ThreadId, sync: SyncId, token: u64, loc: SrcLoc },
     /// A value was dequeued; `token` matches the producing `QueuePut`.
-    QueueGot {
-        tid: ThreadId,
-        sync: SyncId,
-        token: u64,
-        loc: SrcLoc,
-    },
+    QueueGot { tid: ThreadId, sync: SyncId, token: u64, loc: SrcLoc },
     /// A client request from the guest (annotation channel).
-    Client {
-        tid: ThreadId,
-        req: ClientEv,
-        loc: SrcLoc,
-    },
+    Client { tid: ThreadId, req: ClientEv, loc: SrcLoc },
 }
 
 impl Event {
@@ -247,11 +188,8 @@ mod tests {
 
     #[test]
     fn event_tid_extraction() {
-        let ev = Event::ThreadCreate {
-            parent: ThreadId(1),
-            child: ThreadId(2),
-            loc: SrcLoc::UNKNOWN,
-        };
+        let ev =
+            Event::ThreadCreate { parent: ThreadId(1), child: ThreadId(2), loc: SrcLoc::UNKNOWN };
         assert_eq!(ev.tid(), ThreadId(1));
         let ev = Event::ThreadExit { tid: ThreadId(3) };
         assert_eq!(ev.tid(), ThreadId(3));
@@ -260,13 +198,8 @@ mod tests {
 
     #[test]
     fn kind_names_distinguish_access_kinds() {
-        let mk = |kind| Event::Access {
-            tid: ThreadId(0),
-            addr: 0,
-            size: 8,
-            kind,
-            loc: SrcLoc::UNKNOWN,
-        };
+        let mk =
+            |kind| Event::Access { tid: ThreadId(0), addr: 0, size: 8, kind, loc: SrcLoc::UNKNOWN };
         assert_eq!(mk(AccessKind::Read).kind_name(), "read");
         assert_eq!(mk(AccessKind::Write).kind_name(), "write");
         assert_eq!(mk(AccessKind::AtomicRmw).kind_name(), "atomic-rmw");

@@ -65,12 +65,7 @@ pub struct Heap {
 
 impl Heap {
     pub fn new() -> Self {
-        Heap {
-            mem: Vec::new(),
-            next: GUEST_BASE,
-            blocks: Vec::new(),
-            by_addr: BTreeMap::new(),
-        }
+        Heap { mem: Vec::new(), next: GUEST_BASE, blocks: Vec::new(), by_addr: BTreeMap::new() }
     }
 
     fn ensure(&mut self, end: u64) {
@@ -192,7 +187,8 @@ mod tests {
     fn read_write_roundtrip_all_sizes() {
         let mut heap = h();
         let a = heap.alloc(64, T, L);
-        for &(size, val) in &[(1u8, 0xABu64), (2, 0xBEEF), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)] {
+        for &(size, val) in &[(1u8, 0xABu64), (2, 0xBEEF), (4, 0xDEADBEEF), (8, 0x0123456789ABCDEF)]
+        {
             heap.write(a, size, val).unwrap();
             assert_eq!(heap.read(a, size).unwrap(), val);
         }
@@ -247,7 +243,10 @@ mod tests {
         let blk = heap.block_containing(a + 8).unwrap();
         assert_eq!(blk.addr, a);
         assert_eq!(blk.size, 21);
-        assert!(heap.block_containing(a + 21).is_none() || heap.block_containing(a + 21).unwrap().addr != a);
+        assert!(
+            heap.block_containing(a + 21).is_none()
+                || heap.block_containing(a + 21).unwrap().addr != a
+        );
     }
 
     #[test]

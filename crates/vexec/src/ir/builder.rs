@@ -36,11 +36,7 @@ impl ProgramBuilder {
 
     /// Make a source location.
     pub fn loc(&mut self, file: &str, line: u32, func: &str) -> SrcLoc {
-        SrcLoc {
-            file: self.interner.intern(file),
-            line,
-            func: self.interner.intern(func),
-        }
+        SrcLoc { file: self.interner.intern(file), line, func: self.interner.intern(func) }
     }
 
     /// Declare a global variable of `size` bytes.
@@ -90,23 +86,11 @@ impl ProgramBuilder {
             .procs
             .into_iter()
             .enumerate()
-            .map(|(i, p)| {
-                p.unwrap_or_else(|| {
-                    panic!("procedure #{i} declared but never defined")
-                })
-            })
+            .map(|(i, p)| p.unwrap_or_else(|| panic!("procedure #{i} declared but never defined")))
             .collect();
         assert_eq!(procs.len(), names.len());
-        assert_eq!(
-            procs[entry.0 as usize].nparams, 0,
-            "entry procedure must take no parameters"
-        );
-        Program {
-            interner: self.interner,
-            procs,
-            globals: self.globals,
-            entry,
-        }
+        assert_eq!(procs[entry.0 as usize].nparams, 0, "entry procedure must take no parameters");
+        Program { interner: self.interner, procs, globals: self.globals, entry }
     }
 }
 
@@ -140,10 +124,7 @@ impl ProcBuilder {
     /// Allocate a fresh register.
     pub fn reg(&mut self) -> RegId {
         let r = RegId(self.nregs);
-        self.nregs = self
-            .nregs
-            .checked_add(1)
-            .expect("procedure register file overflow");
+        self.nregs = self.nregs.checked_add(1).expect("procedure register file overflow");
         r
     }
 
@@ -166,11 +147,7 @@ impl ProcBuilder {
 
     /// Push a raw statement onto the current block.
     pub fn push(&mut self, stmt: Stmt) {
-        self.blocks
-            .last_mut()
-            .expect("block stack never empty")
-            .1
-            .push(stmt);
+        self.blocks.last_mut().expect("block stack never empty").1.push(stmt);
     }
 
     // ---- straight-line helpers (all use the cursor location) ----

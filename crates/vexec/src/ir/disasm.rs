@@ -77,13 +77,9 @@ fn sync_op(op: &SyncOp) -> String {
 fn disasm_op(op: &Op, interner: &Interner) -> String {
     match op {
         Op::Assign { dst, value } => format!("r{} = {}", dst.0, estr(value)),
-        Op::Load { dst, addr, size, loc } => format!(
-            "r{} = load{}  [{}]    ; {}",
-            dst.0,
-            size,
-            estr(addr),
-            loc.display(interner)
-        ),
+        Op::Load { dst, addr, size, loc } => {
+            format!("r{} = load{}  [{}]    ; {}", dst.0, size, estr(addr), loc.display(interner))
+        }
         Op::Store { addr, value, size, loc } => format!(
             "store{} [{}], {}    ; {}",
             size,

@@ -10,25 +10,83 @@ use super::*;
 /// Flat opcode. Mirrors [`Stmt`] minus structured control flow.
 #[derive(Clone, Debug)]
 pub enum Op {
-    Assign { dst: RegId, value: Expr },
-    Load { dst: RegId, addr: Expr, size: u8, loc: SrcLoc },
-    Store { addr: Expr, value: Expr, size: u8, loc: SrcLoc },
-    AtomicRmw { dst: Option<RegId>, addr: Expr, delta: Expr, size: u8, loc: SrcLoc },
+    Assign {
+        dst: RegId,
+        value: Expr,
+    },
+    Load {
+        dst: RegId,
+        addr: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
+    Store {
+        addr: Expr,
+        value: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
+    AtomicRmw {
+        dst: Option<RegId>,
+        addr: Expr,
+        delta: Expr,
+        size: u8,
+        loc: SrcLoc,
+    },
     /// Unconditional jump to an absolute pc.
     Jump(u32),
     /// If `cond` is false, jump to `target`; otherwise fall through.
-    BranchIfFalse { cond: Cond, target: u32 },
-    Call { proc: ProcId, args: Vec<Expr>, dst: Option<RegId>, loc: SrcLoc },
-    Ret { value: Option<Expr> },
-    Spawn { proc: ProcId, args: Vec<Expr>, dst: RegId, loc: SrcLoc },
-    Join { handle: Expr, loc: SrcLoc },
-    NewSync { dst: RegId, kind: SyncKind, init: Expr },
-    Sync { op: SyncOp, loc: SrcLoc },
-    Alloc { dst: RegId, size: Expr, loc: SrcLoc },
-    Free { addr: Expr, loc: SrcLoc },
-    Client { req: ClientOp, loc: SrcLoc },
+    BranchIfFalse {
+        cond: Cond,
+        target: u32,
+    },
+    Call {
+        proc: ProcId,
+        args: Vec<Expr>,
+        dst: Option<RegId>,
+        loc: SrcLoc,
+    },
+    Ret {
+        value: Option<Expr>,
+    },
+    Spawn {
+        proc: ProcId,
+        args: Vec<Expr>,
+        dst: RegId,
+        loc: SrcLoc,
+    },
+    Join {
+        handle: Expr,
+        loc: SrcLoc,
+    },
+    NewSync {
+        dst: RegId,
+        kind: SyncKind,
+        init: Expr,
+    },
+    Sync {
+        op: SyncOp,
+        loc: SrcLoc,
+    },
+    Alloc {
+        dst: RegId,
+        size: Expr,
+        loc: SrcLoc,
+    },
+    Free {
+        addr: Expr,
+        loc: SrcLoc,
+    },
+    Client {
+        req: ClientOp,
+        loc: SrcLoc,
+    },
     Yield,
-    AssertEq { a: Expr, b: Expr, msg: String },
+    AssertEq {
+        a: Expr,
+        b: Expr,
+        msg: String,
+    },
 }
 
 /// A lowered procedure.
@@ -108,12 +166,9 @@ impl Lowerer {
             Stmt::Assign { dst, value } => {
                 self.code.push(Op::Assign { dst: *dst, value: value.clone() })
             }
-            Stmt::Load { dst, addr, size, loc } => self.code.push(Op::Load {
-                dst: *dst,
-                addr: addr.clone(),
-                size: *size,
-                loc: *loc,
-            }),
+            Stmt::Load { dst, addr, size, loc } => {
+                self.code.push(Op::Load { dst: *dst, addr: addr.clone(), size: *size, loc: *loc })
+            }
             Stmt::Store { addr, value, size, loc } => self.code.push(Op::Store {
                 addr: addr.clone(),
                 value: value.clone(),
@@ -175,45 +230,29 @@ impl Lowerer {
                     target: after,
                 };
             }
-            Stmt::Call { proc, args, dst, loc } => self.code.push(Op::Call {
-                proc: *proc,
-                args: args.clone(),
-                dst: *dst,
-                loc: *loc,
-            }),
+            Stmt::Call { proc, args, dst, loc } => {
+                self.code.push(Op::Call { proc: *proc, args: args.clone(), dst: *dst, loc: *loc })
+            }
             Stmt::Return { value } => self.code.push(Op::Ret { value: value.clone() }),
-            Stmt::Spawn { proc, args, dst, loc } => self.code.push(Op::Spawn {
-                proc: *proc,
-                args: args.clone(),
-                dst: *dst,
-                loc: *loc,
-            }),
+            Stmt::Spawn { proc, args, dst, loc } => {
+                self.code.push(Op::Spawn { proc: *proc, args: args.clone(), dst: *dst, loc: *loc })
+            }
             Stmt::Join { handle, loc } => {
                 self.code.push(Op::Join { handle: handle.clone(), loc: *loc })
             }
-            Stmt::NewSync { dst, kind, init } => self.code.push(Op::NewSync {
-                dst: *dst,
-                kind: *kind,
-                init: init.clone(),
-            }),
+            Stmt::NewSync { dst, kind, init } => {
+                self.code.push(Op::NewSync { dst: *dst, kind: *kind, init: init.clone() })
+            }
             Stmt::Sync { op, loc } => self.code.push(Op::Sync { op: op.clone(), loc: *loc }),
-            Stmt::Alloc { dst, size, loc } => self.code.push(Op::Alloc {
-                dst: *dst,
-                size: size.clone(),
-                loc: *loc,
-            }),
-            Stmt::Free { addr, loc } => {
-                self.code.push(Op::Free { addr: addr.clone(), loc: *loc })
+            Stmt::Alloc { dst, size, loc } => {
+                self.code.push(Op::Alloc { dst: *dst, size: size.clone(), loc: *loc })
             }
-            Stmt::Client { req, loc } => {
-                self.code.push(Op::Client { req: req.clone(), loc: *loc })
-            }
+            Stmt::Free { addr, loc } => self.code.push(Op::Free { addr: addr.clone(), loc: *loc }),
+            Stmt::Client { req, loc } => self.code.push(Op::Client { req: req.clone(), loc: *loc }),
             Stmt::Yield => self.code.push(Op::Yield),
-            Stmt::AssertEq { a, b, msg } => self.code.push(Op::AssertEq {
-                a: a.clone(),
-                b: b.clone(),
-                msg: msg.clone(),
-            }),
+            Stmt::AssertEq { a, b, msg } => {
+                self.code.push(Op::AssertEq { a: a.clone(), b: b.clone(), msg: msg.clone() })
+            }
         }
     }
 }

@@ -42,23 +42,14 @@ pub struct SrcLoc {
 
 impl SrcLoc {
     /// The unknown location (empty file/function, line 0).
-    pub const UNKNOWN: SrcLoc = SrcLoc {
-        file: Symbol::EMPTY,
-        line: 0,
-        func: Symbol::EMPTY,
-    };
+    pub const UNKNOWN: SrcLoc = SrcLoc { file: Symbol::EMPTY, line: 0, func: Symbol::EMPTY };
 
     /// Render `file:line (func)` using the owning program's interner.
     pub fn display(&self, interner: &Interner) -> String {
         if *self == SrcLoc::UNKNOWN {
             return "<unknown>".to_string();
         }
-        format!(
-            "{}:{} ({})",
-            interner.resolve(self.file),
-            self.line,
-            interner.resolve(self.func)
-        )
+        format!("{}:{} ({})", interner.resolve(self.file), self.line, interner.resolve(self.func))
     }
 }
 
@@ -172,15 +163,24 @@ pub enum SyncOp {
     RwUnlock(Expr),
     /// `pthread_cond_wait(cond, mutex)`: atomically release the mutex and
     /// block; re-acquire before returning.
-    CondWait { cond: Expr, mutex: Expr },
+    CondWait {
+        cond: Expr,
+        mutex: Expr,
+    },
     CondSignal(Expr),
     CondBroadcast(Expr),
     SemWait(Expr),
     SemPost(Expr),
     /// Blocking put of a value into a bounded queue.
-    QueuePut { queue: Expr, value: Expr },
+    QueuePut {
+        queue: Expr,
+        value: Expr,
+    },
     /// Blocking get; the received value lands in `dst`.
-    QueueGet { queue: Expr, dst: RegId },
+    QueueGet {
+        queue: Expr,
+        dst: RegId,
+    },
 }
 
 /// Client requests: the guest-to-tool annotation channel, mirroring
@@ -203,7 +203,10 @@ pub enum ClientOp {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Stmt {
     /// Silent register assignment.
-    Assign { dst: RegId, value: Expr },
+    Assign {
+        dst: RegId,
+        value: Expr,
+    },
     /// Guest memory read; emits an `Access(Read)` event.
     Load {
         dst: RegId,
@@ -233,16 +236,24 @@ pub enum Stmt {
         then_branch: Vec<Stmt>,
         else_branch: Vec<Stmt>,
     },
-    While { cond: Cond, body: Vec<Stmt> },
+    While {
+        cond: Cond,
+        body: Vec<Stmt>,
+    },
     /// Execute `body` `times` times; `times` is evaluated once on entry.
-    Repeat { times: Expr, body: Vec<Stmt> },
+    Repeat {
+        times: Expr,
+        body: Vec<Stmt>,
+    },
     Call {
         proc: ProcId,
         args: Vec<Expr>,
         dst: Option<RegId>,
         loc: SrcLoc,
     },
-    Return { value: Option<Expr> },
+    Return {
+        value: Option<Expr>,
+    },
     /// Create a thread running `proc(args)`; `dst` receives its handle.
     Spawn {
         proc: ProcId,
@@ -251,7 +262,10 @@ pub enum Stmt {
         loc: SrcLoc,
     },
     /// Block until the thread with the given handle exits.
-    Join { handle: Expr, loc: SrcLoc },
+    Join {
+        handle: Expr,
+        loc: SrcLoc,
+    },
     /// Create a synchronisation object; `dst` receives its handle.
     /// `init` is the initial count (semaphore) or capacity (queue).
     NewSync {
@@ -259,7 +273,10 @@ pub enum Stmt {
         kind: SyncKind,
         init: Expr,
     },
-    Sync { op: SyncOp, loc: SrcLoc },
+    Sync {
+        op: SyncOp,
+        loc: SrcLoc,
+    },
     /// Guest heap allocation (`operator new` / `malloc`).
     Alloc {
         dst: RegId,
@@ -267,13 +284,23 @@ pub enum Stmt {
         loc: SrcLoc,
     },
     /// Guest heap release (`operator delete` / `free`).
-    Free { addr: Expr, loc: SrcLoc },
+    Free {
+        addr: Expr,
+        loc: SrcLoc,
+    },
     /// Client request (tool annotation).
-    Client { req: ClientOp, loc: SrcLoc },
+    Client {
+        req: ClientOp,
+        loc: SrcLoc,
+    },
     /// Voluntary reschedule point.
     Yield,
     /// Guest-level assertion; failure aborts the run with a guest error.
-    AssertEq { a: Expr, b: Expr, msg: String },
+    AssertEq {
+        a: Expr,
+        b: Expr,
+        msg: String,
+    },
 }
 
 /// Global variable declaration.
@@ -337,11 +364,7 @@ mod tests {
     #[test]
     fn srcloc_display() {
         let mut i = Interner::new();
-        let loc = SrcLoc {
-            file: i.intern("proxy.cpp"),
-            line: 42,
-            func: i.intern("handle"),
-        };
+        let loc = SrcLoc { file: i.intern("proxy.cpp"), line: 42, func: i.intern("handle") };
         assert_eq!(loc.display(&i), "proxy.cpp:42 (handle)");
         assert_eq!(SrcLoc::UNKNOWN.display(&i), "<unknown>");
     }

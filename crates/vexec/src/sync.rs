@@ -28,9 +28,15 @@ pub enum SyncError {
 impl std::fmt::Display for SyncError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SyncError::NotOwner { tid } => write!(f, "thread {} unlocked a mutex it does not own", tid.0),
-            SyncError::SelfDeadlock { tid } => write!(f, "thread {} relocked a mutex it already owns", tid.0),
-            SyncError::NotHeld { tid } => write!(f, "thread {} released a rwlock it does not hold", tid.0),
+            SyncError::NotOwner { tid } => {
+                write!(f, "thread {} unlocked a mutex it does not own", tid.0)
+            }
+            SyncError::SelfDeadlock { tid } => {
+                write!(f, "thread {} relocked a mutex it already owns", tid.0)
+            }
+            SyncError::NotHeld { tid } => {
+                write!(f, "thread {} released a rwlock it does not hold", tid.0)
+            }
             SyncError::WrongKind { expected, actual } => {
                 write!(f, "sync op expected a {} but got a {}", expected.name(), actual.name())
             }

@@ -266,8 +266,7 @@ pub fn decode_event(buf: &mut Bytes) -> Result<Event, TraceError> {
             let sync = SyncId(buf.get_u32_le());
             let kind = sync_kind_from(buf.get_u8())?;
             let loc = get_loc(buf)?;
-            let mode =
-                if tag == T_ACQUIRE_EXCL { AcqMode::Exclusive } else { AcqMode::Shared };
+            let mode = if tag == T_ACQUIRE_EXCL { AcqMode::Exclusive } else { AcqMode::Shared };
             Event::Acquire { tid, sync, kind, mode, loc }
         }
         T_RELEASE => {
@@ -459,11 +458,41 @@ mod tests {
     fn sample_events() -> Vec<Event> {
         let l = SrcLoc { file: Symbol(3), line: 42, func: Symbol(4) };
         vec![
-            Event::Access { tid: ThreadId(1), addr: 0x1000, size: 8, kind: AccessKind::Read, loc: l },
-            Event::Access { tid: ThreadId(2), addr: 0x1008, size: 4, kind: AccessKind::Write, loc: l },
-            Event::Access { tid: ThreadId(2), addr: 0x1008, size: 8, kind: AccessKind::AtomicRmw, loc: l },
-            Event::Acquire { tid: ThreadId(1), sync: SyncId(0), kind: SyncKind::Mutex, mode: AcqMode::Exclusive, loc: l },
-            Event::Acquire { tid: ThreadId(1), sync: SyncId(1), kind: SyncKind::RwLock, mode: AcqMode::Shared, loc: l },
+            Event::Access {
+                tid: ThreadId(1),
+                addr: 0x1000,
+                size: 8,
+                kind: AccessKind::Read,
+                loc: l,
+            },
+            Event::Access {
+                tid: ThreadId(2),
+                addr: 0x1008,
+                size: 4,
+                kind: AccessKind::Write,
+                loc: l,
+            },
+            Event::Access {
+                tid: ThreadId(2),
+                addr: 0x1008,
+                size: 8,
+                kind: AccessKind::AtomicRmw,
+                loc: l,
+            },
+            Event::Acquire {
+                tid: ThreadId(1),
+                sync: SyncId(0),
+                kind: SyncKind::Mutex,
+                mode: AcqMode::Exclusive,
+                loc: l,
+            },
+            Event::Acquire {
+                tid: ThreadId(1),
+                sync: SyncId(1),
+                kind: SyncKind::RwLock,
+                mode: AcqMode::Shared,
+                loc: l,
+            },
             Event::Release { tid: ThreadId(1), sync: SyncId(0), kind: SyncKind::Mutex, loc: l },
             Event::ThreadCreate { parent: ThreadId(0), child: ThreadId(1), loc: l },
             Event::ThreadJoin { joiner: ThreadId(0), joined: ThreadId(1), loc: l },
@@ -477,8 +506,16 @@ mod tests {
             Event::SemAcquired { tid: ThreadId(1), sync: SyncId(3), loc: l },
             Event::QueuePut { tid: ThreadId(0), sync: SyncId(4), token: 99, loc: l },
             Event::QueueGot { tid: ThreadId(1), sync: SyncId(4), token: 99, loc: l },
-            Event::Client { tid: ThreadId(1), req: ClientEv::HgDestruct { addr: 0x2000, size: 16 }, loc: l },
-            Event::Client { tid: ThreadId(1), req: ClientEv::HgCleanMemory { addr: 0x2000, size: 16 }, loc: l },
+            Event::Client {
+                tid: ThreadId(1),
+                req: ClientEv::HgDestruct { addr: 0x2000, size: 16 },
+                loc: l,
+            },
+            Event::Client {
+                tid: ThreadId(1),
+                req: ClientEv::HgCleanMemory { addr: 0x2000, size: 16 },
+                loc: l,
+            },
             Event::Client { tid: ThreadId(1), req: ClientEv::Label(Symbol(9)), loc: l },
         ]
     }

@@ -97,10 +97,7 @@ impl Default for Interner {
 
 impl Interner {
     pub fn new() -> Self {
-        let mut i = Interner {
-            strings: Vec::new(),
-            lookup: FxHashMap::default(),
-        };
+        let mut i = Interner { strings: Vec::new(), lookup: FxHashMap::default() };
         i.intern("");
         i
     }

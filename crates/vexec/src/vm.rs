@@ -33,11 +33,7 @@ pub struct VmOptions {
 
 impl Default for VmOptions {
     fn default() -> Self {
-        VmOptions {
-            max_slots: 50_000_000,
-            silent_op_budget: 1_000_000,
-            max_frames: 256,
-        }
+        VmOptions { max_slots: 50_000_000, silent_op_budget: 1_000_000, max_frames: 256 }
     }
 }
 
@@ -390,11 +386,8 @@ impl<'p> Vm<'p> {
     }
 
     fn err(&self, tid: ThreadId, kind: GuestErrorKind) -> GuestError {
-        let loc = self.threads[tid.index()]
-            .frames
-            .last()
-            .map(|f| f.cur_loc)
-            .unwrap_or(SrcLoc::UNKNOWN);
+        let loc =
+            self.threads[tid.index()].frames.last().map(|f| f.cur_loc).unwrap_or(SrcLoc::UNKNOWN);
         GuestError { tid, loc, kind }
     }
 
@@ -433,7 +426,12 @@ impl<'p> Vm<'p> {
         self.frame_mut(tid).cur_loc = loc;
     }
 
-    fn sync_obj(&mut self, tid: ThreadId, handle: u64, loc: SrcLoc) -> Result<(SyncId, &mut SyncObj), GuestError> {
+    fn sync_obj(
+        &mut self,
+        tid: ThreadId,
+        handle: u64,
+        loc: SrcLoc,
+    ) -> Result<(SyncId, &mut SyncObj), GuestError> {
         let idx = handle as usize;
         if idx >= self.syncs.len() {
             return Err(self.err_at(tid, loc, GuestErrorKind::BadSyncHandle { handle }));
@@ -694,8 +692,7 @@ impl<'p> Vm<'p> {
                         Ok(Flow::Emitted)
                     }
                     Ok(false) => {
-                        self.threads[tid.index()].state =
-                            ThreadState::Blocked(BlockOn::Mutex(sid));
+                        self.threads[tid.index()].state = ThreadState::Blocked(BlockOn::Mutex(sid));
                         Ok(Flow::Blocked)
                     }
                     Err(e) => Err(self.err_at(tid, loc, GuestErrorKind::Sync(e))),
@@ -760,8 +757,7 @@ impl<'p> Vm<'p> {
             SyncOp::RwUnlock(m) => {
                 let h = self.eval(tid, m);
                 let (sid, obj) = self.sync_obj(tid, h, loc)?;
-                obj.rw_unlock(tid)
-                    .map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
+                obj.rw_unlock(tid).map_err(|e| self.err_at(tid, loc, GuestErrorKind::Sync(e)))?;
                 self.advance(tid);
                 self.pending.push(Event::Release { tid, sync: sid, kind: SyncKind::RwLock, loc });
                 self.wake_blocked_on(

@@ -47,10 +47,7 @@ fn silent_spin_loop_is_caught() {
     pb.set_entry(main_id);
     let prog = pb.finish();
 
-    let t = run_with_opts(
-        &prog,
-        VmOptions { silent_op_budget: 10_000, ..Default::default() },
-    );
+    let t = run_with_opts(&prog, VmOptions { silent_op_budget: 10_000, ..Default::default() });
     match t {
         Termination::GuestError(e) => {
             assert!(matches!(e.kind, GuestErrorKind::SilentLoop), "{e:?}")

@@ -153,10 +153,8 @@ fn ab_ba_lock_order_deadlocks() {
         Termination::Deadlock(waits) => {
             // Main blocked on join + two workers blocked on each other's mutex.
             assert_eq!(waits.len(), 3);
-            let worker_waits: Vec<_> = waits
-                .iter()
-                .filter(|w| matches!(w.on, BlockOn::Mutex(_)))
-                .collect();
+            let worker_waits: Vec<_> =
+                waits.iter().filter(|w| matches!(w.on, BlockOn::Mutex(_))).collect();
             assert_eq!(worker_waits.len(), 2);
             // Each worker's wanted mutex is held by the other worker.
             for w in worker_waits {

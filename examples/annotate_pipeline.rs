@@ -67,8 +67,7 @@ fn main() {
     }
 
     // Build 2: plain (third-party source unavailable).
-    let plain =
-        run_pipeline(&[SourceFile::without_instrumentation("session.cpp", APP)]).unwrap();
+    let plain = run_pipeline(&[SourceFile::without_instrumentation("session.cpp", APP)]).unwrap();
 
     println!("==== plain build under HWLC+DR detector ====");
     let plain_warnings = run_detected(&plain.program, DetectorConfig::hwlc_dr());

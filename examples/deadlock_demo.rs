@@ -124,7 +124,10 @@ fn main() {
     let r = run_program(&program, &mut tool, &mut RoundRobin::new());
     match &r.termination {
         Termination::Deadlock(waits) => {
-            println!("\n5 dining philosophers deadlocked: {} threads in the cycle", waits.len() - 1);
+            println!(
+                "\n5 dining philosophers deadlocked: {} threads in the cycle",
+                waits.len() - 1
+            );
         }
         other => println!("\nphilosophers finished without deadlock: {other:?}"),
     }

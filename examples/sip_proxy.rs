@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example sip_proxy`
 
 use sipsim::testcases::reproduce_fig6;
-use sipsim::workload::generate;
 use sipsim::testcases::testcases;
+use sipsim::workload::generate;
 
 fn main() {
     // Show the SIPp-style traffic behind one case, for flavour.
@@ -22,10 +22,7 @@ fn main() {
 
     println!("Fig 6 — reported possible-data-race locations per configuration");
     println!("(paper values in parentheses)\n");
-    println!(
-        "{:<5} {:>16} {:>16} {:>16}  {:>9}",
-        "Case", "Original", "HWLC", "HWLC+DR", "FP cut"
-    );
+    println!("{:<5} {:>16} {:>16} {:>16}  {:>9}", "Case", "Original", "HWLC", "HWLC+DR", "FP cut");
     for row in reproduce_fig6() {
         let (po, ph, pd) = row.paper;
         println!(
@@ -45,10 +42,7 @@ fn main() {
     }
 
     println!("\nFig 5 — warning breakdown by ground truth (Original config):");
-    println!(
-        "{:<5} {:>14} {:>16} {:>10}",
-        "Case", "bus-lock FP", "destructor FP", "real races"
-    );
+    println!("{:<5} {:>14} {:>16} {:>10}", "Case", "bus-lock FP", "destructor FP", "real races");
     for row in reproduce_fig6() {
         println!(
             "{:<5} {:>14} {:>16} {:>10}",

@@ -36,10 +36,7 @@ fn main() {
         .iter()
         .filter(|r| tpr.sites.classify(&r.file, r.line) == Some(SiteLabel::HandoffFp))
         .count();
-    println!(
-        "warning locations: {} (hand-off FPs: {tpr_handoff})",
-        det.sink.race_location_count()
-    );
+    println!("warning locations: {} (hand-off FPs: {tpr_handoff})", det.sink.race_location_count());
     assert_eq!(tpr_handoff, 0, "create/join hand-off is understood");
 
     println!("\n== Eraser (HWLC+DR) on thread pool (Fig 11) ==");
@@ -70,10 +67,7 @@ fn main() {
         .iter()
         .filter(|r| pool.sites.classify(&r.file, r.line) == Some(SiteLabel::HandoffFp))
         .count();
-    println!(
-        "warning locations: {} (hand-off FPs: {qhb_handoff})",
-        det.sink.race_location_count()
-    );
+    println!("warning locations: {} (hand-off FPs: {qhb_handoff})", det.sink.race_location_count());
     assert_eq!(qhb_handoff, 0, "queue put/get edges order the hand-off");
     println!("\nsummary: TPR clean, pool adds a hand-off FP, queue-aware hybrid removes it");
 }

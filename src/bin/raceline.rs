@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! raceline check app.mcpp [lib.mcpp ...] [options]
+//! raceline lint  app.mcpp [lib.mcpp ...] [--raw <file>] [--json]
 //!
-//! options:
+//! check options:
 //!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
 //!   --schedule rr|random:<seed>|pct:<seed>:<depth>              (default rr)
 //!   --raw <file>            compile <file> without instrumentation
@@ -12,15 +13,22 @@
 //!   --suppressions <file>   load a Valgrind-style suppression file
 //!   --gen-suppressions      print a suppression entry for each warning
 //!   --explore <n>           run under <n> random schedules and aggregate
+//!   --static-cross-check    also run the static analysis and label each
+//!                           finding confirmed-both / static-only /
+//!                           dynamic-only (joined by kind, file, line)
+//!   --json                  machine-readable output
 //!   --emit-annotated        print the annotated source (Fig 4 view)
 //!   --emit-ir               print the lowered guest IR (disassembly)
 //! ```
 
 use helgrind_core::explore::explore_schedules;
 use helgrind_core::{
-    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Suppression, SuppressionSet,
+    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, Suppression,
+    SuppressionSet,
 };
 use minicpp::pipeline::{run_pipeline, SourceFile};
+use serde::{Serialize, Value};
+use std::collections::BTreeSet;
 use vexec::sched::{Pct, RoundRobin, Scheduler, SeededRandom};
 use vexec::vm::{run_program, Termination};
 
@@ -29,7 +37,9 @@ fn usage() -> ! {
         "usage: raceline check <file.mcpp>... [--raw <file.mcpp>]... \
          [--detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue] \
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
-         [--suppressions <file>] [--gen-suppressions] [--explore <n>] [--emit-annotated] [--emit-ir]"
+         [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
+         [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
+         \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]"
     );
     std::process::exit(2);
 }
@@ -67,12 +77,29 @@ fn parse_schedule(s: &str) -> Box<dyn Scheduler> {
     usage()
 }
 
+fn read_source(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+/// The (kind, file, line) key the static/dynamic join uses.
+fn join_key(r: &Report) -> (String, String, u32) {
+    (r.kind.name().to_string(), r.file.clone(), r.line)
+}
+
+fn reports_json(reports: &[Report]) -> Value {
+    Value::Array(reports.iter().map(|r| r.to_value()).collect())
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
-    match args.next().as_deref() {
-        Some("check") => {}
+    let cmd = match args.next().as_deref() {
+        Some("check") => "check",
+        Some("lint") => "lint",
         _ => usage(),
-    }
+    };
 
     let mut files: Vec<SourceFile> = Vec::new();
     let mut detector_name = "hwlc-dr".to_string();
@@ -82,6 +109,8 @@ fn main() {
     let mut explore: Option<usize> = None;
     let mut emit_annotated = false;
     let mut emit_ir = false;
+    let mut json = false;
+    let mut cross_check = false;
 
     let args: Vec<String> = args.collect();
     let mut it = args.iter();
@@ -91,18 +120,12 @@ fn main() {
             "--schedule" => schedule = it.next().unwrap_or_else(|| usage()).clone(),
             "--raw" => {
                 let path = it.next().unwrap_or_else(|| usage());
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("cannot read {path}: {e}");
-                    std::process::exit(1);
-                });
+                let text = read_source(path);
                 files.push(SourceFile::without_instrumentation(path, &text));
             }
             "--suppressions" => {
                 let path = it.next().unwrap_or_else(|| usage());
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("cannot read {path}: {e}");
-                    std::process::exit(1);
-                });
+                let text = read_source(path);
                 suppressions = SuppressionSet::parse(&text).unwrap_or_else(|e| {
                     eprintln!("{path}: {e}");
                     std::process::exit(1);
@@ -111,16 +134,13 @@ fn main() {
             "--gen-suppressions" => gen_suppressions = true,
             "--emit-annotated" => emit_annotated = true,
             "--emit-ir" => emit_ir = true,
+            "--json" => json = true,
+            "--static-cross-check" => cross_check = true,
             "--explore" => {
-                explore = Some(
-                    it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()),
-                );
+                explore = Some(it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
             }
             path if !path.starts_with('-') => {
-                let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                    eprintln!("cannot read {path}: {e}");
-                    std::process::exit(1);
-                });
+                let text = read_source(path);
                 files.push(SourceFile::new(path, &text));
             }
             _ => usage(),
@@ -128,6 +148,10 @@ fn main() {
     }
     if files.is_empty() {
         usage();
+    }
+
+    if cmd == "lint" {
+        run_lint(&files, json);
     }
 
     // Stage 1+2+3 (Fig 3): preprocess, parse + annotate, compile.
@@ -161,76 +185,175 @@ fn main() {
             summary.runs, summary.clean_runs, summary.deadlocked_runs
         );
         for hit in &summary.locations {
+            println!("[{:>3}/{:<3}] {}", hit.hits, summary.runs, hit.report.render().trim_end());
+        }
+        if cross_check {
+            // Join the static findings against every location any explored
+            // schedule hit — the union is the fairest dynamic baseline.
+            let stat = minicpp::analysis::analyze(&out.units);
+            let dyn_keys: BTreeSet<_> =
+                summary.locations.iter().map(|h| join_key(&h.report)).collect();
+            let stat_keys: BTreeSet<_> = stat.reports.iter().map(join_key).collect();
+            let confirmed = stat.reports.iter().filter(|r| dyn_keys.contains(&join_key(r)));
+            let static_only = stat.reports.iter().filter(|r| !dyn_keys.contains(&join_key(r)));
+            let dynamic_only =
+                summary.locations.iter().filter(|h| !stat_keys.contains(&join_key(&h.report)));
             println!(
-                "[{:>3}/{:<3}] {}",
-                hit.hits,
-                summary.runs,
-                hit.report.render().trim_end()
+                "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only",
+                confirmed.clone().count(),
+                static_only.clone().count(),
+                dynamic_only.clone().count()
             );
+            for r in confirmed {
+                println!("[confirmed-both] {} at {}:{}", r.kind.name(), r.file, r.line);
+            }
+            for r in static_only {
+                println!("[static-only] {} at {}:{}", r.kind.name(), r.file, r.line);
+            }
+            for h in dynamic_only {
+                let r = &h.report;
+                println!("[dynamic-only] {} at {}:{}", r.kind.name(), r.file, r.line);
+            }
         }
         std::process::exit(if summary.locations.is_empty() { 0 } else { 1 });
     }
 
-    // Single-run mode.
+    // Single-run mode: collect the post-suppression dynamic findings.
     let mut sched = parse_schedule(&schedule);
-    let mut warnings = 0usize;
     let termination;
-    match detector_name.as_str() {
+    let dynamic: Vec<Report> = match detector_name.as_str() {
         "djit" => {
             let mut det = DjitDetector::new(cfg);
             termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
-            report(det.sink.take_reports(), &suppressions, gen_suppressions, &mut warnings);
+            det.sink.take_reports()
         }
         "hybrid" | "hybrid-queue" => {
             let mut det = HybridDetector::new(cfg);
             termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
-            report(det.sink.take_reports(), &suppressions, gen_suppressions, &mut warnings);
+            det.sink.take_reports()
         }
         _ => {
+            // Eraser applies suppressions inside its sink already.
             let mut det = EraserDetector::with_suppressions(cfg, suppressions.clone());
             termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
-            report(det.sink.take_reports(), &SuppressionSet::new(), gen_suppressions, &mut warnings);
+            det.sink.take_reports()
+        }
+    };
+    let dynamic: Vec<Report> = dynamic.into_iter().filter(|r| !suppressions.matches(r)).collect();
+    let mut warnings = dynamic.len();
+
+    if !json {
+        for (i, r) in dynamic.iter().enumerate() {
+            println!("{}", r.render());
+            if gen_suppressions {
+                println!("{}", Suppression::from_report(&format!("auto-{}", i + 1), r, 3).render());
+            }
         }
     }
 
     match &termination {
         Termination::AllExited => {}
         Termination::Deadlock(waits) => {
-            println!("DEADLOCK: {} thread(s) blocked:", waits.len());
-            for w in waits {
-                println!(
-                    "  thread {} blocked on {:?} held by {:?}",
-                    w.tid.0,
-                    w.on,
-                    w.holders.iter().map(|t| t.0).collect::<Vec<_>>()
-                );
+            if !json {
+                println!("DEADLOCK: {} thread(s) blocked:", waits.len());
+                for w in waits {
+                    println!(
+                        "  thread {} blocked on {:?} held by {:?}",
+                        w.tid.0,
+                        w.on,
+                        w.holders.iter().map(|t| t.0).collect::<Vec<_>>()
+                    );
+                }
             }
             warnings += 1;
         }
         other => {
-            println!("abnormal termination: {other:?}");
+            if !json {
+                println!("abnormal termination: {other:?}");
+            }
             warnings += 1;
         }
+    }
+
+    // Static cross-check: join the two report streams by (kind, file,
+    // line). The static side sees paths no schedule exercised; the
+    // dynamic side sees heap/alias behaviour the static side abstracts.
+    let cross = cross_check.then(|| {
+        let stat = minicpp::analysis::analyze(&out.units);
+        let dyn_keys: BTreeSet<_> = dynamic.iter().map(join_key).collect();
+        let stat_keys: BTreeSet<_> = stat.reports.iter().map(join_key).collect();
+        let confirmed: Vec<&Report> =
+            stat.reports.iter().filter(|r| dyn_keys.contains(&join_key(r))).collect();
+        let static_only: Vec<&Report> =
+            stat.reports.iter().filter(|r| !dyn_keys.contains(&join_key(r))).collect();
+        let dynamic_only: Vec<&Report> =
+            dynamic.iter().filter(|r| !stat_keys.contains(&join_key(r))).collect();
+        if !json {
+            println!(
+                "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only",
+                confirmed.len(),
+                static_only.len(),
+                dynamic_only.len()
+            );
+            for (label, set) in [
+                ("confirmed-both", &confirmed),
+                ("static-only", &static_only),
+                ("dynamic-only", &dynamic_only),
+            ] {
+                for r in set.iter() {
+                    println!(
+                        "[{label}] {} at {} ({}:{}) — {}",
+                        r.kind.name(),
+                        r.func,
+                        r.file,
+                        r.line,
+                        r.details
+                    );
+                }
+            }
+        }
+        let to_vals = |rs: &[&Report]| Value::Array(rs.iter().map(|r| r.to_value()).collect());
+        Value::Object(vec![
+            ("confirmed_both".to_string(), to_vals(&confirmed)),
+            ("static_only".to_string(), to_vals(&static_only)),
+            ("dynamic_only".to_string(), to_vals(&dynamic_only)),
+        ])
+    });
+
+    if json {
+        let mut obj = vec![
+            ("warnings".to_string(), Value::UInt(warnings as u64)),
+            ("termination".to_string(), Value::Str(format!("{termination:?}"))),
+            ("reports".to_string(), reports_json(&dynamic)),
+        ];
+        if let Some(c) = cross {
+            obj.push(("static_cross_check".to_string(), c));
+        }
+        println!("{}", Value::Object(obj));
     }
 
     eprintln!("{warnings} warning(s)");
     std::process::exit(if warnings == 0 { 0 } else { 1 });
 }
 
-fn report(
-    reports: Vec<helgrind_core::Report>,
-    suppressions: &SuppressionSet,
-    gen: bool,
-    warnings: &mut usize,
-) {
-    for (i, r) in reports.into_iter().enumerate() {
-        if suppressions.matches(&r) {
-            continue;
-        }
-        *warnings += 1;
-        println!("{}", r.render());
-        if gen {
-            println!("{}", Suppression::from_report(&format!("auto-{}", i + 1), &r, 3).render());
+/// `raceline lint`: parse + annotate + static passes, no execution.
+fn run_lint(files: &[SourceFile], json: bool) -> ! {
+    let result = minicpp::analysis::analyze_files(files).unwrap_or_else(|e| {
+        eprintln!("compile error: {e}");
+        std::process::exit(1);
+    });
+    let n = result.reports.len();
+    if json {
+        let obj = Value::Object(vec![
+            ("findings".to_string(), Value::UInt(n as u64)),
+            ("reports".to_string(), reports_json(&result.reports)),
+        ]);
+        println!("{obj}");
+    } else {
+        for r in &result.reports {
+            println!("{}", r.render());
         }
     }
+    eprintln!("{n} finding(s)");
+    std::process::exit(if n == 0 { 0 } else { 1 });
 }

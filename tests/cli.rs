@@ -4,10 +4,8 @@
 use std::process::Command;
 
 fn raceline(args: &[&str]) -> (String, String, i32) {
-    let out = Command::new(env!("CARGO_BIN_EXE_raceline"))
-        .args(args)
-        .output()
-        .expect("run raceline");
+    let out =
+        Command::new(env!("CARGO_BIN_EXE_raceline")).args(args).output().expect("run raceline");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
         String::from_utf8_lossy(&out.stderr).into_owned(),
@@ -100,4 +98,118 @@ fn bad_usage_exits_2() {
     assert_eq!(code, 2);
     let (_, _, code) = raceline(&["frobnicate"]);
     assert_eq!(code, 2);
+    let (_, _, code) = raceline(&["lint"]);
+    assert_eq!(code, 2);
+}
+
+// -------------------------------------------------------------------
+// `raceline lint`: the static passes, no execution.
+// -------------------------------------------------------------------
+
+#[test]
+fn lint_reports_the_seeded_race_and_nothing_else() {
+    let (stdout, stderr, code) = raceline(&["lint", SAMPLE]);
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    assert!(stdout.contains("Possible Race (write)"), "{stdout}");
+    assert!(stdout.contains("session.mcpp:20"), "{stdout}");
+    assert!(stderr.contains("2 finding(s)"), "write + read of g_racy_hits\n{stderr}");
+    // The locked field/global updates and the rwlock pair stay silent.
+    assert!(!stdout.contains("g_pending"), "{stdout}");
+    assert!(!stdout.contains("g_table"), "{stdout}");
+}
+
+#[test]
+fn lint_flags_racy_global_fixture() {
+    let (stdout, _, code) = raceline(&["lint", "examples/programs/racy_global.mcpp"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("Possible Race (write)"), "{stdout}");
+    assert!(stdout.contains("racy_global.mcpp:7"), "{stdout}");
+}
+
+#[test]
+fn lint_predicts_ab_ba_cycle() {
+    let (stdout, _, code) = raceline(&["lint", "examples/programs/ab_ba.mcpp"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("Possible LockOrder"), "{stdout}");
+    assert!(stdout.contains("lock order cycle"), "{stdout}");
+    // Both acquisition sites of the inversion are reported; the data
+    // accesses under both locks are not races.
+    assert!(stdout.contains("ab_ba.mcpp:10"), "t1's lock(g_b)\n{stdout}");
+    assert!(stdout.contains("ab_ba.mcpp:18"), "t2's lock(g_a)\n{stdout}");
+    assert!(!stdout.contains("Possible Race"), "{stdout}");
+}
+
+#[test]
+fn lint_clean_fixture_has_zero_findings() {
+    let (stdout, stderr, code) = raceline(&["lint", "examples/programs/clean_locked.mcpp"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stderr.contains("0 finding(s)"), "{stderr}");
+}
+
+#[test]
+fn lint_flags_unannotated_polymorphic_delete_in_raw_units() {
+    let (stdout, _, code) =
+        raceline(&["lint", "--raw", "examples/programs/unannotated_delete.mcpp"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("Possible UnannotatedDelete"), "{stdout}");
+    assert!(stdout.contains("unannotated_delete.mcpp:8"), "{stdout}");
+
+    // Instrumented, the annotation pass rewrites the delete: silence.
+    let (_, stderr, code) = raceline(&["lint", "examples/programs/unannotated_delete.mcpp"]);
+    assert_eq!(code, 0, "{stderr}");
+}
+
+#[test]
+fn lint_json_is_machine_readable() {
+    let (stdout, _, code) = raceline(&["lint", SAMPLE, "--json"]);
+    assert_eq!(code, 1);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{stdout}");
+    assert!(line.contains("\"findings\":2"), "{stdout}");
+    assert!(line.contains("\"kind\":\"RaceWrite\""), "{stdout}");
+    assert!(line.contains("\"line\":20"), "{stdout}");
+}
+
+// -------------------------------------------------------------------
+// `raceline check --static-cross-check` and `--json`.
+// -------------------------------------------------------------------
+
+#[test]
+fn cross_check_labels_confirmed_and_static_only() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--static-cross-check"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("static cross-check:"), "{stdout}");
+    // The dynamic write race at line 20 is confirmed by the static side;
+    // the static read race at the same line was not in the dynamic run.
+    assert!(stdout.contains("[confirmed-both] Race (write)"), "{stdout}");
+    assert!(stdout.contains("[static-only]"), "{stdout}");
+}
+
+#[test]
+fn explore_mode_honours_cross_check() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--explore", "4", "--static-cross-check"]);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("explored 4 schedules"), "{stdout}");
+    assert!(stdout.contains("static cross-check:"), "{stdout}");
+    assert!(stdout.contains("[confirmed-both] Race (write)"), "{stdout}");
+}
+
+#[test]
+fn check_json_reports_warnings_and_termination() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--json"]);
+    assert_eq!(code, 1);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.starts_with('{'), "{stdout}");
+    assert!(line.contains("\"warnings\":1"), "{stdout}");
+    assert!(line.contains("\"termination\":\"AllExited\""), "{stdout}");
+    assert!(line.contains("\"kind\":\"RaceWrite\""), "{stdout}");
+}
+
+#[test]
+fn check_json_with_cross_check_embeds_the_join() {
+    let (stdout, _, _) = raceline(&["check", SAMPLE, "--json", "--static-cross-check"]);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"static_cross_check\""), "{stdout}");
+    assert!(line.contains("\"confirmed_both\""), "{stdout}");
+    assert!(line.contains("\"static_only\""), "{stdout}");
 }

@@ -37,12 +37,10 @@ void main() {
     join(b);
 }
 ";
-    let instrumented =
-        minicpp::run_pipeline(&[minicpp::SourceFile::new("conn.cpp", SRC)]).unwrap();
-    let plain = minicpp::run_pipeline(&[minicpp::SourceFile::without_instrumentation(
-        "conn.cpp", SRC,
-    )])
-    .unwrap();
+    let instrumented = minicpp::run_pipeline(&[minicpp::SourceFile::new("conn.cpp", SRC)]).unwrap();
+    let plain =
+        minicpp::run_pipeline(&[minicpp::SourceFile::without_instrumentation("conn.cpp", SRC)])
+            .unwrap();
 
     let run = |prog: &Program, cfg: DetectorConfig| {
         let mut det = EraserDetector::new(cfg);
@@ -114,20 +112,13 @@ fn suppressions_silence_string_and_dtor_categories() {
 }",
     )
     .unwrap();
-    let mut det = helgrind_core::EraserDetector::with_suppressions(
-        DetectorConfig::original(),
-        supp,
-    );
+    let mut det =
+        helgrind_core::EraserDetector::with_suppressions(DetectorConfig::original(), supp);
     let r = run_program(&built.program, &mut det, &mut RoundRobin::new());
     assert!(r.termination.is_clean());
     // All 58 bus-lock FPs of T3 suppressed; destructor FPs + real remain.
     assert_eq!(det.sink.suppressed, 58);
-    let races = det
-        .sink
-        .reports()
-        .iter()
-        .filter(|r| r.kind != ReportKind::LockOrderCycle)
-        .count();
+    let races = det.sink.reports().iter().filter(|r| r.kind != ReportKind::LockOrderCycle).count();
     assert_eq!(races, 252 - 58);
 }
 
