@@ -1,0 +1,69 @@
+//! Fault-injector overhead benchmark.
+//!
+//! The chaos harness promises that carrying a fault plan is close to free
+//! when no fault actually fires: `VmOptions { faults: None }` skips the
+//! injector entirely, while `Some(FaultPlan::disabled())` builds the
+//! injector and pays the per-slot / per-sync-op hook checks but never
+//! draws from the PRNG. The third configuration measures a realistic
+//! active plan so the cost of *firing* faults (extra wakeups, retried
+//! locks) is visible separately from the cost of *checking* for them.
+//!
+//! Run with: `cargo bench -p race-bench --bench faults`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, EraserDetector};
+use sipsim::native::{vm_workload_program, WorkloadSpec};
+use std::hint::black_box;
+use vexec::faults::FaultPlan;
+use vexec::sched::RoundRobin;
+use vexec::tool::NullTool;
+use vexec::vm::{run_flat, VmOptions};
+
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+
+fn bench_faults(c: &mut Criterion) {
+    let prog = vm_workload_program(SPEC);
+    let flat = prog.lower();
+    let mut group = c.benchmark_group("faults");
+    group.sample_size(10);
+
+    let run = |faults: Option<FaultPlan>| {
+        let opts = VmOptions { faults, ..Default::default() };
+        let r = run_flat(&flat, &mut NullTool, &mut RoundRobin::new(), opts);
+        black_box(r.stats.events)
+    };
+
+    group.bench_function("vm-faults-none", |b| b.iter(|| run(None)));
+
+    group
+        .bench_function("vm-faults-disabled-plan", |b| b.iter(|| run(Some(FaultPlan::disabled()))));
+
+    group.bench_function("vm-faults-active-plan", |b| {
+        b.iter(|| run(Some(FaultPlan::from_seed(0xC0FFEE))))
+    });
+
+    // Same comparison under a real detector: the hook cost must stay
+    // negligible relative to analysis cost.
+    group.bench_function("vm-eraser-faults-none", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            let opts = VmOptions::default();
+            run_flat(&flat, &mut det, &mut RoundRobin::new(), opts);
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.bench_function("vm-eraser-faults-disabled-plan", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            let opts = VmOptions { faults: Some(FaultPlan::disabled()), ..Default::default() };
+            run_flat(&flat, &mut det, &mut RoundRobin::new(), opts);
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_faults);
+criterion_main!(benches);

@@ -1,6 +1,7 @@
 //! Detector configuration and the three experiment presets from the paper
 //! (the columns of Fig 6): Original, HWLC, and HWLC+DR.
 
+use crate::budget::DetectorBudget;
 use serde::{Deserialize, Serialize};
 
 /// How the x86 `LOCK` prefix is modelled (§3.1 / §4.2.2).
@@ -52,6 +53,9 @@ pub struct DetectorConfig {
     pub atomic_sync: bool,
     /// Semaphore post → wait happens-before edges (HB engines).
     pub sem_hb: bool,
+    /// State caps with graceful degradation (see [`crate::budget`]).
+    /// Unlimited in every preset; narrowed by `raceline --budget`.
+    pub budget: DetectorBudget,
 }
 
 impl DetectorConfig {
@@ -68,6 +72,7 @@ impl DetectorConfig {
             condvar_hb: false,
             atomic_sync: true,
             sem_hb: true,
+            budget: DetectorBudget::unlimited(),
         }
     }
 

@@ -20,7 +20,7 @@ use crate::suppress::SuppressionSet;
 use vexec::event::{AccessKind, Event, ThreadId};
 use vexec::ir::SrcLoc;
 use vexec::tool::Tool;
-use vexec::vm::VmView;
+use vexec::vm::{GuestError, VmView};
 
 fn race_report_kind(kind: AccessKind) -> ReportKind {
     if kind.is_write() {
@@ -57,6 +57,7 @@ fn build_report(
         stack,
         block,
         details,
+        truncated: false,
     }
 }
 
@@ -68,24 +69,25 @@ pub struct EraserDetector {
     pub sink: ReportSink,
     /// Detect lock-order cycles too (on by default, like Helgrind).
     pub detect_lock_order: bool,
+    /// Rendered guest fault, if the run ended with one (diagnostic, not a
+    /// warning — the guest crashed, the detector did not).
+    pub guest_fault: Option<String>,
 }
 
 impl EraserDetector {
     pub fn new(cfg: DetectorConfig) -> Self {
-        EraserDetector {
-            engine: LocksetEngine::new(cfg),
-            lockorder: LockOrderGraph::new(),
-            sink: ReportSink::new(),
-            detect_lock_order: true,
-        }
+        Self::with_suppressions(cfg, SuppressionSet::default())
     }
 
     pub fn with_suppressions(cfg: DetectorConfig, supp: SuppressionSet) -> Self {
+        let mut sink = ReportSink::with_suppressions(supp);
+        sink.set_max_reports(cfg.budget.max_reports);
         EraserDetector {
             engine: LocksetEngine::new(cfg),
             lockorder: LockOrderGraph::new(),
-            sink: ReportSink::with_suppressions(supp),
+            sink,
             detect_lock_order: true,
+            guest_fault: None,
         }
     }
 
@@ -95,6 +97,11 @@ impl EraserDetector {
 
     pub fn engine(&self) -> &LocksetEngine {
         &self.engine
+    }
+
+    /// True if any budget cap degraded this run's results.
+    pub fn truncated(&self) -> bool {
+        self.engine.truncated() || self.sink.truncated()
     }
 
     fn report_race(&mut self, vm: &VmView<'_>, race: RaceInfo) {
@@ -138,17 +145,36 @@ impl Tool for EraserDetector {
             }
         }
     }
+
+    fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
+        self.guest_fault = Some(err.to_string());
+    }
+
+    fn on_finish(&mut self, _vm: &VmView<'_>) {
+        if self.truncated() {
+            self.sink.mark_truncated();
+        }
+    }
 }
 
 /// The DJIT-style happens-before detector.
 pub struct DjitDetector {
     engine: HbEngine,
     pub sink: ReportSink,
+    /// Rendered guest fault, if the run ended with one.
+    pub guest_fault: Option<String>,
 }
 
 impl DjitDetector {
     pub fn new(cfg: DetectorConfig) -> Self {
-        DjitDetector { engine: HbEngine::new(cfg), sink: ReportSink::new() }
+        let mut sink = ReportSink::new();
+        sink.set_max_reports(cfg.budget.max_reports);
+        DjitDetector { engine: HbEngine::new(cfg), sink, guest_fault: None }
+    }
+
+    /// True if any budget cap degraded this run's results.
+    pub fn truncated(&self) -> bool {
+        self.engine.truncated() || self.sink.truncated()
     }
 
     fn report_race(&mut self, vm: &VmView<'_>, race: HbRaceInfo) {
@@ -167,6 +193,16 @@ impl Tool for DjitDetector {
             self.report_race(vm, race);
         }
     }
+
+    fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
+        self.guest_fault = Some(err.to_string());
+    }
+
+    fn on_finish(&mut self, _vm: &VmView<'_>) {
+        if self.truncated() {
+            self.sink.mark_truncated();
+        }
+    }
 }
 
 /// Hybrid detection: a race is reported only when the lockset discipline is
@@ -179,6 +215,8 @@ pub struct HybridDetector {
     lockset: LocksetEngine,
     hb: HbEngine,
     pub sink: ReportSink,
+    /// Rendered guest fault, if the run ended with one.
+    pub guest_fault: Option<String>,
 }
 
 impl HybridDetector {
@@ -189,7 +227,14 @@ impl HybridDetector {
         // deduplicates by location.
         lockset.set_report_once(false);
         hb.set_report_once(false);
-        HybridDetector { lockset, hb, sink: ReportSink::new() }
+        let mut sink = ReportSink::new();
+        sink.set_max_reports(cfg.budget.max_reports);
+        HybridDetector { lockset, hb, sink, guest_fault: None }
+    }
+
+    /// True if any budget cap degraded this run's results.
+    pub fn truncated(&self) -> bool {
+        self.lockset.truncated() || self.hb.truncated() || self.sink.truncated()
     }
 }
 
@@ -205,6 +250,16 @@ impl Tool for HybridDetector {
             let details = format!("Previous state: {}; hb: {}", ls.prev_state, hb.conflict);
             let report = build_report(vm, kind, ls.tid, ls.addr, ls.loc, details);
             self.sink.add(ls.loc, report);
+        }
+    }
+
+    fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
+        self.guest_fault = Some(err.to_string());
+    }
+
+    fn on_finish(&mut self, _vm: &VmView<'_>) {
+        if self.truncated() {
+            self.sink.mark_truncated();
         }
     }
 }

@@ -123,19 +123,24 @@ pub struct LocksetEngine {
     report_once: bool,
     /// Statistics: number of accesses processed.
     pub accesses: u64,
+    /// Granules never tracked because the shadow budget was exhausted.
+    shadow_overflow: u64,
 }
 
 impl LocksetEngine {
     pub fn new(cfg: DetectorConfig) -> Self {
         assert!(cfg.granule.is_power_of_two(), "granule must be a power of two");
+        let mut table = LockSetTable::new();
+        table.set_max_sets(cfg.budget.max_locksets);
         LocksetEngine {
             cfg,
-            table: LockSetTable::new(),
+            table,
             shadow: FxHashMap::default(),
             threads: Vec::new(),
             segments: SegmentGraph::new(cfg.thread_segments),
             report_once: true,
             accesses: 0,
+            shadow_overflow: 0,
         }
     }
 
@@ -227,9 +232,21 @@ impl LocksetEngine {
         let mut a = start;
         while a <= end {
             let last = self.shadow.get(&a).and_then(|s| s.last);
-            self.shadow.insert(a, Shadow { state: VarState::Exclusive { seg }, last });
+            self.shadow_set(a, Shadow { state: VarState::Exclusive { seg }, last });
             a += g;
         }
+    }
+
+    /// Shadow-map write honouring the budget: once `max_shadow_words`
+    /// distinct granules are tracked, *new* granules are dropped (counted
+    /// in `shadow_overflow`) while existing ones keep updating. Coverage is
+    /// under-approximated; no race is ever fabricated by the cap.
+    fn shadow_set(&mut self, g: u64, s: Shadow) {
+        if self.shadow.len() >= self.cfg.budget.max_shadow_words && !self.shadow.contains_key(&g) {
+            self.shadow_overflow += 1;
+            return;
+        }
+        self.shadow.insert(g, s);
     }
 
     /// Feed one event; returns race info if this event exposes a race.
@@ -330,7 +347,7 @@ impl LocksetEngine {
                     prev_access: prev.last,
                 });
             }
-            self.shadow.insert(g, Shadow { state: next, last: Some((tid, kind, loc)) });
+            self.shadow_set(g, Shadow { state: next, last: Some((tid, kind, loc)) });
         }
         race
     }
@@ -399,6 +416,17 @@ impl LocksetEngine {
     /// Number of shadowed granules.
     pub fn shadowed_granules(&self) -> usize {
         self.shadow.len()
+    }
+
+    /// True if any budget cap degraded this engine's state (dropped shadow
+    /// granules or lock-set table overflow).
+    pub fn truncated(&self) -> bool {
+        self.shadow_overflow > 0 || self.table.overflow_count() > 0
+    }
+
+    /// Granules dropped by the shadow budget.
+    pub fn shadow_overflow(&self) -> u64 {
+        self.shadow_overflow
     }
 
     /// Access to the segment graph (for diagnostics).

@@ -11,11 +11,12 @@
 
 use crate::config::DetectorConfig;
 use crate::detector::EraserDetector;
-use crate::report::Report;
+use crate::report::{Report, ReportKind, StackFrame};
+use vexec::faults::FaultPlan;
 use vexec::ir::Program;
 use vexec::sched::SeededRandom;
 use vexec::util::FxHashMap;
-use vexec::vm::{run_program, Termination};
+use vexec::vm::{run_flat, Termination, VmOptions};
 
 /// One distinct warning location across the exploration.
 #[derive(Clone, Debug)]
@@ -33,15 +34,63 @@ impl LocationHit {
     }
 }
 
+/// Resource limits for an exploration sweep — the "watchdog" side of the
+/// fault-resilience work: a runaway schedule (live-lock under injected
+/// faults, pathological interleaving) must not hang the explorer; it ends
+/// the sweep early with a *partial* summary flagged [`ExploreSummary::timed_out`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExploreLimits {
+    /// Per-run slot cap (fuel); `None` uses the VM default.
+    pub max_slots_per_run: Option<u64>,
+    /// Total slot budget across the whole sweep; once consumed, remaining
+    /// seeds are skipped and the summary is partial.
+    pub total_slot_budget: Option<u64>,
+    /// Fault plan injected into every run (same plan, per-run schedules).
+    pub faults: Option<FaultPlan>,
+}
+
 /// Aggregated exploration outcome.
 #[derive(Debug, Default)]
 pub struct ExploreSummary {
+    /// Seeds requested.
     pub runs: usize,
+    /// Seeds actually executed (equals `runs` unless the watchdog fired);
+    /// includes runs restored from a resume checkpoint.
+    pub completed_runs: usize,
     pub clean_runs: usize,
     pub deadlocked_runs: usize,
     pub failed_runs: usize,
+    /// Runs that hit the per-run slot cap (also counted in `failed_runs`).
+    pub fuel_exhausted_runs: usize,
+    /// True when any watchdog fired: a run ran out of fuel or the total
+    /// slot budget was consumed before every seed ran. The summary is then
+    /// a partial (but still deterministic) view.
+    pub timed_out: bool,
+    /// Base seed the sweep started from (seed of run *i* is `base_seed + i`).
+    pub base_seed: u64,
+    /// Scheduler slots consumed across all completed runs.
+    pub slots_used: u64,
     /// Distinct warning locations, most-frequently-hit first.
     pub locations: Vec<LocationHit>,
+}
+
+impl ExploreSummary {
+    /// Snapshot this summary as a resumable checkpoint. Reports are
+    /// summarized to their top stack frame; hit counts and verdict
+    /// counters round-trip exactly.
+    pub fn checkpoint(&self) -> ExploreCheckpoint {
+        ExploreCheckpoint {
+            base_seed: self.base_seed,
+            runs: self.runs,
+            next_index: self.completed_runs,
+            clean_runs: self.clean_runs,
+            deadlocked_runs: self.deadlocked_runs,
+            failed_runs: self.failed_runs,
+            fuel_exhausted_runs: self.fuel_exhausted_runs,
+            slots_used: self.slots_used,
+            locations: self.locations.clone(),
+        }
+    }
 }
 
 impl ExploreSummary {
@@ -67,21 +116,74 @@ pub fn explore_schedules(
     runs: usize,
     base_seed: u64,
 ) -> ExploreSummary {
+    explore_schedules_with(program, cfg, runs, base_seed, ExploreLimits::default(), None)
+}
+
+/// [`explore_schedules`] with watchdog limits, optional fault injection
+/// and checkpoint/resume.
+///
+/// When `resume` is given it must come from a sweep over the same program
+/// with the same `base_seed` (the checkpoint records it; mismatches are
+/// the caller's bug — the explorer trusts the counters as-is). Execution
+/// continues from the first seed the checkpoint had not completed, so an
+/// interrupted sweep plus its resumed remainder visits exactly the same
+/// seeds as an uninterrupted one.
+pub fn explore_schedules_with(
+    program: &Program,
+    cfg: DetectorConfig,
+    runs: usize,
+    base_seed: u64,
+    limits: ExploreLimits,
+    resume: Option<&ExploreCheckpoint>,
+) -> ExploreSummary {
     let mut agg: FxHashMap<(String, u32, String), LocationHit> = FxHashMap::default();
-    let mut summary = ExploreSummary { runs, ..Default::default() };
-    for i in 0..runs {
+    let mut summary = ExploreSummary { runs, base_seed, ..Default::default() };
+    let mut start = 0usize;
+    if let Some(ck) = resume {
+        start = ck.next_index.min(runs);
+        summary.completed_runs = start;
+        summary.clean_runs = ck.clean_runs;
+        summary.deadlocked_runs = ck.deadlocked_runs;
+        summary.failed_runs = ck.failed_runs;
+        summary.fuel_exhausted_runs = ck.fuel_exhausted_runs;
+        summary.slots_used = ck.slots_used;
+        for l in &ck.locations {
+            let key = (l.report.file.clone(), l.report.line, l.report.func.clone());
+            agg.insert(key, l.clone());
+        }
+    }
+    let flat = program.lower();
+    let opts = VmOptions {
+        max_slots: limits.max_slots_per_run.unwrap_or(VmOptions::default().max_slots),
+        faults: limits.faults,
+        ..Default::default()
+    };
+    for i in start..runs {
+        if let Some(budget) = limits.total_slot_budget {
+            if summary.slots_used >= budget {
+                summary.timed_out = true;
+                break;
+            }
+        }
         let mut det = EraserDetector::new(cfg);
         let mut sched = SeededRandom::new(base_seed.wrapping_add(i as u64));
-        let r = run_program(program, &mut det, &mut sched);
+        let r = run_flat(&flat, &mut det, &mut sched, opts.clone());
+        summary.slots_used += r.stats.slots;
         match r.termination {
             Termination::AllExited => summary.clean_runs += 1,
             Termination::Deadlock(_) => summary.deadlocked_runs += 1,
-            _ => summary.failed_runs += 1,
+            Termination::FuelExhausted => {
+                summary.failed_runs += 1;
+                summary.fuel_exhausted_runs += 1;
+                summary.timed_out = true;
+            }
+            Termination::GuestError(_) => summary.failed_runs += 1,
         }
         for report in det.sink.take_reports() {
             let key = (report.file.clone(), report.line, report.func.clone());
             agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit { report, hits: 1 });
         }
+        summary.completed_runs = i + 1;
     }
     let mut locations: Vec<LocationHit> = agg.into_values().collect();
     locations.sort_by(|a, b| {
@@ -92,6 +194,159 @@ pub fn explore_schedules(
     });
     summary.locations = locations;
     summary
+}
+
+/// Resumable snapshot of a (possibly interrupted) exploration sweep.
+///
+/// Serialized as a line-oriented text format (`render`/`parse`) rather
+/// than JSON: the vendored serde shim emits but does not parse JSON, and
+/// a checkpoint that can be written but never read back is useless.
+/// Location lines keep a summarized report — top stack frame only, no
+/// heap-block note — which is exactly the degradation contract used
+/// elsewhere: resumed sweeps stay deterministic in *which* locations they
+/// count, at reduced per-report detail.
+#[derive(Clone, Debug, Default)]
+pub struct ExploreCheckpoint {
+    pub base_seed: u64,
+    pub runs: usize,
+    /// First seed index not yet executed.
+    pub next_index: usize,
+    pub clean_runs: usize,
+    pub deadlocked_runs: usize,
+    pub failed_runs: usize,
+    pub fuel_exhausted_runs: usize,
+    pub slots_used: u64,
+    pub locations: Vec<LocationHit>,
+}
+
+const CHECKPOINT_MAGIC: &str = "raceline-explore-checkpoint v1";
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn unesc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut it = s.chars();
+    while let Some(c) = it.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match it.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some(other) => out.push(other),
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+impl ExploreCheckpoint {
+    /// Serialize to the line-oriented text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(CHECKPOINT_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("base_seed {}\n", self.base_seed));
+        out.push_str(&format!("runs {}\n", self.runs));
+        out.push_str(&format!("next_index {}\n", self.next_index));
+        out.push_str(&format!("clean {}\n", self.clean_runs));
+        out.push_str(&format!("deadlocked {}\n", self.deadlocked_runs));
+        out.push_str(&format!("failed {}\n", self.failed_runs));
+        out.push_str(&format!("fuel_exhausted {}\n", self.fuel_exhausted_runs));
+        out.push_str(&format!("slots_used {}\n", self.slots_used));
+        for l in &self.locations {
+            let r = &l.report;
+            out.push_str(&format!(
+                "loc {}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                l.hits,
+                r.kind.code(),
+                r.tid,
+                r.addr,
+                r.line,
+                esc(&r.file),
+                esc(&r.func),
+                esc(&r.details),
+            ));
+        }
+        out
+    }
+
+    /// Parse the format produced by [`Self::render`].
+    pub fn parse(text: &str) -> Result<ExploreCheckpoint, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(l) if l.trim() == CHECKPOINT_MAGIC => {}
+            other => return Err(format!("bad checkpoint header: {other:?}")),
+        }
+        let mut ck = ExploreCheckpoint::default();
+        for (ln, line) in lines.enumerate() {
+            let line = line.trim_end_matches('\r');
+            if line.is_empty() {
+                continue;
+            }
+            let (key, rest) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("checkpoint line {}: missing value", ln + 2))?;
+            let num = |s: &str| {
+                s.parse::<u64>().map_err(|_| format!("checkpoint line {}: bad number", ln + 2))
+            };
+            match key {
+                "base_seed" => ck.base_seed = num(rest)?,
+                "runs" => ck.runs = num(rest)? as usize,
+                "next_index" => ck.next_index = num(rest)? as usize,
+                "clean" => ck.clean_runs = num(rest)? as usize,
+                "deadlocked" => ck.deadlocked_runs = num(rest)? as usize,
+                "failed" => ck.failed_runs = num(rest)? as usize,
+                "fuel_exhausted" => ck.fuel_exhausted_runs = num(rest)? as usize,
+                "slots_used" => ck.slots_used = num(rest)?,
+                "loc" => {
+                    let fields: Vec<&str> = rest.split('\t').collect();
+                    if fields.len() != 8 {
+                        return Err(format!(
+                            "checkpoint line {}: expected 8 loc fields, got {}",
+                            ln + 2,
+                            fields.len()
+                        ));
+                    }
+                    let kind = ReportKind::from_code(fields[1]).ok_or_else(|| {
+                        format!("checkpoint line {}: unknown report kind {:?}", ln + 2, fields[1])
+                    })?;
+                    let file = unesc(fields[5]);
+                    let func = unesc(fields[6]);
+                    let line_no = num(fields[4])? as u32;
+                    ck.locations.push(LocationHit {
+                        hits: num(fields[0])? as usize,
+                        report: Report {
+                            kind,
+                            tid: num(fields[2])? as u32,
+                            file: file.clone(),
+                            line: line_no,
+                            func: func.clone(),
+                            addr: num(fields[3])?,
+                            stack: vec![StackFrame { func, file, line: line_no }],
+                            block: None,
+                            details: unesc(fields[7]),
+                            truncated: false,
+                        },
+                    });
+                }
+                other => return Err(format!("checkpoint line {}: unknown key {other:?}", ln + 2)),
+            }
+        }
+        Ok(ck)
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +426,91 @@ mod tests {
         for l in &summary.locations {
             assert!(l.hit_rate(summary.runs) > 0.0 && l.hit_rate(summary.runs) <= 1.0);
         }
+    }
+
+    #[test]
+    fn watchdog_budget_yields_partial_summary_and_resume_completes_it() {
+        let prog = mixed_program();
+        let full = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED);
+        assert!(!full.timed_out);
+        assert_eq!(full.completed_runs, 12);
+
+        // A tiny total budget stops the sweep early with timed_out set.
+        let limits =
+            ExploreLimits { total_slot_budget: Some(full.slots_used / 4), ..Default::default() };
+        let partial =
+            explore_schedules_with(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED, limits, None);
+        assert!(partial.timed_out);
+        assert!(partial.completed_runs < 12, "{partial:?}");
+
+        // Checkpoint round-trips through the text format.
+        let ck = partial.checkpoint();
+        let reparsed = ExploreCheckpoint::parse(&ck.render()).unwrap();
+        assert_eq!(reparsed.next_index, ck.next_index);
+        assert_eq!(reparsed.slots_used, ck.slots_used);
+        assert_eq!(reparsed.locations.len(), ck.locations.len());
+
+        // Resuming from the checkpoint visits exactly the remaining seeds:
+        // same per-location hit counts as the uninterrupted sweep.
+        let resumed = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            12,
+            0xDEED,
+            ExploreLimits::default(),
+            Some(&reparsed),
+        );
+        assert_eq!(resumed.completed_runs, 12);
+        assert_eq!(resumed.clean_runs, full.clean_runs);
+        let key = |s: &ExploreSummary| {
+            s.locations
+                .iter()
+                .map(|l| (l.report.file.clone(), l.report.line, l.hits))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(key(&resumed), key(&full));
+    }
+
+    #[test]
+    fn per_run_fuel_cap_marks_timed_out_without_panicking() {
+        let prog = mixed_program();
+        let limits = ExploreLimits { max_slots_per_run: Some(3), ..Default::default() };
+        let s = explore_schedules_with(&prog, DetectorConfig::hwlc_dr(), 4, 1, limits, None);
+        assert!(s.timed_out);
+        assert_eq!(s.fuel_exhausted_runs, 4);
+        assert_eq!(s.completed_runs, 4);
+    }
+
+    #[test]
+    fn checkpoint_rejects_garbage() {
+        assert!(ExploreCheckpoint::parse("not a checkpoint").is_err());
+        let bad = format!("{}\nloc 1\tNope\t0\t0\t0\tf\tg\td\n", "raceline-explore-checkpoint v1");
+        assert!(ExploreCheckpoint::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn checkpoint_escapes_details_round_trip() {
+        let mut ck =
+            ExploreCheckpoint { base_seed: 9, runs: 3, next_index: 2, ..Default::default() };
+        ck.locations.push(LocationHit {
+            report: Report {
+                kind: ReportKind::RaceWrite,
+                tid: 2,
+                file: "a b.cpp".into(),
+                line: 7,
+                func: "op<>".into(),
+                addr: 64,
+                stack: vec![StackFrame { func: "op<>".into(), file: "a b.cpp".into(), line: 7 }],
+                block: None,
+                details: "line one\n\tline\\two".into(),
+                truncated: false,
+            },
+            hits: 5,
+        });
+        let back = ExploreCheckpoint::parse(&ck.render()).unwrap();
+        assert_eq!(back.locations[0].hits, 5);
+        assert_eq!(back.locations[0].report.details, "line one\n\tline\\two");
+        assert_eq!(back.locations[0].report.file, "a b.cpp");
     }
 
     #[test]

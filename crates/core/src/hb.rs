@@ -73,6 +73,8 @@ pub struct HbEngine {
     shadow: FxHashMap<u64, HbVar>,
     report_once: bool,
     pub accesses: u64,
+    /// Granules never tracked because the shadow budget was exhausted.
+    shadow_overflow: u64,
 }
 
 impl HbEngine {
@@ -89,6 +91,7 @@ impl HbEngine {
             shadow: FxHashMap::default(),
             report_once: true,
             accesses: 0,
+            shadow_overflow: 0,
         }
     }
 
@@ -256,6 +259,16 @@ impl HbEngine {
         let mut race = None;
         let mut a = start;
         while a <= end {
+            // Budget degradation: once the shadow map is full, untracked
+            // granules stay untracked (coverage shrinks, nothing is
+            // fabricated); tracked ones keep updating.
+            if self.shadow.len() >= self.cfg.budget.max_shadow_words
+                && !self.shadow.contains_key(&a)
+            {
+                self.shadow_overflow += 1;
+                a += g_size;
+                continue;
+            }
             let var = self.shadow.entry(a).or_default();
             let mut conflict: Option<String> = None;
             // Write-X conflict: the previous write must be visible.
@@ -336,6 +349,16 @@ impl HbEngine {
     /// Number of shadowed granules (stats).
     pub fn shadowed_granules(&self) -> usize {
         self.shadow.len()
+    }
+
+    /// True if the shadow budget degraded this engine's coverage.
+    pub fn truncated(&self) -> bool {
+        self.shadow_overflow > 0
+    }
+
+    /// Granules dropped by the shadow budget.
+    pub fn shadow_overflow(&self) -> u64 {
+        self.shadow_overflow
     }
 }
 

@@ -25,6 +25,7 @@
 //! # let _ = (original, hwlc);
 //! ```
 
+pub mod budget;
 pub mod config;
 pub mod detector;
 pub mod eraser;
@@ -38,10 +39,14 @@ pub mod segments;
 pub mod suppress;
 pub mod vc;
 
+pub use budget::{BudgetSpec, DetectorBudget};
 pub use config::{BusLockModel, DetectorConfig};
 pub use detector::{DjitDetector, EraserDetector, HybridDetector};
 pub use eraser::{LocksetEngine, RaceInfo, VarState};
-pub use explore::{explore_schedules, ExploreSummary, LocationHit};
+pub use explore::{
+    explore_schedules, explore_schedules_with, ExploreCheckpoint, ExploreLimits, ExploreSummary,
+    LocationHit,
+};
 pub use hb::{HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};
 pub use locksets::{LockId, LockSetId, LockSetTable};

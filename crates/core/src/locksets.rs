@@ -35,11 +35,21 @@ impl LockSetId {
 }
 
 /// The lock-set interning table.
+///
+/// The table can be capped (`set_max_sets`, wired from
+/// [`crate::budget::DetectorBudget::max_locksets`]). At capacity,
+/// operations that would create a *new* set degrade to an existing one —
+/// `with`/`without`/`intersect` return their input set, `intern` falls back
+/// to `EMPTY` only for genuinely new combinations — and an overflow counter
+/// records every such fallback so the engine can flag its reports as
+/// truncated.
 #[derive(Debug)]
 pub struct LockSetTable {
     sets: Vec<Box<[LockId]>>,
     lookup: FxHashMap<Box<[LockId]>, LockSetId>,
     intersect_cache: FxHashMap<(LockSetId, LockSetId), LockSetId>,
+    max_sets: usize,
+    overflows: u64,
 }
 
 impl Default for LockSetTable {
@@ -54,22 +64,49 @@ impl LockSetTable {
             sets: Vec::new(),
             lookup: FxHashMap::default(),
             intersect_cache: FxHashMap::default(),
+            max_sets: usize::MAX,
+            overflows: 0,
         };
         let empty = t.intern_sorted(Vec::new());
         debug_assert_eq!(empty, LockSetId::EMPTY);
         t
     }
 
-    fn intern_sorted(&mut self, locks: Vec<LockId>) -> LockSetId {
+    /// Cap the number of distinct sets (>= 1 so `EMPTY` always exists).
+    pub fn set_max_sets(&mut self, max: usize) {
+        self.max_sets = max.max(1);
+    }
+
+    /// True if no new set can be interned.
+    pub fn at_capacity(&self) -> bool {
+        self.sets.len() >= self.max_sets
+    }
+
+    /// Times an operation degraded because the table was full.
+    pub fn overflow_count(&self) -> u64 {
+        self.overflows
+    }
+
+    /// Intern a sorted, deduped set; `fallback` is returned (and the
+    /// overflow counted) when the set is new but the table is full.
+    fn intern_sorted_or(&mut self, locks: Vec<LockId>, fallback: LockSetId) -> LockSetId {
         debug_assert!(locks.windows(2).all(|w| w[0] < w[1]), "set must be sorted+unique");
         if let Some(&id) = self.lookup.get(locks.as_slice()) {
             return id;
+        }
+        if self.at_capacity() {
+            self.overflows += 1;
+            return fallback;
         }
         let id = LockSetId(self.sets.len() as u32);
         let boxed: Box<[LockId]> = locks.into_boxed_slice();
         self.sets.push(boxed.clone());
         self.lookup.insert(boxed, id);
         id
+    }
+
+    fn intern_sorted(&mut self, locks: Vec<LockId>) -> LockSetId {
+        self.intern_sorted_or(locks, LockSetId::EMPTY)
     }
 
     /// Intern an arbitrary collection of locks (sorted and deduped here).
@@ -123,12 +160,15 @@ impl LockSetTable {
                 }
             }
         }
-        let id = self.intern_sorted(out);
+        // Degradation fallback: `a` is a superset of the true intersection,
+        // so a full table over-approximates the candidate set.
+        let id = self.intern_sorted_or(out, a);
         self.intersect_cache.insert(key, id);
         id
     }
 
-    /// Set with one extra member.
+    /// Set with one extra member. At capacity the input set is returned
+    /// (the new lock is not recorded).
     pub fn with(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
         if self.contains(id, lock) {
             return id;
@@ -136,17 +176,18 @@ impl LockSetTable {
         let mut v: Vec<LockId> = self.sets[id.0 as usize].to_vec();
         v.push(lock);
         v.sort_unstable();
-        self.intern_sorted(v)
+        self.intern_sorted_or(v, id)
     }
 
-    /// Set with one member removed.
+    /// Set with one member removed. At capacity the input set is returned
+    /// (a superset of the true result).
     pub fn without(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
         if !self.contains(id, lock) {
             return id;
         }
         let v: Vec<LockId> =
             self.sets[id.0 as usize].iter().copied().filter(|&l| l != lock).collect();
-        self.intern_sorted(v)
+        self.intern_sorted_or(v, id)
     }
 
     /// Number of distinct sets interned (for stats/benches).
@@ -220,6 +261,28 @@ mod tests {
         assert_eq!(LockId::from_sync(SyncId(0)), LockId(1));
         assert_eq!(LockId(1).to_sync(), Some(SyncId(0)));
         assert_eq!(LockId::BUS.to_sync(), None);
+    }
+
+    #[test]
+    fn capped_table_degrades_instead_of_growing() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1, 2]));
+        let b = t.intern(ids(&[2, 3]));
+        t.set_max_sets(t.distinct_sets());
+        assert!(t.at_capacity());
+
+        // Existing sets still intern to themselves.
+        assert_eq!(t.intern(ids(&[1, 2])), a);
+        assert_eq!(t.overflow_count(), 0);
+
+        // New combinations degrade to documented fallbacks.
+        let sets_before = t.distinct_sets();
+        assert_eq!(t.with(a, LockId(9)), a, "with falls back to the input set");
+        assert_eq!(t.without(a, LockId(1)), a, "without falls back to the input set");
+        let i = t.intersect(a, b);
+        assert_eq!(i, a, "intersect falls back to its left operand");
+        assert_eq!(t.distinct_sets(), sets_before, "no growth at capacity");
+        assert_eq!(t.overflow_count(), 3);
     }
 
     #[test]

@@ -57,6 +57,39 @@ impl ReportKind {
         }
     }
 
+    /// Stable machine token, used by the explore checkpoint format.
+    pub fn code(self) -> &'static str {
+        match self {
+            ReportKind::RaceRead => "RaceRead",
+            ReportKind::RaceWrite => "RaceWrite",
+            ReportKind::HbRaceRead => "HbRaceRead",
+            ReportKind::HbRaceWrite => "HbRaceWrite",
+            ReportKind::LockOrderCycle => "LockOrderCycle",
+            ReportKind::DoubleLock => "DoubleLock",
+            ReportKind::UnlockWithoutLock => "UnlockWithoutLock",
+            ReportKind::LockLeak => "LockLeak",
+            ReportKind::UnannotatedDelete => "UnannotatedDelete",
+            ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
+        }
+    }
+
+    /// Inverse of [`Self::code`].
+    pub fn from_code(s: &str) -> Option<ReportKind> {
+        Some(match s {
+            "RaceRead" => ReportKind::RaceRead,
+            "RaceWrite" => ReportKind::RaceWrite,
+            "HbRaceRead" => ReportKind::HbRaceRead,
+            "HbRaceWrite" => ReportKind::HbRaceWrite,
+            "LockOrderCycle" => ReportKind::LockOrderCycle,
+            "DoubleLock" => ReportKind::DoubleLock,
+            "UnlockWithoutLock" => ReportKind::UnlockWithoutLock,
+            "LockLeak" => ReportKind::LockLeak,
+            "UnannotatedDelete" => ReportKind::UnannotatedDelete,
+            "DeleteWhileLocked" => ReportKind::DeleteWhileLocked,
+            _ => return None,
+        })
+    }
+
     /// The suppression-file kind token (Valgrind writes `Helgrind:Race`).
     pub fn suppression_token(self) -> &'static str {
         match self {
@@ -103,6 +136,9 @@ pub struct Report {
     /// Human-readable transition description ("Previous state: shared RO,
     /// no locks" in Helgrind's output).
     pub details: String,
+    /// True when the producing engine hit a [`crate::budget`] cap, so this
+    /// run's findings may be incomplete or imprecise (summarized state).
+    pub truncated: bool,
 }
 
 impl Report {
@@ -163,16 +199,35 @@ pub fn resolve_context(
     (stack, block)
 }
 
-/// Collects reports, deduplicates by location, applies suppressions.
-#[derive(Debug, Default)]
+/// Collects reports, deduplicates by location, applies suppressions, and
+/// enforces the report-count budget (further reports are counted in
+/// `dropped` rather than stored).
+#[derive(Debug)]
 pub struct ReportSink {
     reports: Vec<Report>,
     seen: FxHashSet<(ReportKind, SrcLoc)>,
     suppressions: SuppressionSet,
+    max_reports: usize,
     /// Reports dropped by suppressions.
     pub suppressed: u64,
     /// Reports dropped as duplicate locations.
     pub duplicates: u64,
+    /// Distinct reports dropped because the budget cap was reached.
+    pub dropped: u64,
+}
+
+impl Default for ReportSink {
+    fn default() -> Self {
+        ReportSink {
+            reports: Vec::new(),
+            seen: FxHashSet::default(),
+            suppressions: SuppressionSet::default(),
+            max_reports: usize::MAX,
+            suppressed: 0,
+            duplicates: 0,
+            dropped: 0,
+        }
+    }
 }
 
 impl ReportSink {
@@ -182,6 +237,16 @@ impl ReportSink {
 
     pub fn with_suppressions(suppressions: SuppressionSet) -> Self {
         ReportSink { suppressions, ..Default::default() }
+    }
+
+    /// Cap the number of stored reports (budget degradation).
+    pub fn set_max_reports(&mut self, max: usize) {
+        self.max_reports = max;
+    }
+
+    /// True if the cap dropped at least one distinct report.
+    pub fn truncated(&self) -> bool {
+        self.dropped > 0
     }
 
     /// Offer a report keyed by its raw (interned) location. Returns `true`
@@ -195,8 +260,20 @@ impl ReportSink {
             self.suppressed += 1;
             return false;
         }
+        if self.reports.len() >= self.max_reports {
+            self.dropped += 1;
+            return false;
+        }
         self.reports.push(report);
         true
+    }
+
+    /// Mark every stored report as coming from a degraded (budget-capped)
+    /// run. Called by the engines at finish time.
+    pub fn mark_truncated(&mut self) {
+        for r in &mut self.reports {
+            r.truncated = true;
+        }
     }
 
     /// Has this (kind, location) already been recorded or suppressed?
@@ -254,6 +331,7 @@ mod tests {
             stack: vec![StackFrame { func: "f".into(), file: "a.cpp".into(), line }],
             block: None,
             details: String::new(),
+            truncated: false,
         }
     }
 
@@ -280,6 +358,39 @@ mod tests {
         assert_eq!(sink.count_kind(ReportKind::RaceWrite), 1);
         assert_eq!(sink.count_kind(ReportKind::LockOrderCycle), 1);
         assert_eq!(sink.race_location_count(), 1);
+    }
+
+    #[test]
+    fn report_cap_drops_and_counts() {
+        let mut sink = ReportSink::new();
+        sink.set_max_reports(2);
+        assert!(sink.add(loc(1), mk_report(ReportKind::RaceWrite, 1)));
+        assert!(sink.add(loc(2), mk_report(ReportKind::RaceWrite, 2)));
+        assert!(!sink.add(loc(3), mk_report(ReportKind::RaceWrite, 3)), "over budget");
+        assert_eq!(sink.location_count(), 2);
+        assert_eq!(sink.dropped, 1);
+        assert!(sink.truncated());
+        sink.mark_truncated();
+        assert!(sink.reports().iter().all(|r| r.truncated));
+    }
+
+    #[test]
+    fn kind_code_round_trips() {
+        for k in [
+            ReportKind::RaceRead,
+            ReportKind::RaceWrite,
+            ReportKind::HbRaceRead,
+            ReportKind::HbRaceWrite,
+            ReportKind::LockOrderCycle,
+            ReportKind::DoubleLock,
+            ReportKind::UnlockWithoutLock,
+            ReportKind::LockLeak,
+            ReportKind::UnannotatedDelete,
+            ReportKind::DeleteWhileLocked,
+        ] {
+            assert_eq!(ReportKind::from_code(k.code()), Some(k));
+        }
+        assert_eq!(ReportKind::from_code("Nonsense"), None);
     }
 
     #[test]

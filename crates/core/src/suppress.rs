@@ -290,6 +290,7 @@ mod tests {
                 .collect(),
             block: None,
             details: String::new(),
+            truncated: false,
         }
     }
 

@@ -91,6 +91,7 @@ fn mk_report(kind: ReportKind, file: String, line: u32, func: String, details: S
         stack: vec![StackFrame { func, file, line }],
         block: None,
         details,
+        truncated: false,
     }
 }
 

@@ -14,8 +14,9 @@ use crate::proxy::{build_proxy, BuiltProxy, Dispatch, ProxyConfig, SiteLabel};
 use crate::workload::ScenarioSpec;
 use helgrind_core::report::ReportKind;
 use helgrind_core::{DetectorConfig, EraserDetector};
-use vexec::sched::RoundRobin;
-use vexec::vm::run_program;
+use vexec::faults::{FaultPlan, FaultStats};
+use vexec::sched::{RoundRobin, SeededRandom};
+use vexec::vm::{run_flat, run_program, Termination, VmOptions};
 
 /// One evaluation test case.
 #[derive(Clone, Debug)]
@@ -81,6 +82,7 @@ pub fn testcases() -> Vec<TestCase> {
                     cancelled_calls,
                     options,
                     seed: 0x51ED_2007 ^ i as u64,
+                    ..Default::default()
                 },
                 bus_sites: orig - hwlc,
                 dtor_sites: hwlc - hwlc_dr,
@@ -127,6 +129,97 @@ pub fn run_case(built: &BuiltProxy, cfg: DetectorConfig) -> CaseResult {
             None => out.unexpected += 1,
         }
     }
+    out
+}
+
+/// Outcome of one chaos run: a test case executed under an injected
+/// [`FaultPlan`] and a seeded schedule, *without* assuming the run stays
+/// clean — faults legitimately produce deadlocks (killed thread holding a
+/// lock), guest errors and extra warnings. The resilience invariants the
+/// chaos harness checks are about the *detector*, not the guest: no host
+/// panic, deterministic fingerprint per (plan, schedule), real races still
+/// found.
+#[derive(Clone, Debug, Default)]
+pub struct ChaosRunOutcome {
+    pub clean: bool,
+    pub deadlocked: bool,
+    /// Rendered guest fault, when the run ended with one.
+    pub guest_error: Option<String>,
+    pub fuel_exhausted: bool,
+    /// Distinct warning locations classified as real races.
+    pub real_hits: usize,
+    /// Distinct race-warning locations of any class.
+    pub locations: usize,
+    /// True when a detector budget cap degraded the results.
+    pub truncated: bool,
+    /// What the injector actually did.
+    pub fault_stats: Option<FaultStats>,
+    /// FNV-1a hash over termination + every report + fault stats; two runs
+    /// with the same (case, cfg, plan, schedule seed) must agree exactly.
+    pub fingerprint: u64,
+}
+
+fn fnv1a(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h ^= b as u64;
+        *h = h.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+/// Run a built proxy under fault injection with a seeded-random schedule.
+/// Tolerates every termination kind; panics only propagate from genuine
+/// detector/VM bugs (which is what the chaos harness exists to catch).
+pub fn run_case_chaos(
+    built: &BuiltProxy,
+    cfg: DetectorConfig,
+    plan: FaultPlan,
+    sched_seed: u64,
+    max_slots: Option<u64>,
+) -> ChaosRunOutcome {
+    let flat = built.program.lower();
+    let mut det = EraserDetector::new(cfg);
+    let mut sched = SeededRandom::new(sched_seed);
+    let opts = VmOptions {
+        faults: Some(plan),
+        max_slots: max_slots.unwrap_or(VmOptions::default().max_slots),
+        ..Default::default()
+    };
+    let r = run_flat(&flat, &mut det, &mut sched, opts);
+
+    let mut out = ChaosRunOutcome {
+        clean: r.termination.is_clean(),
+        deadlocked: matches!(r.termination, Termination::Deadlock(_)),
+        guest_error: det.guest_fault.clone(),
+        fuel_exhausted: matches!(r.termination, Termination::FuelExhausted),
+        truncated: det.truncated(),
+        fault_stats: r.faults,
+        ..Default::default()
+    };
+
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a(&mut h, format!("{:?}", r.termination).as_bytes());
+    for rep in det.sink.reports() {
+        if matches!(rep.kind, ReportKind::RaceRead | ReportKind::RaceWrite) {
+            match built.sites.classify(&rep.file, rep.line) {
+                Some(SiteLabel::RealRace) => {
+                    out.real_hits += 1;
+                    out.locations += 1;
+                }
+                Some(_) => out.locations += 1,
+                None => {}
+            }
+        }
+        fnv1a(&mut h, rep.kind.code().as_bytes());
+        fnv1a(&mut h, rep.file.as_bytes());
+        fnv1a(&mut h, &rep.line.to_le_bytes());
+        fnv1a(&mut h, rep.func.as_bytes());
+        fnv1a(&mut h, &rep.addr.to_le_bytes());
+        fnv1a(&mut h, rep.details.as_bytes());
+    }
+    if let Some(fs) = &r.faults {
+        fnv1a(&mut h, format!("{fs:?}").as_bytes());
+    }
+    out.fingerprint = h;
     out
 }
 
@@ -205,6 +298,23 @@ mod tests {
         assert_eq!(hwlc.bus_fp, 0);
         assert_eq!(hwlc_dr.dtor_fp, 0);
         assert_eq!(hwlc_dr.real, 49);
+    }
+
+    #[test]
+    fn chaos_run_is_deterministic_and_tolerates_faults() {
+        let tc = &testcases()[2]; // T3, the smallest case
+        let built = tc.build();
+        let plan = FaultPlan::from_seed(0xC0FFEE);
+        let a = run_case_chaos(&built, DetectorConfig::hwlc_dr(), plan, 7, None);
+        let b = run_case_chaos(&built, DetectorConfig::hwlc_dr(), plan, 7, None);
+        assert_eq!(a.fingerprint, b.fingerprint, "{a:?} vs {b:?}");
+        assert_eq!(a.real_hits, b.real_hits);
+        // A disabled plan under the same schedule behaves like run_case.
+        let calm =
+            run_case_chaos(&built, DetectorConfig::hwlc_dr(), FaultPlan::disabled(), 7, None);
+        assert!(calm.clean, "{calm:?}");
+        assert!(calm.real_hits > 0);
+        assert_eq!(calm.fault_stats.map(|f| f.total()), Some(0));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::sip::{Method, SipRequest};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use vexec::sched::SplitMix64;
 
 /// The basic SIPp flow kinds used by the test cases.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -35,6 +36,56 @@ impl FlowKind {
     }
 }
 
+/// Network-level chaos applied to a generated request stream — the
+/// workload analogue of the VM's fault injection. SIP runs over UDP, so
+/// the paper's SIPp load tests implicitly exercised message loss,
+/// retransmission (duplicates) and reordering; these knobs make that
+/// explicit and deterministic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ChaosSpec {
+    /// Per-request probability (‰) the request is dropped.
+    pub drop_permille: u16,
+    /// Per-request probability (‰) the request is duplicated
+    /// (UDP retransmission).
+    pub dup_permille: u16,
+    /// Per-position probability (‰) of an adjacent swap (reordering).
+    pub reorder_permille: u16,
+    /// Seed for the chaos stream (independent of the scenario seed).
+    pub seed: u64,
+}
+
+impl ChaosSpec {
+    /// True when no knob is set — [`apply_chaos`] is then the identity.
+    pub fn is_noop(&self) -> bool {
+        self.drop_permille == 0 && self.dup_permille == 0 && self.reorder_permille == 0
+    }
+}
+
+/// Apply a [`ChaosSpec`] to a request stream. Deterministic per
+/// `(stream, spec)`; the identity when the spec is a no-op.
+pub fn apply_chaos(reqs: Vec<SipRequest>, chaos: &ChaosSpec) -> Vec<SipRequest> {
+    if chaos.is_noop() {
+        return reqs;
+    }
+    let mut rng = SplitMix64::new(chaos.seed ^ 0x51B0_0B00_5EED_CA05);
+    let mut out = Vec::with_capacity(reqs.len());
+    for req in reqs {
+        if rng.chance(chaos.drop_permille.into()) {
+            continue; // lost on the wire
+        }
+        if rng.chance(chaos.dup_permille.into()) {
+            out.push(req.clone()); // retransmission: same message twice
+        }
+        out.push(req);
+    }
+    for i in 1..out.len() {
+        if rng.chance(chaos.reorder_permille.into()) {
+            out.swap(i - 1, i);
+        }
+    }
+    out
+}
+
 /// Mix of flows for one test case.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ScenarioSpec {
@@ -43,10 +94,13 @@ pub struct ScenarioSpec {
     pub cancelled_calls: usize,
     pub options: usize,
     pub seed: u64,
+    /// Network chaos applied after generation (default: none).
+    pub chaos: ChaosSpec,
 }
 
 impl ScenarioSpec {
-    /// Total number of requests the scenario will produce.
+    /// Total number of requests the scenario will produce *before* chaos
+    /// (drops/duplicates change the delivered count).
     pub fn request_count(&self) -> usize {
         self.registers * FlowKind::Register.methods().len()
             + self.calls * FlowKind::Call.methods().len()
@@ -98,7 +152,7 @@ pub fn generate(spec: &ScenarioSpec) -> Vec<SipRequest> {
             });
         }
     }
-    out
+    apply_chaos(out, &spec.chaos)
 }
 
 #[cfg(test)]
@@ -107,7 +161,14 @@ mod tests {
 
     #[test]
     fn request_count_matches_spec() {
-        let spec = ScenarioSpec { registers: 3, calls: 2, cancelled_calls: 1, options: 4, seed: 1 };
+        let spec = ScenarioSpec {
+            registers: 3,
+            calls: 2,
+            cancelled_calls: 1,
+            options: 4,
+            seed: 1,
+            ..Default::default()
+        };
         let reqs = generate(&spec);
         assert_eq!(reqs.len(), spec.request_count());
         assert_eq!(reqs.len(), 3 + 6 + 2 + 4);
@@ -115,7 +176,7 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let spec = ScenarioSpec { registers: 2, calls: 2, cancelled_calls: 0, options: 0, seed: 7 };
+        let spec = ScenarioSpec { registers: 2, calls: 2, seed: 7, ..Default::default() };
         let a = generate(&spec);
         let b = generate(&spec);
         assert_eq!(a, b);
@@ -137,8 +198,14 @@ mod tests {
 
     #[test]
     fn generated_requests_render_and_parse() {
-        let spec =
-            ScenarioSpec { registers: 2, calls: 2, cancelled_calls: 1, options: 1, seed: 42 };
+        let spec = ScenarioSpec {
+            registers: 2,
+            calls: 2,
+            cancelled_calls: 1,
+            options: 1,
+            seed: 42,
+            ..Default::default()
+        };
         for req in generate(&spec) {
             let back = crate::sip::SipRequest::parse(&req.render()).unwrap();
             assert_eq!(back, req);
@@ -151,5 +218,50 @@ mod tests {
         let reqs = generate(&spec);
         assert!(reqs[0].body.is_some());
         assert!(reqs[1].body.is_none());
+    }
+
+    #[test]
+    fn noop_chaos_is_identity() {
+        let base = ScenarioSpec { registers: 4, calls: 4, seed: 3, ..Default::default() };
+        let plain = generate(&base);
+        let chaotic =
+            generate(&ScenarioSpec { chaos: ChaosSpec { seed: 99, ..Default::default() }, ..base });
+        assert_eq!(plain, chaotic);
+        assert!(base.chaos.is_noop());
+    }
+
+    #[test]
+    fn chaos_is_deterministic_and_each_knob_acts() {
+        let base =
+            ScenarioSpec { registers: 30, calls: 30, options: 30, seed: 5, ..Default::default() };
+        let plain = generate(&base);
+
+        let dropped = ScenarioSpec {
+            chaos: ChaosSpec { drop_permille: 300, seed: 1, ..Default::default() },
+            ..base
+        };
+        let a = generate(&dropped);
+        assert_eq!(a, generate(&dropped), "chaos must be deterministic per seed");
+        assert!(a.len() < plain.len(), "30% drop must lose messages");
+
+        let duped = ScenarioSpec {
+            chaos: ChaosSpec { dup_permille: 300, seed: 1, ..Default::default() },
+            ..base
+        };
+        assert!(generate(&duped).len() > plain.len(), "30% dup must add retransmissions");
+
+        let reordered = ScenarioSpec {
+            chaos: ChaosSpec { reorder_permille: 300, seed: 1, ..Default::default() },
+            ..base
+        };
+        let r = generate(&reordered);
+        assert_ne!(r, plain, "30% reorder must permute");
+        let key = |v: &[crate::sip::SipRequest]| {
+            let mut k: Vec<String> =
+                v.iter().map(|q| format!("{}:{}", q.call_id, q.cseq)).collect();
+            k.sort();
+            k
+        };
+        assert_eq!(key(&r), key(&plain), "reorder must preserve the multiset");
     }
 }

@@ -86,7 +86,10 @@ proptest! {
         registers in 0usize..10, calls in 0usize..10,
         cancelled in 0usize..10, options in 0usize..10, seed in any::<u64>(),
     ) {
-        let spec = ScenarioSpec { registers, calls, cancelled_calls: cancelled, options, seed };
+        let spec = ScenarioSpec {
+            registers, calls, cancelled_calls: cancelled, options, seed,
+            ..Default::default()
+        };
         let reqs = generate(&spec);
         prop_assert_eq!(reqs.len(), spec.request_count());
         // Group by call id: within a group, cseq strictly increases.

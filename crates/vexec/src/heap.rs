@@ -154,6 +154,15 @@ impl Heap {
     pub fn reserved(&self) -> u64 {
         self.next - GUEST_BASE
     }
+
+    /// `(count, bytes)` of live (never-freed) blocks allocated by `tid` —
+    /// what an abruptly killed thread leaks.
+    pub fn live_blocks_by(&self, tid: ThreadId) -> (usize, u64) {
+        self.blocks
+            .iter()
+            .filter(|b| !b.freed && b.alloc_tid == tid)
+            .fold((0, 0), |(n, bytes), b| (n + 1, bytes + b.size))
+    }
 }
 
 impl Default for Heap {

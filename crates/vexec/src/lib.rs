@@ -51,6 +51,7 @@
 //! ```
 
 pub mod event;
+pub mod faults;
 pub mod heap;
 pub mod ir;
 pub mod sched;
@@ -61,9 +62,13 @@ pub mod util;
 pub mod vm;
 
 pub use event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
+pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats};
 pub use ir::builder::{ProcBuilder, ProgramBuilder};
 pub use ir::{Cond, Expr, Program, SrcLoc, SyncKind, SyncOp};
-pub use sched::{Pct, PriorityOrder, Quantum, RoundRobin, Scheduler, SeededRandom};
+pub use sched::{Pct, PriorityOrder, Quantum, RoundRobin, Scheduler, SeededRandom, SplitMix64};
 pub use tool::{CountingTool, FanoutTool, NullTool, RecordingTool, Tool};
 pub use trace::{Trace, TraceError, TraceWriter};
-pub use vm::{run_flat, run_program, RunResult, RunStats, Termination, Vm, VmOptions, VmView};
+pub use vm::{
+    run_flat, run_program, GuestError, GuestErrorKind, RunResult, RunStats, Termination, Vm,
+    VmOptions, VmView,
+};

@@ -12,6 +12,43 @@
 
 use crate::event::ThreadId;
 
+/// SplitMix64: the small, fast, deterministic PRNG shared by the seeded
+/// schedulers and the fault injector. Every consumer owns its own instance,
+/// so streams never interleave and runs stay exactly reproducible.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform pick in `0..n` (`n == 0` yields 0).
+    pub fn pick(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Bernoulli draw with probability `permille / 1000`. A zero rate does
+    /// not consume a draw, so disabled fault channels are free.
+    pub fn chance(&mut self, permille: u32) -> bool {
+        permille > 0 && self.next_u64() % 1000 < permille as u64
+    }
+}
+
 /// Scheduling policy. `pick` returns an index into `runnable`, which is
 /// always non-empty and sorted by thread id.
 pub trait Scheduler {
@@ -51,26 +88,18 @@ impl Scheduler for RoundRobin {
 /// interleavings)".
 #[derive(Debug, Clone)]
 pub struct SeededRandom {
-    state: u64,
+    rng: SplitMix64,
 }
 
 impl SeededRandom {
     pub fn new(seed: u64) -> Self {
-        SeededRandom { state: seed.wrapping_add(0x9E3779B97F4A7C15) }
-    }
-
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
+        SeededRandom { rng: SplitMix64::new(seed.wrapping_add(0x9E3779B97F4A7C15)) }
     }
 }
 
 impl Scheduler for SeededRandom {
     fn pick(&mut self, runnable: &[ThreadId], _slot: u64) -> usize {
-        (self.next() % runnable.len() as u64) as usize
+        self.rng.pick(runnable.len() as u64) as usize
     }
     fn name(&self) -> &'static str {
         "seeded-random"
@@ -149,7 +178,7 @@ impl Scheduler for Quantum {
 /// false-negative schedule.
 #[derive(Debug, Clone)]
 pub struct Pct {
-    state: u64,
+    rng: SplitMix64,
     /// Priority per thread id (higher runs first); lazily assigned.
     priorities: Vec<u64>,
     /// Remaining step indices at which to deprioritise the runner.
@@ -162,33 +191,25 @@ impl Pct {
     /// step indices the change points are drawn from.
     pub fn new(seed: u64, depth: u32, max_steps: u64) -> Self {
         let mut p = Pct {
-            state: seed.wrapping_add(0x9E3779B97F4A7C15),
+            rng: SplitMix64::new(seed.wrapping_add(0x9E3779B97F4A7C15)),
             priorities: Vec::new(),
             change_points: Vec::new(),
             next_low: 0,
         };
         let k = max_steps.max(1);
         for _ in 1..depth.max(1) {
-            let cp = p.next() % k;
+            let cp = p.rng.next_u64() % k;
             p.change_points.push(cp);
         }
         p.change_points.sort_unstable();
         p
     }
 
-    fn next(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-        z ^ (z >> 31)
-    }
-
     fn priority(&mut self, tid: ThreadId) -> u64 {
         let idx = tid.index();
         while self.priorities.len() <= idx {
             // Random high priorities; low band reserved for change points.
-            let v = (self.next() % u64::MAX / 2).max(1 << 32);
+            let v = (self.rng.next_u64() % u64::MAX / 2).max(1 << 32);
             self.priorities.push(v);
         }
         self.priorities[idx]
@@ -240,6 +261,24 @@ mod tests {
 
     fn tids(ids: &[u32]) -> Vec<ThreadId> {
         ids.iter().map(|&i| ThreadId(i)).collect()
+    }
+
+    #[test]
+    fn splitmix_is_deterministic_and_chance_respects_bounds() {
+        let mut a = SplitMix64::new(99);
+        let mut b = SplitMix64::new(99);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+
+        let mut r = SplitMix64::new(1);
+        assert!(!r.chance(0), "zero rate never fires");
+        let hits = (0..1000).filter(|_| r.chance(1000)).count();
+        assert_eq!(hits, 1000, "full rate always fires");
+        assert_eq!(r.pick(0), 0);
+        for _ in 0..100 {
+            assert!(r.pick(3) < 3);
+        }
     }
 
     #[test]

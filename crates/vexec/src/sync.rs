@@ -207,6 +207,17 @@ impl SyncObj {
         }
     }
 
+    /// True if `tid` currently holds this object (mutex owner or rwlock
+    /// holder in either mode). Used to count locks leaked by a killed
+    /// thread; always false for condvars, semaphores, and queues.
+    pub fn is_held_by(&self, tid: ThreadId) -> bool {
+        match &self.state {
+            SyncState::Mutex { owner } => *owner == Some(tid),
+            SyncState::RwLock { writer, readers } => *writer == Some(tid) || readers.contains(&tid),
+            _ => false,
+        }
+    }
+
     /// Park a waiter on the condvar.
     pub fn cond_park(&mut self, tid: ThreadId) -> Result<(), SyncError> {
         self.expect_kind(SyncKind::CondVar)?;

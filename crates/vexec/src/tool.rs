@@ -7,12 +7,18 @@
 
 use crate::event::Event;
 use crate::util::FxHashMap;
-use crate::vm::VmView;
+use crate::vm::{GuestError, VmView};
 
 /// An execution-observing tool.
 pub trait Tool {
     /// Called after each observable event, in program order.
     fn on_event(&mut self, ev: &Event, vm: &VmView<'_>);
+
+    /// Called when the guest faults (illegal operation, protocol violation)
+    /// just before the run terminates with
+    /// [`crate::vm::Termination::GuestError`]. Tools can fold the fault
+    /// into their report stream; the default ignores it.
+    fn on_guest_fault(&mut self, _err: &GuestError, _vm: &VmView<'_>) {}
 
     /// Called once when the run terminates (for flushing summaries).
     fn on_finish(&mut self, _vm: &VmView<'_>) {}
@@ -21,6 +27,9 @@ pub trait Tool {
 impl<T: Tool + ?Sized> Tool for &mut T {
     fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
         (**self).on_event(ev, vm);
+    }
+    fn on_guest_fault(&mut self, err: &GuestError, vm: &VmView<'_>) {
+        (**self).on_guest_fault(err, vm);
     }
     fn on_finish(&mut self, vm: &VmView<'_>) {
         (**self).on_finish(vm);
@@ -100,6 +109,11 @@ impl Tool for FanoutTool<'_> {
     fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
         for t in self.tools.iter_mut() {
             t.on_event(ev, vm);
+        }
+    }
+    fn on_guest_fault(&mut self, err: &GuestError, vm: &VmView<'_>) {
+        for t in self.tools.iter_mut() {
+            t.on_guest_fault(err, vm);
         }
     }
     fn on_finish(&mut self, vm: &VmView<'_>) {

@@ -12,6 +12,7 @@
 //! property the whole experiment suite relies on.
 
 use crate::event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
+use crate::faults::{FaultInjector, FaultPlan, FaultStats};
 use crate::heap::{Block, Heap, MemError};
 use crate::ir::lower::{FlatProgram, Op};
 use crate::ir::{ClientOp, Cond, Expr, ProcId, RegId, SrcLoc, SyncKind, SyncOp};
@@ -29,11 +30,19 @@ pub struct VmOptions {
     pub silent_op_budget: u32,
     /// Maximum call depth per thread.
     pub max_frames: usize,
+    /// Optional fault-injection plan. `Some` builds a [`FaultInjector`]
+    /// even when every rate is zero, so the hook cost stays measurable.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for VmOptions {
     fn default() -> Self {
-        VmOptions { max_slots: 50_000_000, silent_op_budget: 1_000_000, max_frames: 256 }
+        VmOptions {
+            max_slots: 50_000_000,
+            silent_op_budget: 1_000_000,
+            max_frames: 256,
+            faults: None,
+        }
     }
 }
 
@@ -49,11 +58,27 @@ pub struct GuestError {
 pub enum GuestErrorKind {
     Mem(MemError),
     Sync(SyncError),
-    AssertFailed { msg: String, left: u64, right: u64 },
-    BadJoin { handle: u64 },
-    BadSyncHandle { handle: u64 },
+    AssertFailed {
+        msg: String,
+        left: u64,
+        right: u64,
+    },
+    BadJoin {
+        handle: u64,
+    },
+    BadSyncHandle {
+        handle: u64,
+    },
     StackOverflow,
     SilentLoop,
+    /// A thread violated the condvar wait protocol (e.g. a signalled waiter
+    /// was not parked on a `CondWait` op). Previously a host panic; now a
+    /// structured guest fault that tools observe via `on_guest_fault`.
+    CondProtocol {
+        detail: String,
+    },
+    /// A thread was scheduled with no active frame.
+    MissingFrame,
 }
 
 impl std::fmt::Display for GuestError {
@@ -71,6 +96,10 @@ impl std::fmt::Display for GuestError {
             }
             GuestErrorKind::StackOverflow => write!(f, "guest stack overflow"),
             GuestErrorKind::SilentLoop => write!(f, "silent-op budget exhausted (spin loop?)"),
+            GuestErrorKind::CondProtocol { detail } => {
+                write!(f, "condvar protocol violation: {detail}")
+            }
+            GuestErrorKind::MissingFrame => write!(f, "thread scheduled with no active frame"),
         }
     }
 }
@@ -134,6 +163,8 @@ pub struct RunStats {
 pub struct RunResult {
     pub termination: Termination,
     pub stats: RunStats,
+    /// Injected-fault counters; `Some` whenever a plan was attached.
+    pub faults: Option<FaultStats>,
 }
 
 impl RunResult {
@@ -258,6 +289,7 @@ pub struct Vm<'p> {
     syncs: Vec<SyncObj>,
     pending: Vec<Event>,
     stats: RunStats,
+    injector: Option<FaultInjector>,
 }
 
 impl<'p> Vm<'p> {
@@ -280,6 +312,7 @@ impl<'p> Vm<'p> {
             state: ThreadState::Runnable,
             cond_resume: None,
         };
+        let injector = opts.faults.map(FaultInjector::new);
         Vm {
             prog,
             opts,
@@ -289,6 +322,7 @@ impl<'p> Vm<'p> {
             syncs: Vec::new(),
             pending: Vec::new(),
             stats: RunStats { threads_created: 1, ..Default::default() },
+            injector,
         }
     }
 
@@ -321,15 +355,97 @@ impl<'p> Vm<'p> {
             let idx = sched.pick(&runnable, self.stats.slots);
             let tid = runnable[idx];
             self.stats.slots += 1;
-            if let Err(e) = self.run_slot(tid) {
-                // Deliver any events produced before the fault.
+            if self.inject_pre_slot(tid) {
+                // The scheduled thread died abruptly: the slot is consumed.
                 self.drain(tool, &mut scratch);
+                continue;
+            }
+            if let Err(e) = self.run_slot(tid) {
+                // Deliver any events produced before the fault, then let the
+                // tool observe the fault itself before the run ends.
+                self.drain(tool, &mut scratch);
+                tool.on_guest_fault(&e, &VmView { vm: &self });
                 break Termination::GuestError(e);
             }
             self.drain(tool, &mut scratch);
         };
         tool.on_finish(&VmView { vm: &self });
-        RunResult { termination, stats: self.stats }
+        RunResult {
+            termination,
+            stats: self.stats,
+            faults: self.injector.as_ref().map(|i| i.stats),
+        }
+    }
+
+    /// Consult the fault injector before running `tid`'s slot. Returns true
+    /// if the slot was consumed (the scheduled thread was killed).
+    fn inject_pre_slot(&mut self, tid: ThreadId) -> bool {
+        let Some(mut inj) = self.injector.take() else { return false };
+        if inj.plan().wakeup_permille > 0 {
+            self.inject_spurious_wakeup(&mut inj);
+        }
+        let mut consumed = false;
+        if tid != ThreadId::MAIN && inj.should_kill() {
+            self.kill_thread(tid, &mut inj);
+            consumed = true;
+        }
+        self.injector = Some(inj);
+        consumed
+    }
+
+    /// Wake one condvar waiter without a signal (POSIX-legal spurious
+    /// wakeup). The waiter re-runs its `CondWait` in phase 2 — re-acquiring
+    /// the mutex and reporting itself as its own signaler.
+    fn inject_spurious_wakeup(&mut self, inj: &mut FaultInjector) {
+        let waiters: Vec<(ThreadId, SyncId)> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.state {
+                ThreadState::Blocked(BlockOn::Cond(c)) => Some((ThreadId(i as u32), c)),
+                _ => None,
+            })
+            .collect();
+        if waiters.is_empty() || !inj.should_spurious_wakeup() {
+            return;
+        }
+        let (w, cv) = waiters[inj.pick(waiters.len())];
+        if let Ok(m) = self.cond_wait_mutex_of(w) {
+            self.syncs[cv.index()].cond_unpark(w);
+            self.threads[w.index()].cond_resume = Some((cv, m, w));
+            self.threads[w.index()].state = ThreadState::Runnable;
+        }
+    }
+
+    /// Abrupt thread death: frames vanish, held locks stay held, heap
+    /// blocks stay allocated. Joiners are woken (as if the thread exited),
+    /// but anything blocked on a lock it held now deadlocks — exactly the
+    /// failure shape a crashed worker leaves behind in a real server.
+    fn kill_thread(&mut self, victim: ThreadId, inj: &mut FaultInjector) {
+        for s in &self.syncs {
+            if s.is_held_by(victim) {
+                inj.stats.leaked_locks += 1;
+            }
+        }
+        let (_, leaked) = self.heap.live_blocks_by(victim);
+        inj.stats.leaked_bytes += leaked;
+        let t = &mut self.threads[victim.index()];
+        t.frames.clear();
+        t.cond_resume = None;
+        t.state = ThreadState::Exited;
+        self.pending.push(Event::ThreadExit { tid: victim });
+        self.wake_joiners(victim);
+    }
+
+    fn inject_lock_fail(&mut self) -> bool {
+        self.injector.as_mut().is_some_and(|i| i.should_fail_lock())
+    }
+
+    /// Allocation failure targets worker threads only: a server whose
+    /// *startup* allocation fails just never comes up — the interesting
+    /// resilience question is a request handler hitting OOM mid-flight.
+    fn inject_alloc_fail(&mut self, tid: ThreadId) -> bool {
+        tid != ThreadId::MAIN && self.injector.as_mut().is_some_and(|i| i.should_fail_alloc())
     }
 
     fn drain(&mut self, tool: &mut dyn Tool, scratch: &mut Vec<Event>) {
@@ -549,7 +665,9 @@ impl<'p> Vm<'p> {
             }
             Op::Ret { value } => {
                 let v = value.as_ref().map(|e| self.eval(tid, e)).unwrap_or(0);
-                let frame = self.threads[tid.index()].frames.pop().expect("ret with frame");
+                let Some(frame) = self.threads[tid.index()].frames.pop() else {
+                    return Err(self.err(tid, GuestErrorKind::MissingFrame));
+                };
                 if self.threads[tid.index()].frames.is_empty() {
                     self.threads[tid.index()].state = ThreadState::Exited;
                     self.pending.push(Event::ThreadExit { tid });
@@ -617,6 +735,14 @@ impl<'p> Vm<'p> {
             }
             Op::Alloc { dst, size, loc } => {
                 self.set_loc(tid, *loc);
+                if self.inject_alloc_fail(tid) {
+                    // Allocation failure: `new` returns null and no Alloc
+                    // event reaches the tool; a later dereference is a wild
+                    // access, exactly as on a real OOM path.
+                    self.set_reg(tid, *dst, 0);
+                    self.advance(tid);
+                    return Ok(Flow::Silent);
+                }
                 let sz = self.eval(tid, size);
                 let addr = self.heap.alloc(sz, tid, *loc);
                 self.stats.allocs += 1;
@@ -678,6 +804,11 @@ impl<'p> Vm<'p> {
         match op {
             SyncOp::MutexLock(m) => {
                 let h = self.eval(tid, m);
+                if self.inject_lock_fail() {
+                    // Timed-lock timeout: pc does not advance, the thread
+                    // retries the acquisition the next time it is scheduled.
+                    return Ok(Flow::Yielded);
+                }
                 let (sid, obj) = self.sync_obj(tid, h, loc)?;
                 match obj.mutex_lock(tid) {
                     Ok(true) => {
@@ -710,6 +841,9 @@ impl<'p> Vm<'p> {
             }
             SyncOp::RwLockRead(m) => {
                 let h = self.eval(tid, m);
+                if self.inject_lock_fail() {
+                    return Ok(Flow::Yielded);
+                }
                 let (sid, obj) = self.sync_obj(tid, h, loc)?;
                 match obj.rw_lock_read(tid) {
                     Ok(true) => {
@@ -733,6 +867,9 @@ impl<'p> Vm<'p> {
             }
             SyncOp::RwLockWrite(m) => {
                 let h = self.eval(tid, m);
+                if self.inject_lock_fail() {
+                    return Ok(Flow::Yielded);
+                }
                 let (sid, obj) = self.sync_obj(tid, h, loc)?;
                 match obj.rw_lock_write(tid) {
                     Ok(true) => {
@@ -823,7 +960,7 @@ impl<'p> Vm<'p> {
                     // The waiter re-executes its CondWait in phase 2. It
                     // needs the mutex handle, which it stored in its own
                     // frame; recover it by re-evaluating its current op.
-                    let m = self.cond_wait_mutex_of(w);
+                    let m = self.cond_wait_mutex_of(w)?;
                     self.threads[w.index()].cond_resume = Some((csid, m, tid));
                     self.threads[w.index()].state = ThreadState::Runnable;
                 }
@@ -898,14 +1035,29 @@ impl<'p> Vm<'p> {
     }
 
     /// The mutex handle a cond-waiting thread passed to its `CondWait` op.
-    fn cond_wait_mutex_of(&self, tid: ThreadId) -> SyncId {
-        let f = self.threads[tid.index()].frames.last().expect("waiter has a frame");
+    /// A waiter parked anywhere else is a protocol violation — reported as
+    /// a structured guest fault, never a host panic.
+    fn cond_wait_mutex_of(&self, tid: ThreadId) -> Result<SyncId, GuestError> {
+        let Some(f) = self.threads[tid.index()].frames.last() else {
+            return Err(self.err(
+                tid,
+                GuestErrorKind::CondProtocol {
+                    detail: format!("cond waiter thread {} has no frame", tid.0),
+                },
+            ));
+        };
         let op = &self.prog.procs[f.proc.0 as usize].code[f.pc as usize];
         match op {
             Op::Sync { op: SyncOp::CondWait { mutex, .. }, .. } => {
-                SyncId(eval_expr(mutex, &f.regs, &self.global_addrs) as u32)
+                Ok(SyncId(eval_expr(mutex, &f.regs, &self.global_addrs) as u32))
             }
-            other => panic!("cond waiter parked on non-CondWait op {other:?}"),
+            other => Err(self.err_at(
+                tid,
+                f.cur_loc,
+                GuestErrorKind::CondProtocol {
+                    detail: format!("cond waiter parked on non-CondWait op {other:?}"),
+                },
+            )),
         }
     }
 

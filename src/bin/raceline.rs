@@ -4,6 +4,7 @@
 //! ```text
 //! raceline check app.mcpp [lib.mcpp ...] [options]
 //! raceline lint  app.mcpp [lib.mcpp ...] [--raw <file>] [--json]
+//! raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3] [options]
 //!
 //! check options:
 //!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
@@ -13,24 +14,39 @@
 //!   --suppressions <file>   load a Valgrind-style suppression file
 //!   --gen-suppressions      print a suppression entry for each warning
 //!   --explore <n>           run under <n> random schedules and aggregate
+//!   --checkpoint <file>     (with --explore) resume from/save a sweep
+//!                           checkpoint
+//!   --faults <spec>         inject faults, e.g. seed=7,wakeup=20,kill=1
+//!                           (keys: seed wakeup lockfail allocfail kill
+//!                           max-kills, rates in permille)
+//!   --budget <spec>         cap detector state, e.g.
+//!                           shadow=10000,locksets=256,reports=64,slots=200000
+//!                           (keys: shadow locksets reports slots
+//!                           total-slots — the last is the --explore
+//!                           watchdog); capped runs degrade and set
+//!                           truncated/timed_out flags instead of aborting
 //!   --static-cross-check    also run the static analysis and label each
 //!                           finding confirmed-both / static-only /
 //!                           dynamic-only (joined by kind, file, line)
 //!   --json                  machine-readable output
 //!   --emit-annotated        print the annotated source (Fig 4 view)
 //!   --emit-ir               print the lowered guest IR (disassembly)
+//!
+//! Exit codes: 0 = ran clean, 1 = findings reported, 2 = tool or guest
+//! error (unreadable input, compile error, bad usage, guest fault).
 //! ```
 
-use helgrind_core::explore::explore_schedules;
+use helgrind_core::explore::{explore_schedules_with, ExploreCheckpoint, ExploreLimits};
 use helgrind_core::{
-    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, Suppression,
+    BudgetSpec, DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, Suppression,
     SuppressionSet,
 };
 use minicpp::pipeline::{run_pipeline, SourceFile};
 use serde::{Serialize, Value};
 use std::collections::BTreeSet;
+use vexec::faults::{parse_u64, FaultPlan, FaultStats};
 use vexec::sched::{Pct, RoundRobin, Scheduler, SeededRandom};
-use vexec::vm::{run_program, Termination};
+use vexec::vm::{run_flat, Termination, VmOptions};
 
 fn usage() -> ! {
     eprintln!(
@@ -38,8 +54,11 @@ fn usage() -> ! {
          [--detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue] \
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
+         [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
          [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
-         \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]"
+         \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
+         \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
+         [--detector <name>] [--max-slots <n>] [--json]"
     );
     std::process::exit(2);
 }
@@ -77,10 +96,14 @@ fn parse_schedule(s: &str) -> Box<dyn Scheduler> {
     usage()
 }
 
+// Exit-code contract: 0 = ran clean, 1 = findings, 2 = tool/guest error.
+const EXIT_FINDINGS: i32 = 1;
+const EXIT_ERROR: i32 = 2;
+
 fn read_source(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_ERROR);
     })
 }
 
@@ -98,6 +121,9 @@ fn main() {
     let cmd = match args.next().as_deref() {
         Some("check") => "check",
         Some("lint") => "lint",
+        Some("chaos") => {
+            run_chaos(args.collect());
+        }
         _ => usage(),
     };
 
@@ -107,6 +133,9 @@ fn main() {
     let mut suppressions = SuppressionSet::new();
     let mut gen_suppressions = false;
     let mut explore: Option<usize> = None;
+    let mut checkpoint_path: Option<String> = None;
+    let mut faults: Option<FaultPlan> = None;
+    let mut budget: Option<BudgetSpec> = None;
     let mut emit_annotated = false;
     let mut emit_ir = false;
     let mut json = false;
@@ -128,9 +157,24 @@ fn main() {
                 let text = read_source(path);
                 suppressions = SuppressionSet::parse(&text).unwrap_or_else(|e| {
                     eprintln!("{path}: {e}");
-                    std::process::exit(1);
+                    std::process::exit(EXIT_ERROR);
                 });
             }
+            "--faults" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                faults = Some(FaultPlan::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("--faults: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }));
+            }
+            "--budget" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                budget = Some(BudgetSpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("--budget: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }));
+            }
+            "--checkpoint" => checkpoint_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--gen-suppressions" => gen_suppressions = true,
             "--emit-annotated" => emit_annotated = true,
             "--emit-ir" => emit_ir = true,
@@ -157,7 +201,7 @@ fn main() {
     // Stage 1+2+3 (Fig 3): preprocess, parse + annotate, compile.
     let out = run_pipeline(&files).unwrap_or_else(|e| {
         eprintln!("compile error: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_ERROR);
     });
     eprintln!(
         "compiled {} unit(s); {} delete site(s) annotated",
@@ -175,15 +219,49 @@ fn main() {
         println!("{}", vexec::ir::disasm::disassemble(&out.program.lower()));
     }
 
-    let cfg = parse_detector(&detector_name);
+    let mut cfg = parse_detector(&detector_name);
+    if let Some(b) = &budget {
+        cfg.budget = b.detector;
+    }
 
     // Exploration mode: aggregate warnings across many schedules.
     if let Some(runs) = explore {
-        let summary = explore_schedules(&out.program, cfg, runs, 0xACE);
+        let limits = ExploreLimits {
+            max_slots_per_run: budget.as_ref().and_then(|b| b.max_slots),
+            total_slot_budget: budget.as_ref().and_then(|b| b.total_slots),
+            faults,
+        };
+        let resume = checkpoint_path.as_ref().and_then(|p| {
+            let text = std::fs::read_to_string(p).ok()?;
+            match ExploreCheckpoint::parse(&text) {
+                Ok(ck) => {
+                    eprintln!("resuming from {p}: {}/{} runs done", ck.next_index, ck.runs);
+                    Some(ck)
+                }
+                Err(e) => {
+                    eprintln!("{p}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }
+            }
+        });
+        let summary =
+            explore_schedules_with(&out.program, cfg, runs, 0xACE, limits, resume.as_ref());
+        if let Some(p) = &checkpoint_path {
+            if let Err(e) = std::fs::write(p, summary.checkpoint().render()) {
+                eprintln!("cannot write checkpoint {p}: {e}");
+                std::process::exit(EXIT_ERROR);
+            }
+        }
         println!(
             "explored {} schedules: {} clean, {} deadlocked",
             summary.runs, summary.clean_runs, summary.deadlocked_runs
         );
+        if summary.timed_out {
+            println!(
+                "timed out: {}/{} runs completed ({} fuel-exhausted)",
+                summary.completed_runs, summary.runs, summary.fuel_exhausted_runs
+            );
+        }
         for hit in &summary.locations {
             println!("[{:>3}/{:<3}] {}", hit.hits, summary.runs, hit.report.render().trim_end());
         }
@@ -220,22 +298,42 @@ fn main() {
 
     // Single-run mode: collect the post-suppression dynamic findings.
     let mut sched = parse_schedule(&schedule);
+    let flat = out.program.lower();
+    let opts = VmOptions {
+        faults,
+        max_slots: budget
+            .as_ref()
+            .and_then(|b| b.max_slots)
+            .unwrap_or(VmOptions::default().max_slots),
+        ..Default::default()
+    };
     let termination;
+    let truncated;
+    let fault_stats: Option<FaultStats>;
     let dynamic: Vec<Report> = match detector_name.as_str() {
         "djit" => {
             let mut det = DjitDetector::new(cfg);
-            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            termination = r.termination;
+            fault_stats = r.faults;
+            truncated = det.truncated();
             det.sink.take_reports()
         }
         "hybrid" | "hybrid-queue" => {
             let mut det = HybridDetector::new(cfg);
-            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            termination = r.termination;
+            fault_stats = r.faults;
+            truncated = det.truncated();
             det.sink.take_reports()
         }
         _ => {
             // Eraser applies suppressions inside its sink already.
             let mut det = EraserDetector::with_suppressions(cfg, suppressions.clone());
-            termination = run_program(&out.program, &mut det, sched.as_mut()).termination;
+            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            termination = r.termination;
+            fault_stats = r.faults;
+            truncated = det.truncated();
             det.sink.take_reports()
         }
     };
@@ -251,6 +349,8 @@ fn main() {
         }
     }
 
+    let mut guest_error: Option<String> = None;
+    let timed_out = matches!(termination, Termination::FuelExhausted);
     match &termination {
         Termination::AllExited => {}
         Termination::Deadlock(waits) => {
@@ -267,11 +367,19 @@ fn main() {
             }
             warnings += 1;
         }
-        other => {
+        Termination::GuestError(e) => {
+            // The *guest* faulted; the detector kept its state. Report as a
+            // diagnostic and exit 2 — this is neither clean nor a finding.
+            guest_error = Some(e.to_string());
             if !json {
-                println!("abnormal termination: {other:?}");
+                println!("guest error: {e}");
             }
-            warnings += 1;
+        }
+        Termination::FuelExhausted => {
+            // Budget cap hit: a partial (but valid) run, not an error.
+            if !json {
+                println!("timed out: slot budget exhausted before the program finished");
+            }
         }
     }
 
@@ -324,8 +432,25 @@ fn main() {
         let mut obj = vec![
             ("warnings".to_string(), Value::UInt(warnings as u64)),
             ("termination".to_string(), Value::Str(format!("{termination:?}"))),
+            ("truncated".to_string(), Value::Bool(truncated)),
+            ("timed_out".to_string(), Value::Bool(timed_out)),
             ("reports".to_string(), reports_json(&dynamic)),
         ];
+        if let Some(e) = &guest_error {
+            obj.push(("guest_error".to_string(), Value::Str(e.clone())));
+        }
+        if let Some(fs) = &fault_stats {
+            obj.push((
+                "injected_faults".to_string(),
+                Value::Object(vec![
+                    ("total".to_string(), Value::UInt(fs.total())),
+                    ("spurious_wakeups".to_string(), Value::UInt(fs.spurious_wakeups)),
+                    ("lock_failures".to_string(), Value::UInt(fs.lock_failures)),
+                    ("alloc_failures".to_string(), Value::UInt(fs.alloc_failures)),
+                    ("kills".to_string(), Value::UInt(fs.kills)),
+                ]),
+            ));
+        }
         if let Some(c) = cross {
             obj.push(("static_cross_check".to_string(), c));
         }
@@ -333,14 +458,18 @@ fn main() {
     }
 
     eprintln!("{warnings} warning(s)");
-    std::process::exit(if warnings == 0 { 0 } else { 1 });
+    if guest_error.is_some() {
+        eprintln!("guest error: exiting with status {EXIT_ERROR}");
+        std::process::exit(EXIT_ERROR);
+    }
+    std::process::exit(if warnings == 0 { 0 } else { EXIT_FINDINGS });
 }
 
 /// `raceline lint`: parse + annotate + static passes, no execution.
 fn run_lint(files: &[SourceFile], json: bool) -> ! {
     let result = minicpp::analysis::analyze_files(files).unwrap_or_else(|e| {
         eprintln!("compile error: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_ERROR);
     });
     let n = result.reports.len();
     if json {
@@ -355,5 +484,205 @@ fn run_lint(files: &[SourceFile], json: bool) -> ! {
         }
     }
     eprintln!("{n} finding(s)");
-    std::process::exit(if n == 0 { 0 } else { 1 });
+    std::process::exit(if n == 0 { 0 } else { EXIT_FINDINGS });
+}
+
+/// `raceline chaos`: sweep seeded fault plans across the T1–T8 evaluation
+/// cases and the §4.1 bug catalogue, asserting the *detector's* resilience
+/// invariants — chaos-testing the tracer the way the paper's SIP proxy was
+/// tested:
+///
+/// 1. no host panic, whatever the injected faults do to the guest;
+/// 2. identical (seed, plan) ⇒ bit-identical report fingerprint;
+/// 3. the true-positive catalogue is still detected under faults.
+///
+/// Findings in the guest are *expected* here (that is the point); the exit
+/// code reflects only the invariants: 0 = all hold, 2 = a resilience bug.
+fn run_chaos(args: Vec<String>) -> ! {
+    let mut runs: usize = 100;
+    let mut seed: u64 = 0xC0FFEE;
+    let mut detector_name = "hwlc-dr".to_string();
+    let mut case_filter: Option<Vec<String>> = None;
+    let mut max_slots: Option<u64> = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => {
+                runs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                let s = it.next().unwrap_or_else(|| usage());
+                seed = parse_u64(s).unwrap_or_else(|e| {
+                    eprintln!("--seed: {e}");
+                    std::process::exit(EXIT_ERROR);
+                });
+            }
+            "--cases" => {
+                let s = it.next().unwrap_or_else(|| usage());
+                case_filter = Some(s.split(',').map(|c| c.trim().to_string()).collect());
+            }
+            "--detector" => detector_name = it.next().unwrap_or_else(|| usage()).clone(),
+            "--max-slots" => {
+                let s = it.next().unwrap_or_else(|| usage());
+                max_slots = Some(parse_u64(s).unwrap_or_else(|e| {
+                    eprintln!("--max-slots: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }));
+            }
+            "--json" => json = true,
+            _ => usage(),
+        }
+    }
+    let cfg = parse_detector(&detector_name);
+
+    let cases: Vec<sipsim::TestCase> = sipsim::testcases()
+        .into_iter()
+        .filter(|tc| case_filter.as_ref().is_none_or(|f| f.iter().any(|n| n == tc.name)))
+        .collect();
+    if cases.is_empty() {
+        eprintln!("no test cases match {case_filter:?}");
+        std::process::exit(EXIT_ERROR);
+    }
+    eprintln!(
+        "chaos: {} run(s), base seed {seed:#x}, {} case(s): {}",
+        runs,
+        cases.len(),
+        cases.iter().map(|c| c.name).collect::<Vec<_>>().join(",")
+    );
+    let built: Vec<sipsim::BuiltProxy> = cases.iter().map(|tc| tc.build()).collect();
+
+    // Silence the default "thread panicked" spew: a panic is *recorded* as
+    // a resilience failure, not splattered over the report.
+    let prev_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+
+    let mut panics: usize = 0;
+    let mut mismatches: usize = 0;
+    let mut deadlocks: usize = 0;
+    let mut guest_errors: usize = 0;
+    let mut fuel_exhausted: usize = 0;
+    let mut truncated_runs: usize = 0;
+    let mut faults_injected: u64 = 0;
+    let mut case_real_cover: Vec<bool> = vec![false; cases.len()];
+
+    for i in 0..runs {
+        let plan = FaultPlan::from_seed(seed.wrapping_add(i as u64));
+        let ci = i % cases.len();
+        let sched_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
+        let b = &built[ci];
+        let run = || sipsim::run_case_chaos(b, cfg, plan, sched_seed, max_slots);
+        let Ok(outcome) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) else {
+            panics += 1;
+            eprintln!("PANIC: case {} plan seed {:#x}", cases[ci].name, plan.seed);
+            continue;
+        };
+        // Determinism probe on a sample of runs: the same (plan, schedule)
+        // must reproduce the exact report fingerprint.
+        if i % 10 == 0 {
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                Ok(again) if again.fingerprint == outcome.fingerprint => {}
+                Ok(_) => {
+                    mismatches += 1;
+                    eprintln!("NONDETERMINISM: case {} plan seed {:#x}", cases[ci].name, plan.seed);
+                }
+                Err(_) => panics += 1,
+            }
+        }
+        if outcome.deadlocked {
+            deadlocks += 1;
+        }
+        if outcome.guest_error.is_some() {
+            guest_errors += 1;
+        }
+        if outcome.fuel_exhausted {
+            fuel_exhausted += 1;
+        }
+        if outcome.truncated {
+            truncated_runs += 1;
+        }
+        faults_injected += outcome.fault_stats.map(|f| f.total()).unwrap_or(0);
+        if outcome.real_hits > 0 {
+            case_real_cover[ci] = true;
+        }
+    }
+
+    // §4.1 catalogue under faults: each bug must still be detected under
+    // at least one plan of the sweep.
+    let mut bugs_missed: Vec<&'static str> = Vec::new();
+    for bug in sipsim::bugs::all_bugs() {
+        let flat = bug.program.lower();
+        let mut found = false;
+        for i in 0..runs.clamp(1, 25) {
+            let plan = FaultPlan::from_seed(seed.wrapping_add(i as u64));
+            let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut det = EraserDetector::new(cfg);
+                let mut sched: Box<dyn Scheduler> = match &bug.schedule {
+                    Some(order) => Box::new(vexec::sched::PriorityOrder::new(
+                        order.iter().map(|&t| vexec::ThreadId(t)).collect(),
+                    )),
+                    None => Box::new(RoundRobin::new()),
+                };
+                let opts = VmOptions { faults: Some(plan), ..Default::default() };
+                let _ = run_flat(&flat, &mut det, sched.as_mut(), opts);
+                det.sink.reports().iter().any(|r| r.func == bug.expected_func)
+            }));
+            match attempt {
+                Ok(true) => {
+                    found = true;
+                    break;
+                }
+                Ok(false) => {}
+                Err(_) => panics += 1,
+            }
+        }
+        if !found {
+            bugs_missed.push(bug.name);
+        }
+    }
+    drop(std::panic::take_hook());
+    std::panic::set_hook(prev_hook);
+
+    let uncovered: Vec<&str> =
+        cases.iter().zip(&case_real_cover).filter(|&(_, &c)| !c).map(|(tc, _)| tc.name).collect();
+    let ok = panics == 0 && mismatches == 0 && uncovered.is_empty() && bugs_missed.is_empty();
+
+    if json {
+        let obj = Value::Object(vec![
+            ("runs".to_string(), Value::UInt(runs as u64)),
+            ("panics".to_string(), Value::UInt(panics as u64)),
+            ("nondeterministic".to_string(), Value::UInt(mismatches as u64)),
+            ("deadlocks".to_string(), Value::UInt(deadlocks as u64)),
+            ("guest_errors".to_string(), Value::UInt(guest_errors as u64)),
+            ("fuel_exhausted".to_string(), Value::UInt(fuel_exhausted as u64)),
+            ("truncated".to_string(), Value::UInt(truncated_runs as u64)),
+            ("faults_injected".to_string(), Value::UInt(faults_injected)),
+            (
+                "uncovered_cases".to_string(),
+                Value::Array(uncovered.iter().map(|n| Value::Str(n.to_string())).collect()),
+            ),
+            (
+                "bugs_missed".to_string(),
+                Value::Array(bugs_missed.iter().map(|n| Value::Str(n.to_string())).collect()),
+            ),
+            ("resilient".to_string(), Value::Bool(ok)),
+        ]);
+        println!("{obj}");
+    } else {
+        println!(
+            "chaos: {runs} run(s): {panics} panic(s), {mismatches} nondeterministic, \
+             {deadlocks} deadlock(s), {guest_errors} guest error(s), \
+             {fuel_exhausted} fuel-exhausted, {truncated_runs} truncated, \
+             {faults_injected} fault(s) injected"
+        );
+        if !uncovered.is_empty() {
+            println!("real races NOT covered in: {}", uncovered.join(","));
+        }
+        if !bugs_missed.is_empty() {
+            println!("catalogue bugs NOT detected under faults: {}", bugs_missed.join(","));
+        }
+        println!("resilience: {}", if ok { "OK" } else { "FAILED" });
+    }
+    std::process::exit(if ok { 0 } else { EXIT_ERROR });
 }

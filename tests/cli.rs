@@ -213,3 +213,130 @@ fn check_json_with_cross_check_embeds_the_join() {
     assert!(line.contains("\"confirmed_both\""), "{stdout}");
     assert!(line.contains("\"static_only\""), "{stdout}");
 }
+
+// -------------------------------------------------------------------
+// Exit-code contract (0 = clean, 1 = findings, 2 = tool/guest error),
+// fault injection, budgets and `raceline chaos`.
+// -------------------------------------------------------------------
+
+/// A worker that allocates: under `--faults allocfail=1000` the `new`
+/// returns null and the field write becomes a wild access (guest error).
+const ALLOC_WORKER: &str = "\
+class Obj { int x; ~Obj() {} };\n\
+void worker() {\n\
+    Obj* o = new Obj;\n\
+    o->x = 1;\n\
+    delete o;\n\
+}\n\
+void main() {\n\
+    thread a = spawn worker();\n\
+    join(a);\n\
+}\n";
+
+fn write_fixture(name: &str, text: &str) -> String {
+    let path = std::env::temp_dir().join(name);
+    std::fs::write(&path, text).unwrap();
+    path.to_str().unwrap().to_string()
+}
+
+#[test]
+fn unreadable_input_exits_2() {
+    let (_, stderr, code) = raceline(&["check", "/nonexistent/raceline-no-such-file.mcpp"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("cannot read"), "{stderr}");
+}
+
+#[test]
+fn guest_error_exits_2_with_diagnostic() {
+    let path = write_fixture("raceline_allocfail.mcpp", ALLOC_WORKER);
+    let (stdout, stderr, code) = raceline(&["check", &path, "--faults", "allocfail=1000,seed=1"]);
+    assert_eq!(code, 2, "guest fault is a tool/guest error\n{stdout}{stderr}");
+    assert!(stdout.contains("guest error:"), "{stdout}");
+
+    // Same run in JSON: the fault is a field, not a crash.
+    let (stdout, _, code) =
+        raceline(&["check", &path, "--faults", "allocfail=1000,seed=1", "--json"]);
+    assert_eq!(code, 2);
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"guest_error\""), "{stdout}");
+    assert!(line.contains("\"injected_faults\""), "{stdout}");
+
+    // Without faults the same program is clean: exit 0.
+    let (_, _, code) = raceline(&["check", &path]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn slot_budget_reports_timed_out_not_error() {
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--budget", "slots=10", "--json"]);
+    assert!(code == 0 || code == 1, "fuel exhaustion is not an error: {stdout}");
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"timed_out\":true"), "{stdout}");
+    assert!(line.contains("\"termination\":\"FuelExhausted\""), "{stdout}");
+}
+
+#[test]
+fn report_budget_degrades_with_truncated_flag() {
+    // `original` reports 2 race locations on the sample; cap at 1.
+    let (stdout, _, code) =
+        raceline(&["check", SAMPLE, "--detector", "original", "--budget", "reports=1", "--json"]);
+    assert_eq!(code, 1, "{stdout}");
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"truncated\":true"), "{stdout}");
+    assert!(line.contains("\"warnings\":1"), "capped to one stored report\n{stdout}");
+}
+
+#[test]
+fn faults_are_deterministic_per_seed_and_plan() {
+    let args = [
+        "check",
+        SAMPLE,
+        "--schedule",
+        "random:3",
+        "--faults",
+        "seed=9,wakeup=25,lockfail=25,kill=5",
+        "--json",
+    ];
+    let (a, _, code_a) = raceline(&args);
+    let (b, _, code_b) = raceline(&args);
+    assert_eq!(code_a, code_b);
+    assert_eq!(a, b, "same (seed, plan, schedule) must reproduce bit-identically");
+}
+
+#[test]
+fn explore_checkpoint_round_trips() {
+    let path = std::env::temp_dir().join("raceline_explore.ck");
+    let _ = std::fs::remove_file(&path);
+    let p = path.to_str().unwrap();
+    let (stdout, _, code) = raceline(&["check", SAMPLE, "--explore", "6", "--checkpoint", p]);
+    assert_eq!(code, 1, "{stdout}");
+    let saved = std::fs::read_to_string(&path).unwrap();
+    assert!(saved.starts_with("raceline-explore-checkpoint v1"), "{saved}");
+
+    // Resuming a finished sweep re-runs nothing and aggregates the same
+    // locations and hit counts (report *detail* is summarized to the top
+    // stack frame in a checkpoint — the documented degradation).
+    let (stdout2, stderr2, code2) =
+        raceline(&["check", SAMPLE, "--explore", "6", "--checkpoint", p]);
+    assert_eq!(code2, 1);
+    assert!(stderr2.contains("resuming from"), "{stderr2}");
+    assert!(stdout2.contains("explored 6 schedules: 6 clean"), "{stdout2}");
+    assert!(stdout2.contains("[  6/6  ] Possible Race (write)"), "{stdout2}");
+    assert!(stdout2.contains("session.mcpp:20"), "{stdout2}");
+    assert_eq!(
+        stdout.lines().next(),
+        stdout2.lines().next(),
+        "aggregate line must agree: {stdout} vs {stdout2}"
+    );
+}
+
+#[test]
+fn chaos_smoke_run_is_resilient() {
+    let (stdout, stderr, code) =
+        raceline(&["chaos", "--runs", "6", "--seed", "0xC0FFEE", "--cases", "T3", "--json"]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    let line = stdout.lines().next().unwrap();
+    assert!(line.contains("\"resilient\":true"), "{stdout}");
+    assert!(line.contains("\"panics\":0"), "{stdout}");
+    assert!(line.contains("\"nondeterministic\":0"), "{stdout}");
+}
