@@ -58,6 +58,12 @@ impl Default for DetectorBudget {
 /// summed across every run of an `--explore` sweep). The fuel caps belong
 /// to [`vexec::VmOptions`] / the explore driver rather than the detector
 /// but ride in the same flag for convenience.
+///
+/// In a parallel sweep (`--jobs N`) the `total-slots` running total is a
+/// shared atomic meter (`vexec::vm::SlotMeter`) credited live by every
+/// worker; a worker consults it before claiming the next seed, so the
+/// watchdog cuts the sweep off at run granularity without perturbing any
+/// individual run's result.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BudgetSpec {
     pub detector: DetectorBudget,

@@ -27,9 +27,9 @@
 use crate::config::{BusLockModel, DetectorConfig};
 use crate::locksets::{LockId, LockSetId, LockSetTable};
 use crate::segments::{SegmentGraph, SegmentId};
+use crate::shadowmem::PageTable;
 use vexec::event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
 use vexec::ir::{SrcLoc, SyncKind};
-use vexec::util::FxHashMap;
 
 /// Shadow state of one granule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -115,8 +115,11 @@ struct Shadow {
 pub struct LocksetEngine {
     cfg: DetectorConfig,
     pub table: LockSetTable,
-    shadow: FxHashMap<u64, Shadow>,
+    shadow: PageTable<Shadow>,
     threads: Vec<ThreadLocks>,
+    /// Reused by `rebuild_locksets` so lock/unlock never allocates once
+    /// the thread's lock-sets are interned.
+    scratch: Vec<LockId>,
     segments: SegmentGraph,
     /// When false (hybrid mode), the per-granule `reported` latch is not
     /// set, so every empty-lockset access yields a candidate race.
@@ -135,8 +138,9 @@ impl LocksetEngine {
         LocksetEngine {
             cfg,
             table,
-            shadow: FxHashMap::default(),
+            shadow: PageTable::new(cfg.granule),
             threads: Vec::new(),
+            scratch: Vec::new(),
             segments: SegmentGraph::new(cfg.thread_segments),
             report_once: true,
             accesses: 0,
@@ -176,12 +180,26 @@ impl LocksetEngine {
     }
 
     fn rebuild_locksets(&mut self, tid: ThreadId) {
-        let held = self.thread_mut(tid).held.clone();
-        let any: Vec<LockId> = held.iter().map(|&(l, _)| l).collect();
-        let write: Vec<LockId> =
-            held.iter().filter(|&&(_, m)| m == AcqMode::Exclusive).map(|&(l, _)| l).collect();
-        let any_id = self.table.intern(any.clone());
-        let write_id = self.table.intern(write.clone());
+        // Hot path (every lock/unlock): gather held locks into the reused
+        // scratch buffer and intern from the borrowed slice, so nothing is
+        // allocated once these sets exist in the table.
+        self.thread_mut(tid);
+        self.scratch.clear();
+        self.scratch.extend(self.threads[tid.index()].held.iter().map(|&(l, _)| l));
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let any_id = self.table.intern_sorted_slice(&self.scratch);
+        self.scratch.clear();
+        self.scratch.extend(
+            self.threads[tid.index()]
+                .held
+                .iter()
+                .filter(|&&(_, m)| m == AcqMode::Exclusive)
+                .map(|&(l, _)| l),
+        );
+        self.scratch.sort_unstable();
+        self.scratch.dedup();
+        let write_id = self.table.intern_sorted_slice(&self.scratch);
         let any_bus = self.table.with(any_id, LockId::BUS);
         let write_bus = self.table.with(write_id, LockId::BUS);
         let t = self.thread_mut(tid);
@@ -191,37 +209,71 @@ impl LocksetEngine {
         t.write_bus = write_bus;
     }
 
+    /// Recompute the bus-extended variants after `any`/`write` changed.
+    fn set_locksets(&mut self, tid: ThreadId, any: LockSetId, write: LockSetId) {
+        let any_bus = self.table.with(any, LockId::BUS);
+        let write_bus = self.table.with(write, LockId::BUS);
+        let t = self.thread_mut(tid);
+        t.any = any;
+        t.write = write;
+        t.any_bus = any_bus;
+        t.write_bus = write_bus;
+    }
+
     fn acquire(&mut self, tid: ThreadId, sync: SyncId, mode: AcqMode) {
         let lock = LockId::from_sync(sync);
-        self.thread_mut(tid).held.push((lock, mode));
-        self.rebuild_locksets(tid);
+        let t = self.thread_mut(tid);
+        let had_any = t.held.iter().any(|&(l, _)| l == lock);
+        let had_excl = t.held.iter().any(|&(l, m)| l == lock && m == AcqMode::Exclusive);
+        t.held.push((lock, mode));
+        if t.any_bus == LockSetId::EMPTY {
+            // First lock op of this thread: initialise all four sets.
+            self.rebuild_locksets(tid);
+            return;
+        }
+        // Incremental: the new interned sets differ from the old by at most
+        // this one lock, so each is a memoised single-probe `with` instead
+        // of re-gathering and re-hashing the whole held list.
+        let (any, write) = (t.any, t.write);
+        let any = if had_any { any } else { self.table.with(any, lock) };
+        let write = if mode == AcqMode::Exclusive && !had_excl {
+            self.table.with(write, lock)
+        } else {
+            write
+        };
+        self.set_locksets(tid, any, write);
     }
 
     fn release(&mut self, tid: ThreadId, sync: SyncId) {
         let lock = LockId::from_sync(sync);
         let t = self.thread_mut(tid);
-        if let Some(pos) = t.held.iter().rposition(|&(l, _)| l == lock) {
-            t.held.remove(pos);
+        let Some(pos) = t.held.iter().rposition(|&(l, _)| l == lock) else {
+            return;
+        };
+        let removed_mode = t.held[pos].1;
+        t.held.remove(pos);
+        if t.any_bus == LockSetId::EMPTY {
             self.rebuild_locksets(tid);
+            return;
         }
-    }
-
-    fn granules(&self, addr: u64, size: u8) -> impl Iterator<Item = u64> {
-        let g = self.cfg.granule;
-        let start = addr & !(g - 1);
-        let end = (addr + size.max(1) as u64 - 1) & !(g - 1);
-        (start..=end).step_by(g as usize)
+        // Re-entrant locks: the set only shrinks once the last instance
+        // (per mode class) is released.
+        let still_any = t.held.iter().any(|&(l, _)| l == lock);
+        let still_excl = t.held.iter().any(|&(l, m)| l == lock && m == AcqMode::Exclusive);
+        let (any, write) = (t.any, t.write);
+        let any = if still_any { any } else { self.table.without(any, lock) };
+        let write = if removed_mode == AcqMode::Exclusive && !still_excl {
+            self.table.without(write, lock)
+        } else {
+            write
+        };
+        self.set_locksets(tid, any, write);
     }
 
     fn reset_range(&mut self, addr: u64, size: u64) {
-        let g = self.cfg.granule;
-        let start = addr & !(g - 1);
-        let end = (addr + size.max(1) - 1) & !(g - 1);
-        let mut a = start;
-        while a <= end {
-            self.shadow.remove(&a);
-            a += g;
-        }
+        // Page-granular: fully covered pages are unmapped wholesale instead
+        // of removing each granule with its own hash lookup.
+        self.shadow.reset_range(addr, size);
     }
 
     fn mark_exclusive_range(&mut self, tid: ThreadId, addr: u64, size: u64) {
@@ -231,18 +283,22 @@ impl LocksetEngine {
         let end = (addr + size.max(1) - 1) & !(g - 1);
         let mut a = start;
         while a <= end {
-            let last = self.shadow.get(&a).and_then(|s| s.last);
+            // Per-slot (not a page drop): the previous access must survive
+            // for conflict reporting. Consecutive granules hit the page
+            // table's last-page cache, so this stays cheap.
+            let last = self.shadow.get(a).and_then(|s| s.last);
             self.shadow_set(a, Shadow { state: VarState::Exclusive { seg }, last });
             a += g;
         }
     }
 
-    /// Shadow-map write honouring the budget: once `max_shadow_words`
-    /// distinct granules are tracked, *new* granules are dropped (counted
-    /// in `shadow_overflow`) while existing ones keep updating. Coverage is
-    /// under-approximated; no race is ever fabricated by the cap.
+    /// Shadow write honouring the budget: once `max_shadow_words` distinct
+    /// granules are tracked, *new* granules are dropped (counted in
+    /// `shadow_overflow`) while existing ones keep updating. Coverage is
+    /// under-approximated; no race is ever fabricated by the cap. The page
+    /// table counts live granules, so the cap is as exact as the old map's.
     fn shadow_set(&mut self, g: u64, s: Shadow) {
-        if self.shadow.len() >= self.cfg.budget.max_shadow_words && !self.shadow.contains_key(&g) {
+        if self.shadow.len() >= self.cfg.budget.max_shadow_words && !self.shadow.contains(g) {
             self.shadow_overflow += 1;
             return;
         }
@@ -329,88 +385,61 @@ impl LocksetEngine {
         let cur_seg = self.segments.current(tid);
 
         let mut race: Option<RaceInfo> = None;
-        let granules: Vec<u64> = self.granules(addr, size).collect();
-        for g in granules {
-            let prev = self
-                .shadow
-                .get(&g)
-                .copied()
-                .unwrap_or(Shadow { state: VarState::Virgin, last: None });
-            let (next, raced) = self.step(prev.state, cur_seg, is_write, effective);
-            if raced && race.is_none() {
-                race = Some(RaceInfo {
-                    tid,
-                    addr: if g <= addr { addr } else { g },
-                    kind,
-                    loc,
-                    prev_state: prev.state.describe(&self.table),
-                    prev_access: prev.last,
-                });
+        let g_size = self.cfg.granule;
+        let start = addr & !(g_size - 1);
+        let end = (addr + size.max(1) as u64 - 1) & !(g_size - 1);
+        let mut g = start;
+        while g <= end {
+            // One page-table lookup per granule: tracked granules are
+            // stepped and written back through the same `&mut` slot;
+            // untracked ones take the virgin path below (the only one the
+            // shadow budget gates — VIRGIN→EXCLUSIVE never races).
+            if let Some(slot) = self.shadow.get_mut(g) {
+                let prev = *slot;
+                let (next, raced) = step_state(
+                    &mut self.table,
+                    &self.segments,
+                    self.report_once,
+                    prev.state,
+                    cur_seg,
+                    is_write,
+                    effective,
+                );
+                *slot = Shadow { state: next, last: Some((tid, kind, loc)) };
+                if raced && race.is_none() {
+                    race = Some(RaceInfo {
+                        tid,
+                        addr: if g <= addr { addr } else { g },
+                        kind,
+                        loc,
+                        prev_state: prev.state.describe(&self.table),
+                        prev_access: prev.last,
+                    });
+                }
+            } else if self.shadow.len() >= self.cfg.budget.max_shadow_words {
+                self.shadow_overflow += 1;
+            } else {
+                self.shadow.insert(
+                    g,
+                    Shadow {
+                        state: VarState::Exclusive { seg: cur_seg },
+                        last: Some((tid, kind, loc)),
+                    },
+                );
             }
-            self.shadow_set(g, Shadow { state: next, last: Some((tid, kind, loc)) });
+            g += g_size;
         }
         race
     }
 
-    /// One state-machine step. Returns (next state, race?).
-    fn step(
-        &mut self,
-        state: VarState,
-        cur_seg: SegmentId,
-        is_write: bool,
-        effective: LockSetId,
-    ) -> (VarState, bool) {
-        match state {
-            VarState::Virgin => (VarState::Exclusive { seg: cur_seg }, false),
-            VarState::Exclusive { seg } => {
-                if seg == cur_seg || self.segments.happens_before(seg, cur_seg) {
-                    // Same segment, or ownership transfers along the
-                    // thread-segment graph (Visual Threads rule ii).
-                    (VarState::Exclusive { seg: cur_seg }, false)
-                } else if is_write {
-                    let empty = self.table.is_empty(effective);
-                    (
-                        VarState::SharedMod { ls: effective, reported: empty && self.report_once },
-                        empty,
-                    )
-                } else {
-                    (VarState::SharedRead { ls: effective }, false)
-                }
-            }
-            VarState::SharedRead { ls } => {
-                let nls = self.table.intersect(ls, effective);
-                if is_write {
-                    let empty = self.table.is_empty(nls);
-                    (VarState::SharedMod { ls: nls, reported: empty && self.report_once }, empty)
-                } else {
-                    (VarState::SharedRead { ls: nls }, false)
-                }
-            }
-            VarState::SharedMod { ls, reported } => {
-                let nls = self.table.intersect(ls, effective);
-                let empty = self.table.is_empty(nls);
-                let race = empty && !reported;
-                (
-                    VarState::SharedMod {
-                        ls: nls,
-                        reported: reported || (race && self.report_once),
-                    },
-                    race,
-                )
-            }
-        }
-    }
-
     /// Current shadow state of an address (for tests and diagnostics).
     pub fn state_of(&self, addr: u64) -> VarState {
-        let g = addr & !(self.cfg.granule - 1);
-        self.shadow.get(&g).map(|s| s.state).unwrap_or(VarState::Virgin)
+        self.shadow.peek(addr).map(|s| s.state).unwrap_or(VarState::Virgin)
     }
 
     /// Most recent access to the granule containing `addr`.
     pub fn last_access_of(&self, addr: u64) -> Option<(ThreadId, AccessKind, SrcLoc)> {
-        let g = addr & !(self.cfg.granule - 1);
-        self.shadow.get(&g).and_then(|s| s.last)
+        self.shadow.peek(addr).and_then(|s| s.last)
     }
 
     /// Number of shadowed granules.
@@ -432,6 +461,51 @@ impl LocksetEngine {
     /// Access to the segment graph (for diagnostics).
     pub fn segments(&self) -> &SegmentGraph {
         &self.segments
+    }
+}
+
+/// One state-machine step. A free function (not a method) so the access
+/// hot path can hold the shadow slot's `&mut` across the step and write
+/// the result back without a second page-table lookup. Returns
+/// (next state, race?).
+fn step_state(
+    table: &mut LockSetTable,
+    segments: &SegmentGraph,
+    report_once: bool,
+    state: VarState,
+    cur_seg: SegmentId,
+    is_write: bool,
+    effective: LockSetId,
+) -> (VarState, bool) {
+    match state {
+        VarState::Virgin => (VarState::Exclusive { seg: cur_seg }, false),
+        VarState::Exclusive { seg } => {
+            if seg == cur_seg || segments.happens_before(seg, cur_seg) {
+                // Same segment, or ownership transfers along the
+                // thread-segment graph (Visual Threads rule ii).
+                (VarState::Exclusive { seg: cur_seg }, false)
+            } else if is_write {
+                let empty = table.is_empty(effective);
+                (VarState::SharedMod { ls: effective, reported: empty && report_once }, empty)
+            } else {
+                (VarState::SharedRead { ls: effective }, false)
+            }
+        }
+        VarState::SharedRead { ls } => {
+            let nls = table.intersect(ls, effective);
+            if is_write {
+                let empty = table.is_empty(nls);
+                (VarState::SharedMod { ls: nls, reported: empty && report_once }, empty)
+            } else {
+                (VarState::SharedRead { ls: nls }, false)
+            }
+        }
+        VarState::SharedMod { ls, reported } => {
+            let nls = table.intersect(ls, effective);
+            let empty = table.is_empty(nls);
+            let race = empty && !reported;
+            (VarState::SharedMod { ls: nls, reported: reported || (race && report_once) }, race)
+        }
     }
 }
 

@@ -12,11 +12,14 @@
 use crate::config::DetectorConfig;
 use crate::detector::EraserDetector;
 use crate::report::{Report, ReportKind, StackFrame};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use vexec::faults::FaultPlan;
+use vexec::ir::lower::FlatProgram;
 use vexec::ir::Program;
 use vexec::sched::SeededRandom;
 use vexec::util::FxHashMap;
-use vexec::vm::{run_flat, Termination, VmOptions};
+use vexec::vm::{run_flat, SlotMeter, Termination, VmOptions};
 
 /// One distinct warning location across the exploration.
 #[derive(Clone, Debug)]
@@ -43,10 +46,16 @@ pub struct ExploreLimits {
     /// Per-run slot cap (fuel); `None` uses the VM default.
     pub max_slots_per_run: Option<u64>,
     /// Total slot budget across the whole sweep; once consumed, remaining
-    /// seeds are skipped and the summary is partial.
+    /// seeds are skipped and the summary is partial. In parallel sweeps
+    /// the running total lives in a shared [`SlotMeter`], so workers stop
+    /// claiming new seeds promptly.
     pub total_slot_budget: Option<u64>,
     /// Fault plan injected into every run (same plan, per-run schedules).
     pub faults: Option<FaultPlan>,
+    /// Worker threads for the sweep; `0` or `1` runs sequentially. Every
+    /// value produces a bit-identical summary and checkpoint — see the
+    /// merge protocol notes on [`explore_schedules_with`].
+    pub jobs: usize,
 }
 
 /// Aggregated exploration outcome.
@@ -119,8 +128,60 @@ pub fn explore_schedules(
     explore_schedules_with(program, cfg, runs, base_seed, ExploreLimits::default(), None)
 }
 
-/// [`explore_schedules`] with watchdog limits, optional fault injection
-/// and checkpoint/resume.
+/// Everything one seeded run contributes to the summary. Each run is
+/// deterministic given `(program, seed, options)`, so an outcome does not
+/// depend on which worker produced it or when.
+struct RunOutcome {
+    slots: u64,
+    termination: Termination,
+    reports: Vec<Report>,
+}
+
+fn run_seed(
+    flat: &FlatProgram,
+    cfg: DetectorConfig,
+    base_seed: u64,
+    i: usize,
+    opts: &VmOptions,
+) -> RunOutcome {
+    let mut det = EraserDetector::new(cfg);
+    let mut sched = SeededRandom::new(base_seed.wrapping_add(i as u64));
+    let r = run_flat(flat, &mut det, &mut sched, opts.clone());
+    RunOutcome {
+        slots: r.stats.slots,
+        termination: r.termination,
+        reports: det.sink.take_reports(),
+    }
+}
+
+/// Fold one run's outcome into the summary — the single accounting path
+/// shared by the sequential loop and the parallel merge.
+fn fold_outcome(
+    summary: &mut ExploreSummary,
+    agg: &mut FxHashMap<(String, u32, String), LocationHit>,
+    o: RunOutcome,
+    i: usize,
+) {
+    summary.slots_used += o.slots;
+    match o.termination {
+        Termination::AllExited => summary.clean_runs += 1,
+        Termination::Deadlock(_) => summary.deadlocked_runs += 1,
+        Termination::FuelExhausted => {
+            summary.failed_runs += 1;
+            summary.fuel_exhausted_runs += 1;
+            summary.timed_out = true;
+        }
+        Termination::GuestError(_) => summary.failed_runs += 1,
+    }
+    for report in o.reports {
+        let key = (report.file.clone(), report.line, report.func.clone());
+        agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit { report, hits: 1 });
+    }
+    summary.completed_runs = i + 1;
+}
+
+/// [`explore_schedules`] with watchdog limits, optional fault injection,
+/// checkpoint/resume and a worker pool.
 ///
 /// When `resume` is given it must come from a sweep over the same program
 /// with the same `base_seed` (the checkpoint records it; mismatches are
@@ -128,6 +189,26 @@ pub fn explore_schedules(
 /// continues from the first seed the checkpoint had not completed, so an
 /// interrupted sweep plus its resumed remainder visits exactly the same
 /// seeds as an uninterrupted one.
+///
+/// ## Deterministic parallel merge
+///
+/// With `limits.jobs > 1` the seeds run on a scoped pool of plain std
+/// threads, and the result is still **bit-identical** to the sequential
+/// sweep. The protocol:
+///
+/// 1. Workers claim seed indices in increasing order from a shared
+///    atomic counter, so the claimed set is always a contiguous prefix.
+/// 2. Before each claim a worker consults the shared [`SlotMeter`]
+///    (credited live by every VM, including in-flight runs); once it
+///    shows the `total_slot_budget` consumed, no further seed starts.
+///    Claimed runs always finish — bounded by their own per-run fuel —
+///    because a later run's result may be needed by the merge.
+/// 3. Each run is deterministic given its seed, so per-index outcomes are
+///    schedule-independent; they are merged by a sequential fold in index
+///    order that applies the budget cut-off exactly as the sequential
+///    loop would. Any index the fold reaches is guaranteed claimed: were
+///    it not, every worker observed `>= budget` spent on *earlier*
+///    indices alone, and the fold stops at the same prefix sum.
 pub fn explore_schedules_with(
     program: &Program,
     cfg: DetectorConfig,
@@ -158,32 +239,70 @@ pub fn explore_schedules_with(
         faults: limits.faults,
         ..Default::default()
     };
-    for i in start..runs {
-        if let Some(budget) = limits.total_slot_budget {
-            if summary.slots_used >= budget {
-                summary.timed_out = true;
-                break;
+    let jobs = limits.jobs.max(1).min(runs.saturating_sub(start).max(1));
+    if jobs == 1 {
+        for i in start..runs {
+            if let Some(budget) = limits.total_slot_budget {
+                if summary.slots_used >= budget {
+                    summary.timed_out = true;
+                    break;
+                }
+            }
+            let o = run_seed(&flat, cfg, base_seed, i, &opts);
+            fold_outcome(&mut summary, &mut agg, o, i);
+        }
+    } else {
+        let meter = Arc::new(SlotMeter::new(summary.slots_used));
+        let mut worker_opts = opts.clone();
+        worker_opts.slot_meter = Some(meter.clone());
+        let next = AtomicUsize::new(start);
+        let mut outcomes: Vec<Option<RunOutcome>> = Vec::new();
+        outcomes.resize_with(runs - start, || None);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|_| {
+                    let (flat, worker_opts, next, meter) = (&flat, &worker_opts, &next, &meter);
+                    s.spawn(move || {
+                        let mut local: Vec<(usize, RunOutcome)> = Vec::new();
+                        loop {
+                            if let Some(budget) = limits.total_slot_budget {
+                                if meter.total() >= budget {
+                                    break;
+                                }
+                            }
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= runs {
+                                break;
+                            }
+                            local.push((i, run_seed(flat, cfg, base_seed, i, worker_opts)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, o) in h.join().expect("explore worker panicked") {
+                    outcomes[i - start] = Some(o);
+                }
+            }
+        });
+        for i in start..runs {
+            if let Some(budget) = limits.total_slot_budget {
+                if summary.slots_used >= budget {
+                    summary.timed_out = true;
+                    break;
+                }
+            }
+            match outcomes[i - start].take() {
+                Some(o) => fold_outcome(&mut summary, &mut agg, o, i),
+                // Unreachable while the claim protocol holds (see the merge
+                // notes above); degrade to a budget stop rather than panic.
+                None => {
+                    summary.timed_out = true;
+                    break;
+                }
             }
         }
-        let mut det = EraserDetector::new(cfg);
-        let mut sched = SeededRandom::new(base_seed.wrapping_add(i as u64));
-        let r = run_flat(&flat, &mut det, &mut sched, opts.clone());
-        summary.slots_used += r.stats.slots;
-        match r.termination {
-            Termination::AllExited => summary.clean_runs += 1,
-            Termination::Deadlock(_) => summary.deadlocked_runs += 1,
-            Termination::FuelExhausted => {
-                summary.failed_runs += 1;
-                summary.fuel_exhausted_runs += 1;
-                summary.timed_out = true;
-            }
-            Termination::GuestError(_) => summary.failed_runs += 1,
-        }
-        for report in det.sink.take_reports() {
-            let key = (report.file.clone(), report.line, report.func.clone());
-            agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit { report, hits: 1 });
-        }
-        summary.completed_runs = i + 1;
     }
     let mut locations: Vec<LocationHit> = agg.into_values().collect();
     locations.sort_by(|a, b| {
@@ -511,6 +630,100 @@ mod tests {
         assert_eq!(back.locations[0].hits, 5);
         assert_eq!(back.locations[0].report.details, "line one\n\tline\\two");
         assert_eq!(back.locations[0].report.file, "a b.cpp");
+    }
+
+    /// Full observable state of a summary, for bit-identity assertions.
+    fn fingerprint(s: &ExploreSummary) -> String {
+        format!(
+            "{}|{}|{}|{}|{}|{}|{}|{}|{}\n{}",
+            s.runs,
+            s.completed_runs,
+            s.clean_runs,
+            s.deadlocked_runs,
+            s.failed_runs,
+            s.fuel_exhausted_runs,
+            s.timed_out,
+            s.base_seed,
+            s.slots_used,
+            s.checkpoint().render(),
+        )
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_sequential() {
+        let prog = mixed_program();
+        let seq = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xDEED,
+            ExploreLimits { jobs: 1, ..Default::default() },
+            None,
+        );
+        let par = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xDEED,
+            ExploreLimits { jobs: 8, ..Default::default() },
+            None,
+        );
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+        // Representative reports (full detail, not just locations) match too.
+        for (a, b) in seq.locations.iter().zip(par.locations.iter()) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.report.details, b.report.details);
+            assert_eq!(a.report.tid, b.report.tid);
+            assert_eq!(a.report.addr, b.report.addr);
+        }
+    }
+
+    #[test]
+    fn parallel_budget_cutoff_matches_sequential() {
+        let prog = mixed_program();
+        let full = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED);
+        let limits =
+            ExploreLimits { total_slot_budget: Some(full.slots_used / 3), ..Default::default() };
+        let seq =
+            explore_schedules_with(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED, limits, None);
+        assert!(seq.timed_out);
+        let par = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            12,
+            0xDEED,
+            ExploreLimits { jobs: 8, ..limits },
+            None,
+        );
+        assert_eq!(fingerprint(&seq), fingerprint(&par), "budget cut-off must merge identically");
+    }
+
+    #[test]
+    fn parallel_resume_is_bit_identical_to_sequential_resume() {
+        let prog = mixed_program();
+        let full = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED);
+        let limits =
+            ExploreLimits { total_slot_budget: Some(full.slots_used / 4), ..Default::default() };
+        let partial =
+            explore_schedules_with(&prog, DetectorConfig::hwlc_dr(), 12, 0xDEED, limits, None);
+        let ck = partial.checkpoint();
+        let seq = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            12,
+            0xDEED,
+            ExploreLimits::default(),
+            Some(&ck),
+        );
+        let par = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            12,
+            0xDEED,
+            ExploreLimits { jobs: 4, ..Default::default() },
+            Some(&ck),
+        );
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //!   `cfg.atomic_sync`), the way modern detectors treat `std::atomic`.
 
 use crate::config::DetectorConfig;
+use crate::shadowmem::PageTable;
 use crate::vc::{Epoch, VectorClock};
 use vexec::event::{AccessKind, ClientEv, Event, SyncId, ThreadId};
 use vexec::ir::{SrcLoc, SyncKind};
@@ -70,7 +71,7 @@ pub struct HbEngine {
     condvars: FxHashMap<SyncId, VectorClock>,
     queue_msgs: FxHashMap<(SyncId, u64), VectorClock>,
     atomics: FxHashMap<u64, VectorClock>,
-    shadow: FxHashMap<u64, HbVar>,
+    shadow: PageTable<HbVar>,
     report_once: bool,
     pub accesses: u64,
     /// Granules never tracked because the shadow budget was exhausted.
@@ -88,7 +89,7 @@ impl HbEngine {
             condvars: FxHashMap::default(),
             queue_msgs: FxHashMap::default(),
             atomics: FxHashMap::default(),
-            shadow: FxHashMap::default(),
+            shadow: PageTable::new(cfg.granule),
             report_once: true,
             accesses: 0,
             shadow_overflow: 0,
@@ -99,15 +100,23 @@ impl HbEngine {
         self.report_once = v;
     }
 
-    fn vc_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+    /// Initialise `tid`'s clock if needed. An associated function over the
+    /// raw field so callers can keep borrowing other fields (`locks`,
+    /// `shadow`, ...) — the hot paths join clocks through disjoint field
+    /// borrows instead of cloning.
+    fn ensure_thread(threads: &mut Vec<VectorClock>, tid: ThreadId) {
         let idx = tid.index();
-        if self.threads.len() <= idx {
-            self.threads.resize_with(idx + 1, VectorClock::new);
+        if threads.len() <= idx {
+            threads.resize_with(idx + 1, VectorClock::new);
         }
-        if self.threads[idx].get(idx) == 0 {
-            self.threads[idx].set(idx, 1);
+        if threads[idx].get(idx) == 0 {
+            threads[idx].set(idx, 1);
         }
-        &mut self.threads[idx]
+    }
+
+    fn vc_mut(&mut self, tid: ThreadId) -> &mut VectorClock {
+        Self::ensure_thread(&mut self.threads, tid);
+        &mut self.threads[tid.index()]
     }
 
     fn epoch(&mut self, tid: ThreadId) -> Epoch {
@@ -139,8 +148,11 @@ impl HbEngine {
                 if kind == SyncKind::RwLock && !self.cfg.track_rwlocks {
                     return None;
                 }
-                if let Some(lvc) = self.locks.get(&sync).cloned() {
-                    self.vc_mut(tid).join(&lvc);
+                // Disjoint-field borrows (`locks` read, `threads` written):
+                // no clock is cloned on the lock hot path.
+                Self::ensure_thread(&mut self.threads, tid);
+                if let Some(lvc) = self.locks.get(&sync) {
+                    self.threads[tid.index()].join(lvc);
                 }
                 None
             }
@@ -148,35 +160,38 @@ impl HbEngine {
                 if kind == SyncKind::RwLock && !self.cfg.track_rwlocks {
                     return None;
                 }
-                let tvc = self.vc_mut(tid).clone();
-                self.locks.entry(sync).or_default().join(&tvc);
+                Self::ensure_thread(&mut self.threads, tid);
                 let idx = tid.index();
-                self.vc_mut(tid).inc(idx);
+                self.locks.entry(sync).or_default().join(&self.threads[idx]);
+                self.threads[idx].inc(idx);
                 None
             }
             Event::SemPost { tid, sync, .. } => {
                 if self.cfg.sem_hb {
-                    let tvc = self.vc_mut(tid).clone();
-                    self.sems.entry(sync).or_default().join(&tvc);
+                    Self::ensure_thread(&mut self.threads, tid);
                     let idx = tid.index();
-                    self.vc_mut(tid).inc(idx);
+                    self.sems.entry(sync).or_default().join(&self.threads[idx]);
+                    self.threads[idx].inc(idx);
                 }
                 None
             }
             Event::SemAcquired { tid, sync, .. } => {
                 if self.cfg.sem_hb {
-                    if let Some(svc) = self.sems.get(&sync).cloned() {
-                        self.vc_mut(tid).join(&svc);
+                    Self::ensure_thread(&mut self.threads, tid);
+                    if let Some(svc) = self.sems.get(&sync) {
+                        self.threads[tid.index()].join(svc);
                     }
                 }
                 None
             }
             Event::QueuePut { tid, sync, token, .. } => {
                 if self.cfg.queue_hb {
-                    let tvc = self.vc_mut(tid).clone();
-                    self.queue_msgs.insert((sync, token), tvc);
+                    // The message carries a snapshot, so this clone is the
+                    // data structure, not an artefact of borrowing.
                     let idx = tid.index();
-                    self.vc_mut(tid).inc(idx);
+                    Self::ensure_thread(&mut self.threads, tid);
+                    self.queue_msgs.insert((sync, token), self.threads[idx].clone());
+                    self.threads[idx].inc(idx);
                 }
                 None
             }
@@ -190,17 +205,18 @@ impl HbEngine {
             }
             Event::CondSignal { tid, sync, .. } => {
                 if self.cfg.condvar_hb {
-                    let tvc = self.vc_mut(tid).clone();
-                    self.condvars.entry(sync).or_default().join(&tvc);
+                    Self::ensure_thread(&mut self.threads, tid);
                     let idx = tid.index();
-                    self.vc_mut(tid).inc(idx);
+                    self.condvars.entry(sync).or_default().join(&self.threads[idx]);
+                    self.threads[idx].inc(idx);
                 }
                 None
             }
             Event::CondWake { tid, sync, .. } => {
                 if self.cfg.condvar_hb {
-                    if let Some(cvc) = self.condvars.get(&sync).cloned() {
-                        self.vc_mut(tid).join(&cvc);
+                    Self::ensure_thread(&mut self.threads, tid);
+                    if let Some(cvc) = self.condvars.get(&sync) {
+                        self.threads[tid.index()].join(cvc);
                     }
                 }
                 None
@@ -218,14 +234,18 @@ impl HbEngine {
     }
 
     fn reset_range(&mut self, addr: u64, size: u64) {
-        let g = self.cfg.granule;
-        let start = addr & !(g - 1);
-        let end = (addr + size.max(1) - 1) & !(g - 1);
-        let mut a = start;
-        while a <= end {
-            self.shadow.remove(&a);
-            self.atomics.remove(&a);
-            a += g;
+        // Shadow state resets page-granularly; the (sparse) atomic clocks
+        // only need a walk when any exist at all.
+        self.shadow.reset_range(addr, size);
+        if !self.atomics.is_empty() {
+            let g = self.cfg.granule;
+            let start = addr & !(g - 1);
+            let end = (addr + size.max(1) - 1) & !(g - 1);
+            let mut a = start;
+            while a <= end {
+                self.atomics.remove(&a);
+                a += g;
+            }
         }
     }
 
@@ -245,35 +265,39 @@ impl HbEngine {
         // Atomic RMW: synchronise through the per-granule atomic clock
         // *before* the race check, so paired atomics are ordered.
         if kind == AccessKind::AtomicRmw && self.cfg.atomic_sync {
+            Self::ensure_thread(&mut self.threads, tid);
             let mut a = start;
             while a <= end {
-                if let Some(avc) = self.atomics.get(&a).cloned() {
-                    self.vc_mut(tid).join(&avc);
+                if let Some(avc) = self.atomics.get(&a) {
+                    self.threads[tid.index()].join(avc);
                 }
                 a += g_size;
             }
         }
 
+        // `cur` (also initialising the thread's clock) is taken once; the
+        // loop then reads the clock through a shared borrow of `threads`
+        // while mutating `shadow` — disjoint fields, so the per-access
+        // vector-clock clone the old code paid is gone.
         let cur = self.epoch(tid);
-        let tvc = self.vc_mut(tid).clone();
+        let tidx = tid.index();
         let mut race = None;
         let mut a = start;
         while a <= end {
             // Budget degradation: once the shadow map is full, untracked
             // granules stay untracked (coverage shrinks, nothing is
             // fabricated); tracked ones keep updating.
-            if self.shadow.len() >= self.cfg.budget.max_shadow_words
-                && !self.shadow.contains_key(&a)
-            {
+            if self.shadow.len() >= self.cfg.budget.max_shadow_words && !self.shadow.contains(a) {
                 self.shadow_overflow += 1;
                 a += g_size;
                 continue;
             }
-            let var = self.shadow.entry(a).or_default();
+            let tvc = &self.threads[tidx];
+            let var = self.shadow.get_or_insert_default(a);
             let mut conflict: Option<String> = None;
             // Write-X conflict: the previous write must be visible.
             if let Some(w) = var.last_write {
-                if !w.visible_to(&tvc) {
+                if !w.visible_to(tvc) {
                     conflict = Some(format!(
                         "unordered prior write by thread {} (epoch {})",
                         w.tid, w.clock
@@ -285,12 +309,12 @@ impl HbEngine {
                 match &var.reads {
                     ReadState::None => {}
                     ReadState::Single(e) => {
-                        if !e.visible_to(&tvc) {
+                        if !e.visible_to(tvc) {
                             conflict = Some(format!("unordered prior read by thread {}", e.tid));
                         }
                     }
                     ReadState::Shared(vc) => {
-                        if !vc.leq(&tvc) {
+                        if !vc.leq(tvc) {
                             conflict = Some("unordered prior reads".to_string());
                         }
                     }
@@ -314,7 +338,7 @@ impl HbEngine {
                 var.reads = match std::mem::replace(&mut var.reads, ReadState::None) {
                     ReadState::None => ReadState::Single(cur),
                     ReadState::Single(e) => {
-                        if e.tid == cur.tid || e.visible_to(&tvc) {
+                        if e.tid == cur.tid || e.visible_to(tvc) {
                             ReadState::Single(cur)
                         } else {
                             let mut vc = VectorClock::new();

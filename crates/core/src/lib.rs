@@ -36,6 +36,7 @@ pub mod locksets;
 pub mod offline;
 pub mod report;
 pub mod segments;
+pub mod shadowmem;
 pub mod suppress;
 pub mod vc;
 
@@ -53,5 +54,6 @@ pub use locksets::{LockId, LockSetId, LockSetTable};
 pub use offline::{analyze_trace, OfflineAnalysis};
 pub use report::{Report, ReportKind, ReportSink, StackFrame};
 pub use segments::{SegmentGraph, SegmentId};
+pub use shadowmem::PageTable;
 pub use suppress::{Suppression, SuppressionSet};
 pub use vc::{Epoch, VectorClock};

@@ -74,9 +74,12 @@ impl LockOrderGraph {
                     return None;
                 }
                 let lock = LockId::from_sync(sync);
-                let holding = self.held_mut(tid).clone();
+                // Index-walk the held list (no clone): `held` is only read
+                // here while `edges`/`edge_locs` are written.
+                let n_held = self.held_mut(tid).len();
                 let mut result = None;
-                for &h in &holding {
+                for k in 0..n_held {
+                    let h = self.held[tid.index()][k];
                     if h == lock {
                         continue;
                     }

@@ -48,6 +48,8 @@ pub struct LockSetTable {
     sets: Vec<Box<[LockId]>>,
     lookup: FxHashMap<Box<[LockId]>, LockSetId>,
     intersect_cache: FxHashMap<(LockSetId, LockSetId), LockSetId>,
+    with_cache: FxHashMap<(LockSetId, LockId), LockSetId>,
+    without_cache: FxHashMap<(LockSetId, LockId), LockSetId>,
     max_sets: usize,
     overflows: u64,
 }
@@ -64,6 +66,8 @@ impl LockSetTable {
             sets: Vec::new(),
             lookup: FxHashMap::default(),
             intersect_cache: FxHashMap::default(),
+            with_cache: FxHashMap::default(),
+            without_cache: FxHashMap::default(),
             max_sets: usize::MAX,
             overflows: 0,
         };
@@ -107,6 +111,27 @@ impl LockSetTable {
 
     fn intern_sorted(&mut self, locks: Vec<LockId>) -> LockSetId {
         self.intern_sorted_or(locks, LockSetId::EMPTY)
+    }
+
+    /// Intern from a borrowed sorted+deduped slice. The common case — the
+    /// set already exists — is a single hash probe with **no allocation**,
+    /// which is what the lock/unlock hot path needs; the slice is copied
+    /// into the table only the first time a combination is seen. Falls
+    /// back to `EMPTY` at capacity, like [`Self::intern`].
+    pub fn intern_sorted_slice(&mut self, locks: &[LockId]) -> LockSetId {
+        debug_assert!(locks.windows(2).all(|w| w[0] < w[1]), "set must be sorted+unique");
+        if let Some(&id) = self.lookup.get(locks) {
+            return id;
+        }
+        if self.at_capacity() {
+            self.overflows += 1;
+            return LockSetId::EMPTY;
+        }
+        let id = LockSetId(self.sets.len() as u32);
+        let boxed: Box<[LockId]> = locks.into();
+        self.sets.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        id
     }
 
     /// Intern an arbitrary collection of locks (sorted and deduped here).
@@ -168,31 +193,53 @@ impl LockSetTable {
     }
 
     /// Set with one extra member. At capacity the input set is returned
-    /// (the new lock is not recorded).
+    /// (the new lock is not recorded). Memoised: lock/unlock calls this
+    /// twice per operation (to add the bus lock), so a repeat query must be
+    /// one hash probe with no allocation.
     pub fn with(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
-        if self.contains(id, lock) {
-            return id;
+        if let Some(&r) = self.with_cache.get(&(id, lock)) {
+            return r;
         }
-        let mut v: Vec<LockId> = self.sets[id.0 as usize].to_vec();
-        v.push(lock);
-        v.sort_unstable();
-        self.intern_sorted_or(v, id)
+        let r = if self.contains(id, lock) {
+            id
+        } else {
+            let mut v: Vec<LockId> = self.sets[id.0 as usize].to_vec();
+            v.push(lock);
+            v.sort_unstable();
+            self.intern_sorted_or(v, id)
+        };
+        self.with_cache.insert((id, lock), r);
+        r
     }
 
     /// Set with one member removed. At capacity the input set is returned
-    /// (a superset of the true result).
+    /// (a superset of the true result). Memoised like [`Self::with`] —
+    /// unlock calls this on the hot path.
     pub fn without(&mut self, id: LockSetId, lock: LockId) -> LockSetId {
-        if !self.contains(id, lock) {
-            return id;
+        if let Some(&r) = self.without_cache.get(&(id, lock)) {
+            return r;
         }
-        let v: Vec<LockId> =
-            self.sets[id.0 as usize].iter().copied().filter(|&l| l != lock).collect();
-        self.intern_sorted_or(v, id)
+        let r = if !self.contains(id, lock) {
+            id
+        } else {
+            let v: Vec<LockId> =
+                self.sets[id.0 as usize].iter().copied().filter(|&l| l != lock).collect();
+            self.intern_sorted_or(v, id)
+        };
+        self.without_cache.insert((id, lock), r);
+        r
     }
 
     /// Number of distinct sets interned (for stats/benches).
     pub fn distinct_sets(&self) -> usize {
         self.sets.len()
+    }
+
+    /// Distinct pairs memoised by [`Self::intersect`]. Keys are normalised
+    /// to `a.0 <= b.0` before lookup and insert — intersection is
+    /// symmetric, so `(a, b)` and `(b, a)` share one entry.
+    pub fn intersect_cache_entries(&self) -> usize {
+        self.intersect_cache.len()
     }
 }
 
@@ -283,6 +330,33 @@ mod tests {
         assert_eq!(i, a, "intersect falls back to its left operand");
         assert_eq!(t.distinct_sets(), sets_before, "no growth at capacity");
         assert_eq!(t.overflow_count(), 3);
+    }
+
+    #[test]
+    fn intersect_cache_key_is_order_normalised() {
+        let mut t = LockSetTable::new();
+        let a = t.intern(ids(&[1, 2, 3]));
+        let b = t.intern(ids(&[2, 3, 4]));
+        let i1 = t.intersect(a, b);
+        let entries = t.intersect_cache_entries();
+        assert_eq!(entries, 1);
+        let i2 = t.intersect(b, a);
+        assert_eq!(i1, i2);
+        assert_eq!(t.intersect_cache_entries(), entries, "(b,a) must hit the (a,b) entry");
+    }
+
+    #[test]
+    fn intern_sorted_slice_matches_owned_intern() {
+        let mut t = LockSetTable::new();
+        let owned = t.intern(ids(&[1, 4, 7]));
+        let sl = [LockId(1), LockId(4), LockId(7)];
+        assert_eq!(t.intern_sorted_slice(&sl), owned);
+        let fresh = t.intern_sorted_slice(&[LockId(2), LockId(5)]);
+        assert_eq!(t.elements(fresh), &ids(&[2, 5])[..]);
+        // At capacity a new combination degrades to EMPTY, like intern.
+        t.set_max_sets(t.distinct_sets());
+        assert_eq!(t.intern_sorted_slice(&[LockId(8)]), LockSetId::EMPTY);
+        assert_eq!(t.overflow_count(), 1);
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Two-level page-table shadow memory in the Helgrind/Memcheck tradition.
+//!
+//! The detectors' hot path is one shadow lookup per accessed granule; the
+//! original representation paid a full `FxHashMap<u64, Shadow>` probe for
+//! each. This module replaces it with the layout production shadow-memory
+//! tools use:
+//!
+//! * a **primary map** from page number (granule index `>> PAGE_BITS`) to a
+//!   dense **secondary** array of [`PAGE_SLOTS`] shadow slots, so a hit
+//!   costs one hash probe per *page*, then plain indexing;
+//! * a **one-entry last-page cache**: streaming access patterns (arrays,
+//!   adjacent fields, the same counter hammered in a loop) resolve against
+//!   the cached secondary without touching the hash map at all;
+//! * a distinguished shared **virgin secondary**: pages never written (or
+//!   reset wholesale) are represented by the [`VIRGIN`] sentinel, which the
+//!   cache can hold too — repeated reads of untracked memory allocate
+//!   nothing and still skip the hash probe;
+//! * **page-granular reset**: [`PageTable::reset_range`] drops whole
+//!   secondaries for fully covered pages (recycling their storage through a
+//!   free list) instead of removing granules one hash lookup at a time, the
+//!   way `malloc`/`HG_CLEAN_MEMORY` used to be handled.
+//!
+//! Budget semantics are preserved exactly: [`PageTable::len`] counts **live
+//! granules**, not pages, so `DetectorBudget::max_shadow_words` behaves
+//! bit-for-bit like the old map's `len()` — the equivalence is pinned by a
+//! property test in `crates/core/tests/shadow_equivalence.rs`.
+
+use vexec::util::FxHashMap;
+
+/// log2 of the number of granule slots per secondary.
+const PAGE_BITS: u32 = 10;
+/// Granule slots per secondary (8 KiB of guest memory at the default
+/// 8-byte granule).
+pub const PAGE_SLOTS: usize = 1 << PAGE_BITS;
+const SLOT_MASK: u64 = (PAGE_SLOTS as u64) - 1;
+/// Sentinel secondary index: the shared virgin page. Never a real index —
+/// secondaries are capped far below `u32::MAX` by the shadow-word budget.
+const VIRGIN: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Secondary<T> {
+    slots: Box<[Option<T>]>,
+    /// Occupied slots; the page is dropped back to virgin when this
+    /// reaches zero.
+    live: usize,
+}
+
+impl<T> Secondary<T> {
+    fn fresh() -> Self {
+        Secondary { slots: (0..PAGE_SLOTS).map(|_| None).collect(), live: 0 }
+    }
+}
+
+/// Two-level shadow map keyed by address, at a fixed power-of-two granule.
+///
+/// All lookups that may update the last-page cache take `&mut self`; the
+/// cold [`PageTable::peek`] exists for `&self` diagnostics accessors.
+#[derive(Debug)]
+pub struct PageTable<T> {
+    granule_shift: u32,
+    /// Primary: page number → index into `secondaries`.
+    pages: FxHashMap<u64, u32>,
+    secondaries: Vec<Secondary<T>>,
+    /// Recycled secondary indices; their slots are cleared on reuse.
+    free: Vec<u32>,
+    /// One-entry cache: (page number, secondary index or `VIRGIN`).
+    cache: (u64, u32),
+    /// Live granules across all pages — the budget-visible count.
+    live: usize,
+}
+
+impl<T> PageTable<T> {
+    pub fn new(granule: u64) -> Self {
+        assert!(granule.is_power_of_two(), "granule must be a power of two");
+        PageTable {
+            granule_shift: granule.trailing_zeros(),
+            pages: FxHashMap::default(),
+            secondaries: Vec::new(),
+            free: Vec::new(),
+            // Page u64::MAX is unreachable (PAGE_BITS shifts it below),
+            // so this sentinel can never alias a real page.
+            cache: (u64::MAX, VIRGIN),
+            live: 0,
+        }
+    }
+
+    #[inline]
+    fn page_of(&self, addr: u64) -> (u64, usize) {
+        let gidx = addr >> self.granule_shift;
+        (gidx >> PAGE_BITS, (gidx & SLOT_MASK) as usize)
+    }
+
+    /// Secondary index of `page`, through the one-entry cache.
+    #[inline]
+    fn lookup(&mut self, page: u64) -> u32 {
+        if self.cache.0 == page {
+            return self.cache.1;
+        }
+        let idx = self.pages.get(&page).copied().unwrap_or(VIRGIN);
+        self.cache = (page, idx);
+        idx
+    }
+
+    /// Live granules tracked (the number the shadow budget caps).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Mapped (non-virgin) pages — stats for benches and diagnostics.
+    pub fn pages_mapped(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Shadow of the granule containing `addr`.
+    #[inline]
+    pub fn get(&mut self, addr: u64) -> Option<&T> {
+        let (page, slot) = self.page_of(addr);
+        let idx = self.lookup(page);
+        if idx == VIRGIN {
+            return None;
+        }
+        self.secondaries[idx as usize].slots[slot].as_ref()
+    }
+
+    /// Writable shadow of the granule containing `addr` — the access hot
+    /// path updates a tracked granule in place through this single lookup.
+    #[inline]
+    pub fn get_mut(&mut self, addr: u64) -> Option<&mut T> {
+        let (page, slot) = self.page_of(addr);
+        let idx = self.lookup(page);
+        if idx == VIRGIN {
+            return None;
+        }
+        self.secondaries[idx as usize].slots[slot].as_mut()
+    }
+
+    #[inline]
+    pub fn contains(&mut self, addr: u64) -> bool {
+        self.get(addr).is_some()
+    }
+
+    /// Cache-neutral lookup for `&self` accessors (tests, diagnostics).
+    pub fn peek(&self, addr: u64) -> Option<&T> {
+        let (page, slot) = self.page_of(addr);
+        let idx = if self.cache.0 == page {
+            self.cache.1
+        } else {
+            self.pages.get(&page).copied().unwrap_or(VIRGIN)
+        };
+        if idx == VIRGIN {
+            None
+        } else {
+            self.secondaries[idx as usize].slots[slot].as_ref()
+        }
+    }
+
+    /// Map `page` to a writable secondary, allocating or recycling one if
+    /// it is currently virgin.
+    fn materialize(&mut self, page: u64) -> u32 {
+        let idx = self.lookup(page);
+        if idx != VIRGIN {
+            return idx;
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                let sec = &mut self.secondaries[i as usize];
+                for s in sec.slots.iter_mut() {
+                    *s = None;
+                }
+                sec.live = 0;
+                i
+            }
+            None => {
+                self.secondaries.push(Secondary::fresh());
+                (self.secondaries.len() - 1) as u32
+            }
+        };
+        self.pages.insert(page, idx);
+        self.cache = (page, idx);
+        idx
+    }
+
+    pub fn insert(&mut self, addr: u64, value: T) {
+        let (page, slot) = self.page_of(addr);
+        let idx = self.materialize(page);
+        let sec = &mut self.secondaries[idx as usize];
+        let s = &mut sec.slots[slot];
+        if s.is_none() {
+            sec.live += 1;
+            self.live += 1;
+        }
+        *s = Some(value);
+    }
+
+    /// Shadow of the granule containing `addr`, created as `T::default()`
+    /// if untracked (the happens-before engine's access pattern).
+    pub fn get_or_insert_default(&mut self, addr: u64) -> &mut T
+    where
+        T: Default,
+    {
+        let (page, slot) = self.page_of(addr);
+        let idx = self.materialize(page);
+        let sec = &mut self.secondaries[idx as usize];
+        let s = &mut sec.slots[slot];
+        if s.is_none() {
+            sec.live += 1;
+            self.live += 1;
+            *s = Some(T::default());
+        }
+        s.as_mut().expect("slot populated above")
+    }
+
+    pub fn remove(&mut self, addr: u64) -> Option<T> {
+        let (page, slot) = self.page_of(addr);
+        let idx = self.lookup(page);
+        if idx == VIRGIN {
+            return None;
+        }
+        let sec = &mut self.secondaries[idx as usize];
+        let old = sec.slots[slot].take();
+        if old.is_some() {
+            sec.live -= 1;
+            self.live -= 1;
+            if self.secondaries[idx as usize].live == 0 {
+                self.drop_page(page, idx);
+            }
+        }
+        old
+    }
+
+    /// Unmap `page`, recycling its secondary. The caller has already
+    /// accounted the live-count delta.
+    fn drop_page(&mut self, page: u64, idx: u32) {
+        self.pages.remove(&page);
+        self.free.push(idx);
+        if self.cache.0 == page {
+            self.cache.1 = VIRGIN;
+        }
+    }
+
+    /// Clear slots `lo..=hi` of `page`, dropping the page if it empties.
+    fn clear_slots(&mut self, page: u64, lo: usize, hi: usize) {
+        let idx = self.lookup(page);
+        if idx == VIRGIN {
+            return;
+        }
+        let sec = &mut self.secondaries[idx as usize];
+        let mut cleared = 0usize;
+        for s in sec.slots[lo..=hi].iter_mut() {
+            if s.take().is_some() {
+                cleared += 1;
+            }
+        }
+        sec.live -= cleared;
+        self.live -= cleared;
+        if self.secondaries[idx as usize].live == 0 {
+            self.drop_page(page, idx);
+        }
+    }
+
+    /// Drop every mapped page in `lo..=hi` wholesale.
+    fn drop_full_pages(&mut self, lo: u64, hi: u64) {
+        let span = hi - lo + 1;
+        if span > self.pages.len() as u64 {
+            // The range outnumbers the mapped pages: scan the map once
+            // instead of probing every page number in the span.
+            let hit: Vec<(u64, u32)> = self
+                .pages
+                .iter()
+                .filter(|&(&p, _)| lo <= p && p <= hi)
+                .map(|(&p, &i)| (p, i))
+                .collect();
+            for (p, i) in hit {
+                self.live -= self.secondaries[i as usize].live;
+                self.drop_page(p, i);
+            }
+        } else {
+            for p in lo..=hi {
+                if let Some(&i) = self.pages.get(&p) {
+                    self.live -= self.secondaries[i as usize].live;
+                    self.drop_page(p, i);
+                }
+            }
+        }
+    }
+
+    /// Reset every granule overlapping `[addr, addr + size)` to virgin.
+    ///
+    /// Fully covered pages are unmapped in one step (their secondaries go
+    /// to the free list); only the partial edge pages are cleared slot by
+    /// slot. Equivalent to removing each granule individually.
+    pub fn reset_range(&mut self, addr: u64, size: u64) {
+        let start_g = addr >> self.granule_shift;
+        let end_g = (addr + size.max(1) - 1) >> self.granule_shift;
+        let first_page = start_g >> PAGE_BITS;
+        let last_page = end_g >> PAGE_BITS;
+        let start_slot = (start_g & SLOT_MASK) as usize;
+        let end_slot = (end_g & SLOT_MASK) as usize;
+
+        if first_page == last_page {
+            if start_slot == 0 && end_slot == PAGE_SLOTS - 1 {
+                self.drop_full_pages(first_page, first_page);
+            } else {
+                self.clear_slots(first_page, start_slot, end_slot);
+            }
+            return;
+        }
+        let full_lo = if start_slot == 0 {
+            first_page
+        } else {
+            self.clear_slots(first_page, start_slot, PAGE_SLOTS - 1);
+            first_page + 1
+        };
+        let full_hi = if end_slot == PAGE_SLOTS - 1 {
+            last_page
+        } else {
+            self.clear_slots(last_page, 0, end_slot);
+            last_page - 1
+        };
+        if full_lo <= full_hi {
+            self.drop_full_pages(full_lo, full_hi);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt() -> PageTable<u32> {
+        PageTable::new(8)
+    }
+
+    #[test]
+    fn get_of_untracked_is_none_and_allocates_nothing() {
+        let mut t = pt();
+        assert_eq!(t.get(0x1000), None);
+        assert_eq!(t.get(0xFFFF_0000), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.pages_mapped(), 0);
+    }
+
+    #[test]
+    fn insert_get_roundtrip_and_granule_masking() {
+        let mut t = pt();
+        t.insert(0x1000, 7);
+        assert_eq!(t.get(0x1000), Some(&7));
+        // Any address inside the granule resolves to the same slot.
+        assert_eq!(t.get(0x1007), Some(&7));
+        assert_eq!(t.peek(0x1003), Some(&7));
+        assert_eq!(t.get(0x1008), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn len_counts_granules_not_pages() {
+        let mut t = pt();
+        // Three granules on one page, one on a far page.
+        t.insert(0x1000, 1);
+        t.insert(0x1008, 2);
+        t.insert(0x1010, 3);
+        t.insert(0x90_0000, 4);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.pages_mapped(), 2);
+        // Overwrites don't change the count.
+        t.insert(0x1008, 9);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(0x1008), Some(&9));
+    }
+
+    #[test]
+    fn remove_drops_empty_pages() {
+        let mut t = pt();
+        t.insert(0x1000, 1);
+        t.insert(0x1008, 2);
+        assert_eq!(t.remove(0x1000), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.pages_mapped(), 1);
+        assert_eq!(t.remove(0x1008), Some(2));
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.pages_mapped(), 0, "emptied page must unmap");
+        assert_eq!(t.remove(0x1008), None);
+        // Reads after the drop see virgin again (cache must not go stale).
+        assert_eq!(t.get(0x1000), None);
+    }
+
+    #[test]
+    fn reset_range_partial_page() {
+        let mut t = pt();
+        for i in 0..8u64 {
+            t.insert(0x1000 + i * 8, i as u32);
+        }
+        t.reset_range(0x1008, 16); // clears granules at 0x1008 and 0x1010
+        assert_eq!(t.get(0x1000), Some(&0));
+        assert_eq!(t.get(0x1008), None);
+        assert_eq!(t.get(0x1010), None);
+        assert_eq!(t.get(0x1018), Some(&3));
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn reset_range_spanning_full_pages() {
+        let mut t = pt();
+        let page_bytes = (PAGE_SLOTS as u64) * 8;
+        // One granule on each of four consecutive pages, starting page-aligned.
+        for p in 0..4u64 {
+            t.insert(p * page_bytes + 64, p as u32);
+        }
+        assert_eq!(t.pages_mapped(), 4);
+        // Reset from mid-page 0 to mid-page 3: pages 1 and 2 are fully
+        // covered, 0 and 3 partially.
+        t.reset_range(32, 3 * page_bytes + 64);
+        assert_eq!(t.get(64), None, "partial first page cleared in-range slot");
+        assert_eq!(t.get(page_bytes + 64), None);
+        assert_eq!(t.get(2 * page_bytes + 64), None);
+        assert_eq!(t.get(3 * page_bytes + 64), None);
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.pages_mapped(), 0);
+    }
+
+    #[test]
+    fn reset_range_keeps_out_of_range_edges() {
+        let mut t = pt();
+        let page_bytes = (PAGE_SLOTS as u64) * 8;
+        t.insert(8, 1); // page 0, slot 1 — below the reset range
+        t.insert(page_bytes - 8, 2); // page 0, last slot — inside
+        t.insert(page_bytes, 3); // page 1, slot 0 — inside
+        t.insert(page_bytes + 16, 4); // page 1, slot 2 — above
+        t.reset_range(16, page_bytes); // granules 2 ..= PAGE_SLOTS+1
+        assert_eq!(t.get(8), Some(&1));
+        assert_eq!(t.get(page_bytes - 8), None);
+        assert_eq!(t.get(page_bytes), None);
+        assert_eq!(t.get(page_bytes + 16), Some(&4));
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn secondaries_are_recycled_clean() {
+        let mut t = pt();
+        t.insert(0x1000, 42);
+        t.reset_range(0, 1 << 20); // drops page 0 to the free list
+        assert_eq!(t.len(), 0);
+        // Reuse the recycled secondary for a different page: stale slots
+        // must not leak through.
+        t.insert(0x4000_0000, 7);
+        assert_eq!(t.get(0x4000_0000), Some(&7));
+        let page_bytes = (PAGE_SLOTS as u64) * 8;
+        let same_page_other_slot = 0x4000_0000 / page_bytes * page_bytes + 8;
+        assert_eq!(t.get(same_page_other_slot), None);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_default_tracks_live_count() {
+        let mut t: PageTable<u64> = PageTable::new(8);
+        *t.get_or_insert_default(0x2000) += 5;
+        assert_eq!(t.len(), 1);
+        *t.get_or_insert_default(0x2000) += 1;
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(0x2000), Some(&6));
+    }
+
+    #[test]
+    fn huge_reset_range_scans_map_not_span() {
+        let mut t = pt();
+        t.insert(0x1000, 1);
+        t.insert(0xFFFF_FF00, 2);
+        // A span of ~2^40 pages must complete instantly by scanning the
+        // two mapped pages instead of the span.
+        t.reset_range(0, u64::MAX / 2);
+        assert_eq!(t.len(), 0);
+    }
+}

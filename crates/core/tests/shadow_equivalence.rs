@@ -1,0 +1,307 @@
+//! Page-table shadow memory ≡ flat hash map.
+//!
+//! The two-level [`PageTable`] replaced a plain `FxHashMap<u64, Shadow>` on
+//! the detectors' hot path. These properties pin the refactor to the old
+//! representation's observable behaviour:
+//!
+//! * **structural**: an arbitrary op sequence (insert / remove / get /
+//!   get_or_insert_default / reset_range) leaves the page table and a flat
+//!   map model in agreement — per-op results, `len()`, and a full sweep of
+//!   the address window;
+//! * **engine-level**: under a small `max_shadow_words` budget, the
+//!   lockset engine's granule tracking (`shadowed_granules`,
+//!   `shadow_overflow`, `truncated`, `state_of != Virgin`) matches a
+//!   reference model that implements the documented budget semantics with
+//!   a plain set — i.e. the cap still counts *live granules* exactly.
+
+use helgrind_core::shadowmem::PAGE_SLOTS;
+use helgrind_core::{DetectorConfig, LocksetEngine, PageTable, VarState};
+use proptest::prelude::*;
+use vexec::event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
+use vexec::ir::{SrcLoc, SyncKind};
+use vexec::util::{FxHashMap, FxHashSet};
+
+const L: SrcLoc = SrcLoc::UNKNOWN;
+const GRANULE: u64 = 8;
+/// Address window: a handful of pages so op sequences exercise page drops,
+/// recycling, and cross-page resets, not just one secondary.
+const WINDOW: u64 = 4 * (PAGE_SLOTS as u64) * GRANULE;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u64, u32),
+    Remove(u64),
+    Get(u64),
+    GetOrDefault(u64),
+    ResetRange(u64, u64),
+}
+
+fn addr_strategy() -> impl Strategy<Value = u64> {
+    // Arbitrary byte offset inside the window (granule masking is part of
+    // the contract under test, so don't pre-align).
+    0u64..WINDOW
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (addr_strategy(), any::<u32>()).prop_map(|(a, v)| Op::Insert(a, v)),
+        addr_strategy().prop_map(Op::Remove),
+        addr_strategy().prop_map(Op::Get),
+        addr_strategy().prop_map(Op::GetOrDefault),
+        // Sizes up to ~1.5 pages: covers slot-wise clears, full-page drops,
+        // and the mixed edge case in one reset.
+        (addr_strategy(), 0u64..(3 * (PAGE_SLOTS as u64) * GRANULE / 2))
+            .prop_map(|(a, s)| Op::ResetRange(a, s)),
+    ]
+}
+
+/// The old representation, restated: a flat map keyed by granule index.
+#[derive(Default)]
+struct FlatModel {
+    map: FxHashMap<u64, u32>,
+}
+
+impl FlatModel {
+    fn gidx(addr: u64) -> u64 {
+        addr / GRANULE
+    }
+
+    fn apply(&mut self, op: &Op) -> Option<u32> {
+        match *op {
+            Op::Insert(a, v) => {
+                self.map.insert(Self::gidx(a), v);
+                None
+            }
+            Op::Remove(a) => self.map.remove(&Self::gidx(a)),
+            Op::Get(a) => self.map.get(&Self::gidx(a)).copied(),
+            Op::GetOrDefault(a) => Some(*self.map.entry(Self::gidx(a)).or_default()),
+            Op::ResetRange(a, s) => {
+                let start = Self::gidx(a);
+                let end = Self::gidx(a + s.max(1) - 1);
+                // Granule-by-granule removal — exactly what the engines did
+                // before page-granular reset existed.
+                for g in start..=end {
+                    self.map.remove(&g);
+                }
+                None
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Structural equivalence: the page table is observationally a flat
+    /// granule-keyed hash map, op by op and in the final sweep.
+    #[test]
+    fn page_table_matches_flat_map(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut table: PageTable<u32> = PageTable::new(GRANULE);
+        let mut model = FlatModel::default();
+
+        for op in &ops {
+            let expect = model.apply(op);
+            let got = match *op {
+                Op::Insert(a, v) => {
+                    table.insert(a, v);
+                    None
+                }
+                Op::Remove(a) => table.remove(a),
+                Op::Get(a) => table.get(a).copied(),
+                Op::GetOrDefault(a) => Some(*table.get_or_insert_default(a)),
+                Op::ResetRange(a, s) => {
+                    table.reset_range(a, s);
+                    None
+                }
+            };
+            prop_assert_eq!(got, expect, "op {:?} diverged", op);
+            prop_assert_eq!(
+                table.len(),
+                model.map.len(),
+                "live-granule count diverged after {:?}",
+                op
+            );
+        }
+
+        // Full sweep of the window: every granule agrees, through both the
+        // cache-updating and the cache-neutral lookup paths.
+        for g in 0..(WINDOW / GRANULE) {
+            let addr = g * GRANULE;
+            let expect = model.map.get(&g);
+            prop_assert_eq!(table.peek(addr), expect, "peek({addr:#x})");
+            prop_assert_eq!(table.get(addr).copied(), expect.copied(), "get({addr:#x})");
+        }
+        prop_assert!(table.is_empty() == model.map.is_empty());
+    }
+}
+
+/// Reference implementation of the engine's shadow budget: a set of
+/// tracked granule bases plus an overflow counter, fed the same events.
+struct BudgetModel {
+    tracked: FxHashSet<u64>,
+    overflow: u64,
+    cap: usize,
+    honor_destruct: bool,
+}
+
+impl BudgetModel {
+    fn touch(&mut self, base: u64) {
+        if self.tracked.contains(&base) {
+            return;
+        }
+        if self.tracked.len() >= self.cap {
+            self.overflow += 1;
+        } else {
+            self.tracked.insert(base);
+        }
+    }
+
+    fn granules(addr: u64, size: u64) -> impl Iterator<Item = u64> {
+        let start = addr & !(GRANULE - 1);
+        let end = (addr + size.max(1) - 1) & !(GRANULE - 1);
+        (start..=end).step_by(GRANULE as usize)
+    }
+
+    fn apply(&mut self, ev: &Event) {
+        match *ev {
+            Event::Access { addr, size, .. } => {
+                for g in Self::granules(addr, size as u64) {
+                    self.touch(g);
+                }
+            }
+            Event::Alloc { addr, size, .. } => {
+                for g in Self::granules(addr, size) {
+                    self.tracked.remove(&g);
+                }
+            }
+            Event::Client { req: ClientEv::HgCleanMemory { addr, size }, .. } => {
+                for g in Self::granules(addr, size) {
+                    self.tracked.remove(&g);
+                }
+            }
+            Event::Client { req: ClientEv::HgDestruct { addr, size }, .. }
+                if self.honor_destruct =>
+            {
+                for g in Self::granules(addr, size) {
+                    self.touch(g);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Step {
+    Access { tid: u32, addr: u64, size: u8, write: bool },
+    Lock { tid: u32, sync: u32 },
+    Unlock { tid: u32, sync: u32 },
+    Alloc { addr: u64, size: u64 },
+    Clean { addr: u64, size: u64 },
+    Destruct { tid: u32, addr: u64, size: u64 },
+}
+
+fn small_addr() -> impl Strategy<Value = u64> {
+    // A couple of pages, so budget pressure and resets interact.
+    0u64..(2 * (PAGE_SLOTS as u64) * GRANULE)
+}
+
+fn engine_step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (1u32..4, small_addr(), 1u8..17, any::<bool>())
+            .prop_map(|(tid, addr, size, write)| Step::Access { tid, addr, size, write }),
+        (1u32..4, 0u32..3).prop_map(|(tid, sync)| Step::Lock { tid, sync }),
+        (1u32..4, 0u32..3).prop_map(|(tid, sync)| Step::Unlock { tid, sync }),
+        (small_addr(), 1u64..256).prop_map(|(addr, size)| Step::Alloc { addr, size }),
+        (small_addr(), 1u64..256).prop_map(|(addr, size)| Step::Clean { addr, size }),
+        (1u32..4, small_addr(), 1u64..64).prop_map(|(tid, addr, size)| Step::Destruct {
+            tid,
+            addr,
+            size
+        }),
+    ]
+}
+
+fn step_event(step: &Step) -> Event {
+    match *step {
+        Step::Access { tid, addr, size, write } => Event::Access {
+            tid: ThreadId(tid),
+            addr,
+            size,
+            kind: if write { AccessKind::Write } else { AccessKind::Read },
+            loc: L,
+        },
+        Step::Lock { tid, sync } => Event::Acquire {
+            tid: ThreadId(tid),
+            sync: SyncId(sync),
+            kind: SyncKind::Mutex,
+            mode: AcqMode::Exclusive,
+            loc: L,
+        },
+        Step::Unlock { tid, sync } => {
+            Event::Release { tid: ThreadId(tid), sync: SyncId(sync), kind: SyncKind::Mutex, loc: L }
+        }
+        Step::Alloc { addr, size } => Event::Alloc { tid: ThreadId(1), addr, size, loc: L },
+        Step::Clean { addr, size } => {
+            Event::Client { tid: ThreadId(1), req: ClientEv::HgCleanMemory { addr, size }, loc: L }
+        }
+        Step::Destruct { tid, addr, size } => {
+            Event::Client { tid: ThreadId(tid), req: ClientEv::HgDestruct { addr, size }, loc: L }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Engine-level budget equivalence: the page-table-backed engine caps
+    /// live granules exactly like the documented flat-map semantics.
+    #[test]
+    fn engine_budget_matches_reference_model(
+        steps in prop::collection::vec(engine_step_strategy(), 1..150),
+        cap in 2usize..40,
+    ) {
+        for base in [DetectorConfig::original(), DetectorConfig::hwlc_dr()] {
+            let mut cfg = base;
+            cfg.budget.max_shadow_words = cap;
+            let honor_destruct = cfg.honor_destruct;
+            let mut engine = LocksetEngine::new(cfg);
+            let mut model =
+                BudgetModel { tracked: FxHashSet::default(), overflow: 0, cap, honor_destruct };
+
+            for t in 1..4u32 {
+                engine.on_event(&Event::ThreadCreate {
+                    parent: ThreadId(0),
+                    child: ThreadId(t),
+                    loc: L,
+                });
+            }
+
+            for step in &steps {
+                let ev = step_event(step);
+                engine.on_event(&ev);
+                model.apply(&ev);
+                prop_assert_eq!(
+                    engine.shadowed_granules(),
+                    model.tracked.len(),
+                    "granule count diverged after {:?}",
+                    step
+                );
+                prop_assert_eq!(
+                    engine.shadow_overflow(),
+                    model.overflow,
+                    "overflow count diverged after {:?}",
+                    step
+                );
+            }
+
+            // Tracked-set membership agrees granule by granule.
+            for g in 0..(2 * PAGE_SLOTS as u64) {
+                let addr = g * GRANULE;
+                let tracked = !matches!(engine.state_of(addr), VarState::Virgin);
+                prop_assert_eq!(tracked, model.tracked.contains(&addr), "state_of({addr:#x})");
+            }
+            prop_assert_eq!(engine.truncated(), model.overflow > 0);
+        }
+    }
+}

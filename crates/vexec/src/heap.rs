@@ -83,9 +83,10 @@ impl Heap {
         let padded = (size + ALIGN - 1) & !(ALIGN - 1);
         self.next += padded;
         self.ensure(self.next);
-        // Zero the block: bump allocation never reuses, but be explicit.
-        let s = (addr - GUEST_BASE) as usize;
-        self.mem[s..s + size as usize].fill(0);
+        // The block is already zeroed: `ensure` zero-fills on growth, every
+        // write is bounded below the `next` of its time by `check`, and the
+        // bump allocator never hands an address out twice — so no byte of a
+        // fresh block can have been written.
         let idx = self.blocks.len() as u32;
         self.blocks.push(Block { addr, size, alloc_tid: tid, alloc_loc: loc, freed: false });
         self.by_addr.insert(addr, idx);

@@ -69,6 +69,6 @@ pub use sched::{Pct, PriorityOrder, Quantum, RoundRobin, Scheduler, SeededRandom
 pub use tool::{CountingTool, FanoutTool, NullTool, RecordingTool, Tool};
 pub use trace::{Trace, TraceError, TraceWriter};
 pub use vm::{
-    run_flat, run_program, GuestError, GuestErrorKind, RunResult, RunStats, Termination, Vm,
-    VmOptions, VmView,
+    run_flat, run_program, GuestError, GuestErrorKind, RunResult, RunStats, SlotMeter, Termination,
+    Vm, VmOptions, VmView,
 };

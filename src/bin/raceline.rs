@@ -4,7 +4,8 @@
 //! ```text
 //! raceline check app.mcpp [lib.mcpp ...] [options]
 //! raceline lint  app.mcpp [lib.mcpp ...] [--raw <file>] [--json]
-//! raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3] [options]
+//! raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3] [--jobs <n>] [options]
+//! raceline bench-snapshot [--out <file>] [--samples <n>] [--quick]
 //!
 //! check options:
 //!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
@@ -14,6 +15,9 @@
 //!   --suppressions <file>   load a Valgrind-style suppression file
 //!   --gen-suppressions      print a suppression entry for each warning
 //!   --explore <n>           run under <n> random schedules and aggregate
+//!   --jobs <n>              (with --explore) spread the sweep over <n>
+//!                           worker threads; the summary, checkpoint and
+//!                           exit code are bit-identical to --jobs 1
 //!   --checkpoint <file>     (with --explore) resume from/save a sweep
 //!                           checkpoint
 //!   --faults <spec>         inject faults, e.g. seed=7,wakeup=20,kill=1
@@ -55,10 +59,11 @@ fn usage() -> ! {
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
          [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
-         [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
+         [--jobs <n>] [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
          \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
          \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
-         [--detector <name>] [--max-slots <n>] [--json]"
+         [--detector <name>] [--max-slots <n>] [--jobs <n>] [--json]\n\
+         \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick]"
     );
     std::process::exit(2);
 }
@@ -124,6 +129,9 @@ fn main() {
         Some("chaos") => {
             run_chaos(args.collect());
         }
+        Some("bench-snapshot") => {
+            run_bench_snapshot(args.collect());
+        }
         _ => usage(),
     };
 
@@ -133,6 +141,7 @@ fn main() {
     let mut suppressions = SuppressionSet::new();
     let mut gen_suppressions = false;
     let mut explore: Option<usize> = None;
+    let mut jobs: usize = 1;
     let mut checkpoint_path: Option<String> = None;
     let mut faults: Option<FaultPlan> = None;
     let mut budget: Option<BudgetSpec> = None;
@@ -183,6 +192,9 @@ fn main() {
             "--explore" => {
                 explore = Some(it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
             }
+            "--jobs" => {
+                jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
             path if !path.starts_with('-') => {
                 let text = read_source(path);
                 files.push(SourceFile::new(path, &text));
@@ -230,6 +242,7 @@ fn main() {
             max_slots_per_run: budget.as_ref().and_then(|b| b.max_slots),
             total_slot_budget: budget.as_ref().and_then(|b| b.total_slots),
             faults,
+            jobs,
         };
         let resume = checkpoint_path.as_ref().and_then(|p| {
             let text = std::fs::read_to_string(p).ok()?;
@@ -504,11 +517,15 @@ fn run_chaos(args: Vec<String>) -> ! {
     let mut detector_name = "hwlc-dr".to_string();
     let mut case_filter: Option<Vec<String>> = None;
     let mut max_slots: Option<u64> = None;
+    let mut jobs: usize = 1;
     let mut json = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--jobs" => {
+                jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
             "--runs" => {
                 runs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -567,28 +584,50 @@ fn run_chaos(args: Vec<String>) -> ! {
     let mut faults_injected: u64 = 0;
     let mut case_real_cover: Vec<bool> = vec![false; cases.len()];
 
-    for i in 0..runs {
+    // Each run index fully determines its own inputs (plan, case, schedule
+    // seed), so the sweep fans out over a worker pool and folds back in
+    // index order — counters, diagnostics and the exit code are
+    // bit-identical to the sequential sweep whatever `jobs` is.
+    enum Probe {
+        Mismatch,
+        Panicked,
+    }
+    let outcomes = run_indexed(jobs, runs, |i| {
         let plan = FaultPlan::from_seed(seed.wrapping_add(i as u64));
         let ci = i % cases.len();
         let sched_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
         let b = &built[ci];
         let run = || sipsim::run_case_chaos(b, cfg, plan, sched_seed, max_slots);
-        let Ok(outcome) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) else {
-            panics += 1;
-            eprintln!("PANIC: case {} plan seed {:#x}", cases[ci].name, plan.seed);
-            continue;
-        };
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).ok();
         // Determinism probe on a sample of runs: the same (plan, schedule)
         // must reproduce the exact report fingerprint.
-        if i % 10 == 0 {
-            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
-                Ok(again) if again.fingerprint == outcome.fingerprint => {}
-                Ok(_) => {
-                    mismatches += 1;
-                    eprintln!("NONDETERMINISM: case {} plan seed {:#x}", cases[ci].name, plan.seed);
+        let probe = match &outcome {
+            Some(first) if i % 10 == 0 => {
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)) {
+                    Ok(again) if again.fingerprint == first.fingerprint => None,
+                    Ok(_) => Some(Probe::Mismatch),
+                    Err(_) => Some(Probe::Panicked),
                 }
-                Err(_) => panics += 1,
             }
+            _ => None,
+        };
+        (outcome, probe)
+    });
+    for (i, (outcome, probe)) in outcomes.into_iter().enumerate() {
+        let plan_seed = seed.wrapping_add(i as u64);
+        let ci = i % cases.len();
+        let Some(outcome) = outcome else {
+            panics += 1;
+            eprintln!("PANIC: case {} plan seed {plan_seed:#x}", cases[ci].name);
+            continue;
+        };
+        match probe {
+            None => {}
+            Some(Probe::Mismatch) => {
+                mismatches += 1;
+                eprintln!("NONDETERMINISM: case {} plan seed {plan_seed:#x}", cases[ci].name);
+            }
+            Some(Probe::Panicked) => panics += 1,
         }
         if outcome.deadlocked {
             deadlocks += 1;
@@ -609,10 +648,15 @@ fn run_chaos(args: Vec<String>) -> ! {
     }
 
     // §4.1 catalogue under faults: each bug must still be detected under
-    // at least one plan of the sweep.
-    let mut bugs_missed: Vec<&'static str> = Vec::new();
-    for bug in sipsim::bugs::all_bugs() {
+    // at least one plan of the sweep. Bugs are independent of each other,
+    // so they fan out across the pool too; within one bug the plans run in
+    // order with the sequential early-exit, keeping the panic tally and
+    // the missed list identical to --jobs 1.
+    let all_bugs = sipsim::bugs::all_bugs();
+    let bug_results = run_indexed(jobs, all_bugs.len(), |bi| {
+        let bug = &all_bugs[bi];
         let flat = bug.program.lower();
+        let mut attempt_panics: usize = 0;
         let mut found = false;
         for i in 0..runs.clamp(1, 25) {
             let plan = FaultPlan::from_seed(seed.wrapping_add(i as u64));
@@ -634,11 +678,16 @@ fn run_chaos(args: Vec<String>) -> ! {
                     break;
                 }
                 Ok(false) => {}
-                Err(_) => panics += 1,
+                Err(_) => attempt_panics += 1,
             }
         }
+        (found, attempt_panics)
+    });
+    let mut bugs_missed: Vec<&'static str> = Vec::new();
+    for (bi, (found, attempt_panics)) in bug_results.into_iter().enumerate() {
+        panics += attempt_panics;
         if !found {
-            bugs_missed.push(bug.name);
+            bugs_missed.push(all_bugs[bi].name);
         }
     }
     drop(std::panic::take_hook());
@@ -685,4 +734,189 @@ fn run_chaos(args: Vec<String>) -> ! {
         println!("resilience: {}", if ok { "OK" } else { "FAILED" });
     }
     std::process::exit(if ok { 0 } else { EXIT_ERROR });
+}
+
+/// Run `n` independent jobs on a scoped worker pool and return the results
+/// in index order. Workers claim indices from a shared counter; because
+/// every job is a pure function of its index, the merged vector — and any
+/// sequential fold over it — is bit-identical to running `(0..n).map(f)`
+/// inline, which is exactly what `jobs <= 1` does.
+fn run_indexed<T: Send>(jobs: usize, n: usize, f: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let mut out: Vec<Option<T>> = Vec::new();
+    out.resize_with(n, || None);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                let (next, f) = (&next, &f);
+                s.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("worker panicked") {
+                out[i] = Some(v);
+            }
+        }
+    });
+    out.into_iter().map(|v| v.expect("all indices claimed")).collect()
+}
+
+/// `raceline bench-snapshot`: measure the §4.5 overhead ladder (native <
+/// VM < VM+detector) with wall-clock medians and write a machine-readable
+/// snapshot. CI's bench smoke runs this in `--quick` mode; the README's
+/// performance table is regenerated from the full run.
+fn run_bench_snapshot(args: Vec<String>) -> ! {
+    use helgrind_core::{DjitDetector, EraserDetector, HybridDetector};
+    use sipsim::native::{native_workload, vm_workload_program, WorkloadSpec};
+    use vexec::sched::RoundRobin;
+    use vexec::tool::NullTool;
+    use vexec::vm::run_program;
+
+    let mut out_path = "BENCH_overhead.json".to_string();
+    let mut samples: usize = 15;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().unwrap_or_else(|| usage()).clone(),
+            "--samples" => {
+                samples = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--quick" => samples = 3,
+            _ => usage(),
+        }
+    }
+    samples = samples.max(1);
+
+    /// Median wall-clock nanoseconds over `samples` timed calls (after one
+    /// untimed warm-up, so lazy init and cold caches don't skew the first
+    /// sample).
+    fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+        f();
+        let mut times: Vec<u64> = (0..samples)
+            .map(|_| {
+                let t = std::time::Instant::now();
+                f();
+                t.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        times[times.len() / 2]
+    }
+
+    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+    let prog = vm_workload_program(SPEC);
+
+    let mut medians: Vec<(&str, u64)> = Vec::new();
+    medians.push((
+        "native-threads",
+        median_ns(samples, || {
+            std::hint::black_box(native_workload(SPEC));
+        }),
+    ));
+    medians.push((
+        "vm-no-tool",
+        median_ns(samples, || {
+            let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
+            std::hint::black_box(r.stats.events);
+        }),
+    ));
+    medians.push((
+        "vm-eraser-original",
+        median_ns(samples, || {
+            let mut det = EraserDetector::new(DetectorConfig::original());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-eraser-hwlc-dr",
+        median_ns(samples, || {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-djit",
+        median_ns(samples, || {
+            let mut det = DjitDetector::new(DetectorConfig::djit());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-hybrid",
+        median_ns(samples, || {
+            let mut det = HybridDetector::new(DetectorConfig::hybrid());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+
+    let ns_of = |name: &str| medians.iter().find(|(n, _)| *n == name).unwrap().1 as f64;
+    let native = ns_of("native-threads");
+    let vm = ns_of("vm-no-tool");
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+
+    // The two multiples the paper reports in §4.5: analysis vs native
+    // (20-30x there) and the bare VM tax (8-10x for uninstrumented
+    // Valgrind). Detector-over-VM isolates the shadow-memory cost this
+    // workspace's page table optimises.
+    let mut multiples: Vec<(String, Value)> =
+        vec![("vm-no-tool/native-threads".to_string(), Value::Float(ratio(vm, native)))];
+    for (name, ns) in &medians {
+        if name.starts_with("vm-") && *name != "vm-no-tool" {
+            multiples.push((format!("{name}/vm-no-tool"), Value::Float(ratio(*ns as f64, vm))));
+            multiples
+                .push((format!("{name}/native-threads"), Value::Float(ratio(*ns as f64, native))));
+        }
+    }
+
+    let obj = Value::Object(vec![
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                ("threads".to_string(), Value::UInt(SPEC.threads as u64)),
+                ("iterations".to_string(), Value::UInt(SPEC.iterations)),
+            ]),
+        ),
+        ("samples".to_string(), Value::UInt(samples as u64)),
+        (
+            "median_ns".to_string(),
+            Value::Object(
+                medians.iter().map(|(n, ns)| (n.to_string(), Value::UInt(*ns))).collect(),
+            ),
+        ),
+        ("multiples".to_string(), Value::Object(multiples)),
+        (
+            "paper".to_string(),
+            Value::Str("§4.5: analysis 20-30x slower than native; bare Valgrind 8-10x".to_string()),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{obj}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(EXIT_ERROR);
+    }
+    for (name, ns) in &medians {
+        eprintln!("bench-snapshot {name}: median {:.3} ms", *ns as f64 / 1e6);
+    }
+    eprintln!(
+        "bench-snapshot: wrote {out_path} (vm/native {:.1}x, hwlc-dr/vm {:.1}x)",
+        ratio(vm, native),
+        ratio(ns_of("vm-eraser-hwlc-dr"), vm)
+    );
+    std::process::exit(0);
 }
