@@ -1,0 +1,105 @@
+//! Trace subsystem benchmarks: codec throughput (events/sec through
+//! encode and decode) and record-mode overhead against the inline
+//! detectors over the same workload.
+//!
+//! The number that justifies the subsystem: `vm-record` must sit well
+//! below `vm-hybrid` — recording in production and analyzing offline has
+//! to be cheaper than detecting inline.
+//!
+//! Run with: `cargo bench -p race-bench --bench trace`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, EraserDetector, HybridDetector};
+use raceline_trace::format::{decode_record, encode_event, CodecState, Cursor};
+use raceline_trace::writer::TraceWriter;
+use sipsim::native::{vm_workload_program, WorkloadSpec};
+use std::hint::black_box;
+use vexec::sched::RoundRobin;
+use vexec::tool::{NullTool, RecordingTool};
+use vexec::vm::run_program;
+
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+
+fn bench_codec(c: &mut Criterion) {
+    // One VM run supplies a realistic event mix; the codec is then
+    // measured in isolation over that stream.
+    let prog = vm_workload_program(SPEC);
+    let mut rec = RecordingTool::new();
+    run_program(&prog, &mut rec, &mut RoundRobin::new());
+    let events = rec.events;
+
+    let mut encoded = Vec::new();
+    let mut st = CodecState::default();
+    for ev in &events {
+        encode_event(&mut encoded, &mut st, ev);
+    }
+
+    let mut group = c.benchmark_group("trace-codec");
+    group.sample_size(20);
+    group.bench_function(format!("encode-{}-events", events.len()), |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(encoded.len());
+            let mut st = CodecState::default();
+            for ev in &events {
+                encode_event(&mut buf, &mut st, ev);
+            }
+            black_box(buf.len())
+        })
+    });
+    group.bench_function(format!("decode-{}-events", events.len()), |b| {
+        b.iter(|| {
+            let mut c = Cursor::new(&encoded, 0);
+            let mut st = CodecState::default();
+            let mut n = 0u64;
+            while !c.is_empty() {
+                decode_record(&mut c, &mut st, u32::MAX).expect("self-encoded stream");
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_record_overhead(c: &mut Criterion) {
+    let prog = vm_workload_program(SPEC);
+    let mut group = c.benchmark_group("trace-overhead");
+    group.sample_size(10);
+
+    group.bench_function("vm-no-tool", |b| {
+        b.iter(|| {
+            let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
+            black_box(r.stats.events)
+        })
+    });
+
+    group.bench_function("vm-record", |b| {
+        b.iter(|| {
+            let mut w = TraceWriter::new(Vec::with_capacity(1 << 20));
+            let r = run_program(&prog, &mut w, &mut RoundRobin::new());
+            let s = w.finish(&r.termination, &r.stats, r.faults.as_ref()).expect("vec sink");
+            black_box(s.bytes)
+        })
+    });
+
+    group.bench_function("vm-eraser-hwlc-dr", |b| {
+        b.iter(|| {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.bench_function("vm-hybrid", |b| {
+        b.iter(|| {
+            let mut det = HybridDetector::new(DetectorConfig::hybrid());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            black_box(det.sink.location_count())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_record_overhead);
+criterion_main!(benches);

@@ -10,12 +10,18 @@
 //! * [`HybridDetector`] — lockset ∧ happens-before, in the spirit of
 //!   O'Callahan & Choi's hybrid detection [12]: a warning is issued only if
 //!   the locking discipline is violated *and* the accesses are unordered.
+//!
+//! Each detector exposes its event handling twice: `handle_event` takes
+//! any [`ReportCtx`] — the live VM inline, or a trace-replay context
+//! offline — and the [`Tool`] impl simply delegates with the [`VmView`].
+//! One code path means offline analysis reproduces inline reports
+//! byte-for-byte.
 
 use crate::config::DetectorConfig;
 use crate::eraser::{LocksetEngine, RaceInfo};
 use crate::hb::{HbEngine, HbRaceInfo};
 use crate::lockorder::{CycleInfo, LockOrderGraph};
-use crate::report::{resolve_context, Report, ReportKind, ReportSink};
+use crate::report::{resolve_context, Report, ReportCtx, ReportKind, ReportSink};
 use crate::suppress::SuppressionSet;
 use vexec::event::{AccessKind, Event, ThreadId};
 use vexec::ir::SrcLoc;
@@ -39,20 +45,20 @@ fn hb_report_kind(kind: AccessKind) -> ReportKind {
 }
 
 fn build_report(
-    vm: &VmView<'_>,
+    ctx: &dyn ReportCtx,
     kind: ReportKind,
     tid: ThreadId,
     addr: u64,
     loc: SrcLoc,
     details: String,
 ) -> Report {
-    let (stack, block) = resolve_context(vm, tid, addr);
+    let (stack, block) = resolve_context(ctx, tid, addr);
     Report {
         kind,
         tid: tid.0,
-        file: vm.resolve(loc.file).to_string(),
+        file: ctx.resolve_sym(loc.file).to_string(),
         line: loc.line,
-        func: vm.resolve(loc.func).to_string(),
+        func: ctx.resolve_sym(loc.func).to_string(),
         addr,
         stack,
         block,
@@ -104,7 +110,26 @@ impl EraserDetector {
         self.engine.truncated() || self.sink.truncated()
     }
 
-    fn report_race(&mut self, vm: &VmView<'_>, race: RaceInfo) {
+    /// Feed one event; context-agnostic (inline VM or trace replay).
+    pub fn handle_event(&mut self, ev: &Event, ctx: &dyn ReportCtx) {
+        if let Some(race) = self.engine.on_event(ev) {
+            self.report_race(ctx, race);
+        }
+        if self.detect_lock_order {
+            if let Some(cycle) = self.lockorder.on_event(ev) {
+                self.report_cycle(ctx, cycle);
+            }
+        }
+    }
+
+    /// End-of-stream flush (mirrors [`Tool::on_finish`]).
+    pub fn handle_finish(&mut self) {
+        if self.truncated() {
+            self.sink.mark_truncated();
+        }
+    }
+
+    fn report_race(&mut self, ctx: &dyn ReportCtx, race: RaceInfo) {
         let kind = race_report_kind(race.kind);
         if self.sink.seen(kind, race.loc) {
             return;
@@ -115,35 +140,28 @@ impl EraserDetector {
                 "\n   This conflicts with a previous {} by thread {} at {}:{} ({})",
                 if pkind.is_write() { "write" } else { "read" },
                 ptid.0,
-                vm.resolve(ploc.file),
+                ctx.resolve_sym(ploc.file),
                 ploc.line,
-                vm.resolve(ploc.func),
+                ctx.resolve_sym(ploc.func),
             ));
         }
-        let report = build_report(vm, kind, race.tid, race.addr, race.loc, details);
+        let report = build_report(ctx, kind, race.tid, race.addr, race.loc, details);
         self.sink.add(race.loc, report);
     }
 
-    fn report_cycle(&mut self, vm: &VmView<'_>, cycle: CycleInfo) {
+    fn report_cycle(&mut self, ctx: &dyn ReportCtx, cycle: CycleInfo) {
         let kind = ReportKind::LockOrderCycle;
         if self.sink.seen(kind, cycle.loc) {
             return;
         }
-        let report = build_report(vm, kind, cycle.tid, 0, cycle.loc, cycle.describe());
+        let report = build_report(ctx, kind, cycle.tid, 0, cycle.loc, cycle.describe());
         self.sink.add(cycle.loc, report);
     }
 }
 
 impl Tool for EraserDetector {
     fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
-        if let Some(race) = self.engine.on_event(ev) {
-            self.report_race(vm, race);
-        }
-        if self.detect_lock_order {
-            if let Some(cycle) = self.lockorder.on_event(ev) {
-                self.report_cycle(vm, cycle);
-            }
-        }
+        self.handle_event(ev, vm);
     }
 
     fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
@@ -151,9 +169,7 @@ impl Tool for EraserDetector {
     }
 
     fn on_finish(&mut self, _vm: &VmView<'_>) {
-        if self.truncated() {
-            self.sink.mark_truncated();
-        }
+        self.handle_finish();
     }
 }
 
@@ -177,21 +193,33 @@ impl DjitDetector {
         self.engine.truncated() || self.sink.truncated()
     }
 
-    fn report_race(&mut self, vm: &VmView<'_>, race: HbRaceInfo) {
+    /// Feed one event; context-agnostic (inline VM or trace replay).
+    pub fn handle_event(&mut self, ev: &Event, ctx: &dyn ReportCtx) {
+        if let Some(race) = self.engine.on_event(ev) {
+            self.report_race(ctx, race);
+        }
+    }
+
+    /// End-of-stream flush (mirrors [`Tool::on_finish`]).
+    pub fn handle_finish(&mut self) {
+        if self.truncated() {
+            self.sink.mark_truncated();
+        }
+    }
+
+    fn report_race(&mut self, ctx: &dyn ReportCtx, race: HbRaceInfo) {
         let kind = hb_report_kind(race.kind);
         if self.sink.seen(kind, race.loc) {
             return;
         }
-        let report = build_report(vm, kind, race.tid, race.addr, race.loc, race.conflict.clone());
+        let report = build_report(ctx, kind, race.tid, race.addr, race.loc, race.conflict.clone());
         self.sink.add(race.loc, report);
     }
 }
 
 impl Tool for DjitDetector {
     fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
-        if let Some(race) = self.engine.on_event(ev) {
-            self.report_race(vm, race);
-        }
+        self.handle_event(ev, vm);
     }
 
     fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
@@ -199,9 +227,7 @@ impl Tool for DjitDetector {
     }
 
     fn on_finish(&mut self, _vm: &VmView<'_>) {
-        if self.truncated() {
-            self.sink.mark_truncated();
-        }
+        self.handle_finish();
     }
 }
 
@@ -236,10 +262,9 @@ impl HybridDetector {
     pub fn truncated(&self) -> bool {
         self.lockset.truncated() || self.hb.truncated() || self.sink.truncated()
     }
-}
 
-impl Tool for HybridDetector {
-    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+    /// Feed one event; context-agnostic (inline VM or trace replay).
+    pub fn handle_event(&mut self, ev: &Event, ctx: &dyn ReportCtx) {
         let ls_race = self.lockset.on_event(ev);
         let hb_race = self.hb.on_event(ev);
         if let (Some(ls), Some(hb)) = (ls_race, hb_race) {
@@ -248,9 +273,22 @@ impl Tool for HybridDetector {
                 return;
             }
             let details = format!("Previous state: {}; hb: {}", ls.prev_state, hb.conflict);
-            let report = build_report(vm, kind, ls.tid, ls.addr, ls.loc, details);
+            let report = build_report(ctx, kind, ls.tid, ls.addr, ls.loc, details);
             self.sink.add(ls.loc, report);
         }
+    }
+
+    /// End-of-stream flush (mirrors [`Tool::on_finish`]).
+    pub fn handle_finish(&mut self) {
+        if self.truncated() {
+            self.sink.mark_truncated();
+        }
+    }
+}
+
+impl Tool for HybridDetector {
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+        self.handle_event(ev, vm);
     }
 
     fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
@@ -258,9 +296,7 @@ impl Tool for HybridDetector {
     }
 
     fn on_finish(&mut self, _vm: &VmView<'_>) {
-        if self.truncated() {
-            self.sink.mark_truncated();
-        }
+        self.handle_finish();
     }
 }
 

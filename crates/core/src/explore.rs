@@ -466,6 +466,35 @@ impl ExploreCheckpoint {
         }
         Ok(ck)
     }
+
+    /// Like [`Self::parse`], but tolerant of the one corruption an
+    /// interrupted write can leave behind: a truncated final record. On a
+    /// strict-parse failure, drop the trailing partial line (or, when the
+    /// text ends in a newline, the last full line) and retry once. Returns
+    /// the checkpoint plus whether a repair was applied; errors on
+    /// interior lines still propagate — those are real corruption, not a
+    /// torn tail.
+    pub fn parse_repair(text: &str) -> Result<(ExploreCheckpoint, bool), String> {
+        let first_err = match Self::parse(text) {
+            Ok(ck) => return Ok((ck, false)),
+            Err(e) => e,
+        };
+        let trimmed = match text.rfind('\n') {
+            // No trailing newline: everything after the last newline is the
+            // torn tail.
+            Some(nl) if nl + 1 < text.len() => &text[..nl + 1],
+            // Trailing newline: the last complete line is the suspect.
+            Some(nl) => match text[..nl].rfind('\n') {
+                Some(prev) => &text[..prev + 1],
+                None => return Err(first_err),
+            },
+            None => return Err(first_err),
+        };
+        match Self::parse(trimmed) {
+            Ok(ck) => Ok((ck, true)),
+            Err(_) => Err(first_err),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -630,6 +659,38 @@ mod tests {
         assert_eq!(back.locations[0].hits, 5);
         assert_eq!(back.locations[0].report.details, "line one\n\tline\\two");
         assert_eq!(back.locations[0].report.file, "a b.cpp");
+    }
+
+    #[test]
+    fn checkpoint_repair_drops_torn_tail() {
+        let mut ck =
+            ExploreCheckpoint { base_seed: 7, runs: 10, next_index: 6, ..Default::default() };
+        ck.clean_runs = 6;
+        let full = ck.render();
+        // Interrupted write: the final line is cut mid-record, no newline.
+        let torn = &full[..full.len() - 3];
+        assert!(ExploreCheckpoint::parse(torn).is_err(), "strict parse must reject");
+        let (back, repaired) = ExploreCheckpoint::parse_repair(torn).unwrap();
+        assert!(repaired);
+        assert_eq!(back.base_seed, 7);
+        assert_eq!(back.next_index, 6);
+    }
+
+    #[test]
+    fn checkpoint_repair_is_noop_on_clean_input() {
+        let ck = ExploreCheckpoint { base_seed: 3, runs: 4, ..Default::default() };
+        let (back, repaired) = ExploreCheckpoint::parse_repair(&ck.render()).unwrap();
+        assert!(!repaired);
+        assert_eq!(back.base_seed, 3);
+    }
+
+    #[test]
+    fn checkpoint_repair_rejects_interior_corruption() {
+        let ck = ExploreCheckpoint { base_seed: 1, runs: 2, ..Default::default() };
+        // Corrupt an interior line, keep the tail intact: not a torn write.
+        let bad = ck.render().replace("runs 2", "runs two");
+        assert!(ExploreCheckpoint::parse_repair(&bad).is_err());
+        assert!(ExploreCheckpoint::parse_repair("garbage, not a checkpoint").is_err());
     }
 
     /// Full observable state of a summary, for bit-identity assertions.

@@ -34,6 +34,7 @@ pub mod hb;
 pub mod lockorder;
 pub mod locksets;
 pub mod offline;
+pub mod replay;
 pub mod report;
 pub mod segments;
 pub mod shadowmem;
@@ -52,7 +53,10 @@ pub use hb::{HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};
 pub use locksets::{LockId, LockSetId, LockSetTable};
 pub use offline::{analyze_trace, OfflineAnalysis};
-pub use report::{Report, ReportKind, ReportSink, StackFrame};
+pub use replay::{
+    analyze_trace_bytes, warning_fingerprint, ReplayCtx, ReplayDetector, ReplayOutcome,
+};
+pub use report::{format_block_note, Report, ReportCtx, ReportKind, ReportSink, StackFrame};
 pub use segments::{SegmentGraph, SegmentId};
 pub use shadowmem::PageTable;
 pub use suppress::{Suppression, SuppressionSet};

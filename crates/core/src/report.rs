@@ -11,7 +11,7 @@ use crate::suppress::SuppressionSet;
 use serde::{Deserialize, Serialize};
 use vexec::event::ThreadId;
 use vexec::ir::SrcLoc;
-use vexec::util::FxHashSet;
+use vexec::util::{FxHashSet, Symbol};
 use vexec::vm::VmView;
 
 /// The kind of a warning.
@@ -171,32 +171,66 @@ impl Report {
     }
 }
 
-/// Helper: build the resolved stack + block description from a [`VmView`].
+/// Everything a detector needs to turn a raw finding into a resolved
+/// [`Report`]: symbol strings, the acting thread's backtrace, and the
+/// allocation block containing an address.
+///
+/// Implemented by the live [`VmView`] (inline detection) and by the trace
+/// replay context (offline analysis), so both paths resolve reports
+/// through identical code — which is what makes `raceline analyze` output
+/// byte-identical to inline `raceline check`.
+pub trait ReportCtx {
+    /// Resolve an interned symbol to its string.
+    fn resolve_sym(&self, sym: Symbol) -> &str;
+    /// Backtrace of `tid`, innermost frame first, fully resolved.
+    fn stack_of(&self, tid: ThreadId) -> Vec<StackFrame>;
+    /// The "Address … inside a block …" note for `addr`, if any block
+    /// contains it (format via [`format_block_note`]).
+    fn block_note(&self, addr: u64) -> Option<String>;
+}
+
+/// The one true rendering of a report's allocation-block note; every
+/// [`ReportCtx`] must produce block notes through this helper.
+pub fn format_block_note(addr: u64, base: u64, size: u64, alloc_tid: u32, freed: bool) -> String {
+    format!(
+        "Address {:#x} is {} bytes inside a block of size {} alloc'd by thread {}{}",
+        addr,
+        addr - base,
+        size,
+        alloc_tid,
+        if freed { " (freed)" } else { "" }
+    )
+}
+
+impl ReportCtx for VmView<'_> {
+    fn resolve_sym(&self, sym: Symbol) -> &str {
+        self.resolve(sym)
+    }
+
+    fn stack_of(&self, tid: ThreadId) -> Vec<StackFrame> {
+        self.stack(tid)
+            .into_iter()
+            .map(|f| StackFrame {
+                func: self.resolve(f.func).to_string(),
+                file: self.resolve(f.loc.file).to_string(),
+                line: f.loc.line,
+            })
+            .collect()
+    }
+
+    fn block_note(&self, addr: u64) -> Option<String> {
+        self.block_info(addr)
+            .map(|b| format_block_note(addr, b.addr, b.size, b.alloc_tid.0, b.freed))
+    }
+}
+
+/// Helper: build the resolved stack + block description from any context.
 pub fn resolve_context(
-    vm: &VmView<'_>,
+    ctx: &dyn ReportCtx,
     tid: ThreadId,
     addr: u64,
 ) -> (Vec<StackFrame>, Option<String>) {
-    let stack = vm
-        .stack(tid)
-        .into_iter()
-        .map(|f| StackFrame {
-            func: vm.resolve(f.func).to_string(),
-            file: vm.resolve(f.loc.file).to_string(),
-            line: f.loc.line,
-        })
-        .collect();
-    let block = vm.block_info(addr).map(|b| {
-        format!(
-            "Address {:#x} is {} bytes inside a block of size {} alloc'd by thread {}{}",
-            addr,
-            addr - b.addr,
-            b.size,
-            b.alloc_tid.0,
-            if b.freed { " (freed)" } else { "" }
-        )
-    });
-    (stack, block)
+    (ctx.stack_of(tid), ctx.block_note(addr))
 }
 
 /// Collects reports, deduplicates by location, applies suppressions, and

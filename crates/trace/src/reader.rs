@@ -1,0 +1,221 @@
+//! Reading `.rltrace` files: whole-file structural parse, per-epoch
+//! decode, and an epoch-at-a-time [`TraceReader`].
+//!
+//! [`parse_trace`] validates the envelope up front — magic, version, end
+//! magic, whole-file checksum — then walks the frame sequence recording
+//! each epoch's snapshot and payload extent *without* decoding payloads.
+//! That split is what makes sharded analysis possible: epoch payloads are
+//! codec-independent, so [`decode_epoch`] calls can run on any thread in
+//! any order.
+//!
+//! [`TraceReader`] layers sequential consumption on top: it yields one
+//! epoch's records at a time (decoded-record memory stays bounded by one
+//! epoch) and cross-checks the per-thread sequence numbers in every epoch
+//! snapshot against the event stream actually decoded so far.
+
+use std::io::Read;
+
+use crate::format::{
+    decode_footer_body, decode_header, decode_record, decode_snapshot, CodecState, Cursor,
+    EpochSnapshot, Fnv1a, TraceError, TraceFooter, TraceHeader, TraceRecord, END_MAGIC, MAGIC,
+    TAG_EPOCH, TAG_FOOTER, VERSION,
+};
+
+/// One epoch frame located by [`parse_trace`]: its snapshot plus the byte
+/// extent of its (still encoded) payload.
+#[derive(Clone, Debug)]
+pub struct EpochDesc {
+    pub snapshot: EpochSnapshot,
+    pub payload_offset: usize,
+    pub payload_len: usize,
+}
+
+/// Result of a structural parse: header, epoch directory, footer. Payloads
+/// are not decoded; pair with [`decode_epoch`].
+#[derive(Clone, Debug)]
+pub struct ParsedTrace {
+    pub header: TraceHeader,
+    pub epochs: Vec<EpochDesc>,
+    pub footer: TraceFooter,
+}
+
+/// Structurally parse a complete trace. Checksum and envelope are
+/// verified before anything else, so a single flipped byte anywhere in
+/// the file is guaranteed to surface as an error here.
+pub fn parse_trace(bytes: &[u8]) -> Result<ParsedTrace, TraceError> {
+    if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+        return Err(TraceError::BadMagic);
+    }
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err(TraceError::Truncated { offset: bytes.len() as u64 });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != VERSION {
+        return Err(TraceError::BadVersion { found: version, expected: VERSION });
+    }
+    // Envelope: ... | checksum u64 LE | END_MAGIC (neither is hashed).
+    let tail = END_MAGIC.len() + 8;
+    if bytes.len() < 12 + tail || &bytes[bytes.len() - END_MAGIC.len()..] != END_MAGIC {
+        return Err(TraceError::Truncated { offset: bytes.len() as u64 });
+    }
+    let body = &bytes[..bytes.len() - tail];
+    let stored = u64::from_le_bytes(
+        bytes[bytes.len() - tail..bytes.len() - END_MAGIC.len()].try_into().expect("8 bytes"),
+    );
+    let mut h = Fnv1a::default();
+    h.update(body);
+    if h.0 != stored {
+        return Err(TraceError::ChecksumMismatch { expected: stored, found: h.0 });
+    }
+    let mut c = Cursor::new(body, 0);
+    let header = decode_header(&mut c)?;
+    let nsyms = header.symbols.len() as u32;
+    let mut epochs: Vec<EpochDesc> = Vec::new();
+    loop {
+        let tag = c.u8()?;
+        if tag == TAG_EPOCH {
+            let index = c.uvarint()?;
+            if index != epochs.len() as u64 {
+                return Err(c.corrupt(format!(
+                    "epoch index {index} out of order (expected {})",
+                    epochs.len()
+                )));
+            }
+            let snapshot = decode_snapshot(&mut c, index, nsyms)?;
+            let payload_len = c.count("payload byte", 1)?;
+            let payload_offset = c.pos;
+            c.bytes(payload_len)?;
+            epochs.push(EpochDesc { snapshot, payload_offset, payload_len });
+        } else if tag == TAG_FOOTER {
+            let footer = decode_footer_body(&mut c)?;
+            if !c.is_empty() {
+                return Err(c.corrupt("trailing bytes after footer"));
+            }
+            if footer.epochs != epochs.len() as u64 {
+                return Err(c.corrupt(format!(
+                    "footer claims {} epochs, file has {}",
+                    footer.epochs,
+                    epochs.len()
+                )));
+            }
+            return Ok(ParsedTrace { header, epochs, footer });
+        } else {
+            return Err(c.corrupt(format!("unknown frame tag {tag:#04x}")));
+        }
+    }
+}
+
+/// Decode one epoch's payload into records. Self-contained: the delta
+/// codec resets at every epoch boundary, so this needs nothing but the
+/// raw bytes and the symbol-table size.
+pub fn decode_epoch(
+    bytes: &[u8],
+    desc: &EpochDesc,
+    nsyms: u32,
+) -> Result<Vec<TraceRecord>, TraceError> {
+    let payload = &bytes[desc.payload_offset..desc.payload_offset + desc.payload_len];
+    let mut c = Cursor::new(payload, desc.payload_offset as u64);
+    let mut state = CodecState::default();
+    let mut recs = Vec::new();
+    while !c.is_empty() {
+        recs.push(decode_record(&mut c, &mut state, nsyms)?);
+    }
+    Ok(recs)
+}
+
+/// Sequential epoch-at-a-time consumer with cross-frame validation.
+pub struct TraceReader {
+    buf: Vec<u8>,
+    parsed: ParsedTrace,
+    next: usize,
+    counts: Vec<u64>,
+    verified: bool,
+}
+
+impl TraceReader {
+    /// Read a complete trace from `r` and validate its envelope.
+    pub fn from_reader<R: Read>(mut r: R) -> Result<Self, TraceError> {
+        let mut buf = Vec::new();
+        r.read_to_end(&mut buf)?;
+        Self::from_bytes(buf)
+    }
+
+    pub fn from_bytes(buf: Vec<u8>) -> Result<Self, TraceError> {
+        let parsed = parse_trace(&buf)?;
+        Ok(TraceReader { buf, parsed, next: 0, counts: Vec::new(), verified: false })
+    }
+
+    pub fn header(&self) -> &TraceHeader {
+        &self.parsed.header
+    }
+
+    pub fn footer(&self) -> &TraceFooter {
+        &self.parsed.footer
+    }
+
+    pub fn epoch_count(&self) -> usize {
+        self.parsed.epochs.len()
+    }
+
+    /// Decode and return the next epoch's snapshot and records, verifying
+    /// the snapshot's per-thread sequence numbers against the stream
+    /// decoded so far. Returns `Ok(None)` after the last epoch (at which
+    /// point the footer's event count has also been cross-checked).
+    #[allow(clippy::type_complexity)]
+    pub fn next_epoch(&mut self) -> Result<Option<(EpochSnapshot, Vec<TraceRecord>)>, TraceError> {
+        if self.next >= self.parsed.epochs.len() {
+            if !self.verified {
+                self.verified = true;
+                let total: u64 = self.counts.iter().sum();
+                if total != self.parsed.footer.events {
+                    return Err(TraceError::Corrupt {
+                        offset: self.buf.len() as u64,
+                        detail: format!(
+                            "footer claims {} events, stream decoded {total}",
+                            self.parsed.footer.events
+                        ),
+                    });
+                }
+            }
+            return Ok(None);
+        }
+        let desc = &self.parsed.epochs[self.next];
+        for (i, t) in desc.snapshot.threads.iter().enumerate() {
+            let have = self.counts.get(i).copied().unwrap_or(0);
+            if have != t.seq {
+                return Err(TraceError::Corrupt {
+                    offset: desc.payload_offset as u64,
+                    detail: format!(
+                        "epoch {} snapshot says thread {i} emitted {} events, stream has {have}",
+                        desc.snapshot.index, t.seq
+                    ),
+                });
+            }
+        }
+        for (i, &cnt) in self.counts.iter().enumerate().skip(desc.snapshot.threads.len()) {
+            if cnt != 0 {
+                return Err(TraceError::Corrupt {
+                    offset: desc.payload_offset as u64,
+                    detail: format!(
+                        "epoch {} snapshot omits thread {i} which already emitted {cnt} events",
+                        desc.snapshot.index
+                    ),
+                });
+            }
+        }
+        let nsyms = self.parsed.header.symbols.len() as u32;
+        let recs = decode_epoch(&self.buf, desc, nsyms)?;
+        for r in &recs {
+            if let TraceRecord::Event(ev) = r {
+                let i = ev.tid().index();
+                if i >= self.counts.len() {
+                    self.counts.resize(i + 1, 0);
+                }
+                self.counts[i] += 1;
+            }
+        }
+        let snapshot = desc.snapshot.clone();
+        self.next += 1;
+        Ok(Some((snapshot, recs)))
+    }
+}

@@ -1,0 +1,90 @@
+//! LEB128 varints and zigzag signed mapping — the primitive layer of the
+//! `.rltrace` wire format (DESIGN.md §9.2).
+//!
+//! Unsigned values are little-endian base-128 with a continuation bit; a
+//! `u64` therefore spans 1–10 bytes and any encoding longer than 10 bytes
+//! is corrupt by construction. Signed deltas are zigzag-folded first
+//! (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`) so small magnitudes of either
+//! sign stay short.
+
+/// Append `v` to `out` as a LEB128 varint.
+pub fn put_uvarint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Append a zigzag-folded signed value.
+pub fn put_ivarint(out: &mut Vec<u8>, v: i64) {
+    put_uvarint(out, zigzag(v));
+}
+
+/// Fold a signed value into an unsigned one, small magnitudes first.
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// Decode result: `(value, bytes_consumed)` or `None` when the slice ends
+/// mid-varint or the encoding exceeds 10 bytes (overlong / corrupt).
+pub fn get_uvarint(buf: &[u8]) -> Option<(u64, usize)> {
+    let mut v: u64 = 0;
+    for (i, &b) in buf.iter().enumerate().take(10) {
+        // The 10th byte may only contribute the single remaining bit.
+        if i == 9 && b > 0x01 {
+            return None;
+        }
+        v |= u64::from(b & 0x7f) << (7 * i);
+        if b & 0x80 == 0 {
+            return Some((v, i + 1));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uvarint_round_trips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_uvarint(&mut buf, v);
+            let (back, n) = get_uvarint(&buf).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(n, buf.len());
+        }
+    }
+
+    #[test]
+    fn zigzag_round_trips() {
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+    }
+
+    #[test]
+    fn truncated_and_overlong_rejected() {
+        assert!(get_uvarint(&[]).is_none());
+        assert!(get_uvarint(&[0x80]).is_none(), "continuation bit with no next byte");
+        assert!(get_uvarint(&[0xff; 11]).is_none(), "more than 10 continuation bytes");
+        // 10 bytes with an over-wide final byte overflows u64.
+        let mut overlong = vec![0xff; 9];
+        overlong.push(0x7f);
+        assert!(get_uvarint(&overlong).is_none());
+    }
+}

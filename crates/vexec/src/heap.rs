@@ -146,6 +146,11 @@ impl Heap {
         (addr < b.addr + b.size).then_some(b)
     }
 
+    /// Every block ever allocated, in allocation order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
     /// Number of allocations performed.
     pub fn alloc_count(&self) -> usize {
         self.blocks.len()

@@ -287,9 +287,34 @@ impl<'a> VmView<'a> {
             .collect()
     }
 
+    /// Number of live frames on `tid`'s stack.
+    pub fn frame_count(&self, tid: ThreadId) -> usize {
+        self.vm.threads[tid.index()].frames.len()
+    }
+
+    /// Frame `i` of `tid`'s stack in push order (0 = outermost), with the
+    /// same function-name fallback as [`VmView::stack`].
+    pub fn frame_info(&self, tid: ThreadId, i: usize) -> FrameInfo {
+        let f = &self.vm.threads[tid.index()].frames[i];
+        FrameInfo {
+            func: if f.cur_loc.func != Symbol::EMPTY {
+                f.cur_loc.func
+            } else {
+                self.vm.prog.procs[f.proc.0 as usize].name
+            },
+            loc: f.cur_loc,
+        }
+    }
+
     /// Allocation block containing `addr`, if any.
     pub fn block_info(&self, addr: u64) -> Option<Block> {
         self.vm.heap.block_containing(addr).copied()
+    }
+
+    /// Every block ever allocated (bump allocator: freed blocks stay,
+    /// marked `freed`), in allocation order.
+    pub fn heap_blocks(&self) -> &[Block] {
+        self.vm.heap.blocks()
     }
 
     /// Number of threads ever created.

@@ -3,9 +3,12 @@
 //!
 //! ```text
 //! raceline check app.mcpp [lib.mcpp ...] [options]
+//! raceline record app.mcpp [lib.mcpp ...] [--out <trace.rltrace>] [options]
+//! raceline analyze trace.rltrace [--detector <name>] [--jobs <n>] [options]
+//! raceline trace-diff old.rltrace new.rltrace [--detector <name>] [--json]
 //! raceline lint  app.mcpp [lib.mcpp ...] [--raw <file>] [--json]
 //! raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3] [--jobs <n>] [options]
-//! raceline bench-snapshot [--out <file>] [--samples <n>] [--quick]
+//! raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace]
 //!
 //! check options:
 //!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
@@ -41,16 +44,20 @@
 //! ```
 
 use helgrind_core::explore::{explore_schedules_with, ExploreCheckpoint, ExploreLimits};
+use helgrind_core::replay::{analyze_trace_bytes, warning_fingerprint, ReplayDetector};
 use helgrind_core::{
     BudgetSpec, DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, Suppression,
     SuppressionSet,
 };
 use minicpp::pipeline::{run_pipeline, SourceFile};
+use raceline_trace::format::{TraceFaultStats, TraceTermination};
+use raceline_trace::writer::TraceWriter;
 use serde::{Serialize, Value};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::io::Write as _;
 use vexec::faults::{parse_u64, FaultPlan, FaultStats};
 use vexec::sched::{Pct, RoundRobin, Scheduler, SeededRandom};
-use vexec::vm::{run_flat, Termination, VmOptions};
+use vexec::vm::{run_flat, BlockOn, Termination, VmOptions};
 
 fn usage() -> ! {
     eprintln!(
@@ -60,10 +67,16 @@ fn usage() -> ! {
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
          [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
          [--jobs <n>] [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
+         \x20      raceline record <file.mcpp>... [--out <trace.rltrace>] \
+         [--epoch-events <n>] [--schedule ...] [--faults <spec>] [--budget <spec>]\n\
+         \x20      raceline analyze <trace.rltrace> [--detector <name>] [--jobs <n>] \
+         [--from-epoch <k>] [--suppressions <file>] [--gen-suppressions] [--budget <spec>] [--json]\n\
+         \x20      raceline trace-diff <old.rltrace> <new.rltrace> [--detector <name>] \
+         [--detector-a <name>] [--detector-b <name>] [--jobs <n>] [--json]\n\
          \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
          \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
          [--detector <name>] [--max-slots <n>] [--jobs <n>] [--json]\n\
-         \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick]"
+         \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace]"
     );
     std::process::exit(2);
 }
@@ -126,6 +139,13 @@ fn main() {
     let cmd = match args.next().as_deref() {
         Some("check") => "check",
         Some("lint") => "lint",
+        Some("record") => "record",
+        Some("analyze") => {
+            run_analyze(args.collect());
+        }
+        Some("trace-diff") => {
+            run_trace_diff(args.collect());
+        }
         Some("chaos") => {
             run_chaos(args.collect());
         }
@@ -149,6 +169,8 @@ fn main() {
     let mut emit_ir = false;
     let mut json = false;
     let mut cross_check = false;
+    let mut record_out: Option<String> = None;
+    let mut epoch_events: Option<u64> = None;
 
     let args: Vec<String> = args.collect();
     let mut it = args.iter();
@@ -184,6 +206,11 @@ fn main() {
                 }));
             }
             "--checkpoint" => checkpoint_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--out" => record_out = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--epoch-events" => {
+                epoch_events =
+                    Some(it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
+            }
             "--gen-suppressions" => gen_suppressions = true,
             "--emit-annotated" => emit_annotated = true,
             "--emit-ir" => emit_ir = true,
@@ -246,8 +273,15 @@ fn main() {
         };
         let resume = checkpoint_path.as_ref().and_then(|p| {
             let text = std::fs::read_to_string(p).ok()?;
-            match ExploreCheckpoint::parse(&text) {
-                Ok(ck) => {
+            // An interrupted save leaves a torn final line; repair (drop the
+            // partial record) rather than refusing to resume.
+            match ExploreCheckpoint::parse_repair(&text) {
+                Ok((ck, repaired)) => {
+                    if repaired {
+                        eprintln!(
+                            "{p}: repaired truncated checkpoint (dropped partial final line)"
+                        );
+                    }
                     eprintln!("resuming from {p}: {}/{} runs done", ck.next_index, ck.runs);
                     Some(ck)
                 }
@@ -260,7 +294,7 @@ fn main() {
         let summary =
             explore_schedules_with(&out.program, cfg, runs, 0xACE, limits, resume.as_ref());
         if let Some(p) = &checkpoint_path {
-            if let Err(e) = std::fs::write(p, summary.checkpoint().render()) {
+            if let Err(e) = write_checkpoint(p, &summary.checkpoint().render()) {
                 eprintln!("cannot write checkpoint {p}: {e}");
                 std::process::exit(EXIT_ERROR);
             }
@@ -320,6 +354,41 @@ fn main() {
             .unwrap_or(VmOptions::default().max_slots),
         ..Default::default()
     };
+    // Record mode: run the VM once with the trace writer as the tool and
+    // leave all detection for `raceline analyze`.
+    if cmd == "record" {
+        let out_path = record_out.unwrap_or_else(|| "trace.rltrace".to_string());
+        let file = std::fs::File::create(&out_path).unwrap_or_else(|e| {
+            eprintln!("cannot create {out_path}: {e}");
+            std::process::exit(EXIT_ERROR);
+        });
+        let mut writer = TraceWriter::new(std::io::BufWriter::new(file));
+        if let Some(n) = epoch_events {
+            writer = writer.with_epoch_events(n);
+        }
+        let r = run_flat(&flat, &mut writer, sched.as_mut(), opts);
+        let summary =
+            writer.finish(&r.termination, &r.stats, r.faults.as_ref()).unwrap_or_else(|e| {
+                eprintln!("cannot write {out_path}: {e}");
+                std::process::exit(EXIT_ERROR);
+            });
+        match &r.termination {
+            Termination::AllExited => {}
+            Termination::Deadlock(waits) => {
+                eprintln!("note: run ended in deadlock ({} thread(s) blocked)", waits.len());
+            }
+            Termination::GuestError(e) => eprintln!("note: run ended with guest error: {e}"),
+            Termination::FuelExhausted => {
+                eprintln!("note: slot budget exhausted before the program finished");
+            }
+        }
+        eprintln!(
+            "recorded {} event(s) in {} epoch(s) to {out_path} ({} bytes)",
+            summary.events, summary.epochs, summary.bytes
+        );
+        std::process::exit(0);
+    }
+
     let termination;
     let truncated;
     let fault_stats: Option<FaultStats>;
@@ -351,50 +420,6 @@ fn main() {
         }
     };
     let dynamic: Vec<Report> = dynamic.into_iter().filter(|r| !suppressions.matches(r)).collect();
-    let mut warnings = dynamic.len();
-
-    if !json {
-        for (i, r) in dynamic.iter().enumerate() {
-            println!("{}", r.render());
-            if gen_suppressions {
-                println!("{}", Suppression::from_report(&format!("auto-{}", i + 1), r, 3).render());
-            }
-        }
-    }
-
-    let mut guest_error: Option<String> = None;
-    let timed_out = matches!(termination, Termination::FuelExhausted);
-    match &termination {
-        Termination::AllExited => {}
-        Termination::Deadlock(waits) => {
-            if !json {
-                println!("DEADLOCK: {} thread(s) blocked:", waits.len());
-                for w in waits {
-                    println!(
-                        "  thread {} blocked on {:?} held by {:?}",
-                        w.tid.0,
-                        w.on,
-                        w.holders.iter().map(|t| t.0).collect::<Vec<_>>()
-                    );
-                }
-            }
-            warnings += 1;
-        }
-        Termination::GuestError(e) => {
-            // The *guest* faulted; the detector kept its state. Report as a
-            // diagnostic and exit 2 — this is neither clean nor a finding.
-            guest_error = Some(e.to_string());
-            if !json {
-                println!("guest error: {e}");
-            }
-        }
-        Termination::FuelExhausted => {
-            // Budget cap hit: a partial (but valid) run, not an error.
-            if !json {
-                println!("timed out: slot budget exhausted before the program finished");
-            }
-        }
-    }
 
     // Static cross-check: join the two report streams by (kind, file,
     // line). The static side sees paths no schedule exercised; the
@@ -409,42 +434,167 @@ fn main() {
             stat.reports.iter().filter(|r| !dyn_keys.contains(&join_key(r))).collect();
         let dynamic_only: Vec<&Report> =
             dynamic.iter().filter(|r| !stat_keys.contains(&join_key(r))).collect();
-        if !json {
-            println!(
-                "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only",
-                confirmed.len(),
-                static_only.len(),
-                dynamic_only.len()
-            );
-            for (label, set) in [
-                ("confirmed-both", &confirmed),
-                ("static-only", &static_only),
-                ("dynamic-only", &dynamic_only),
-            ] {
-                for r in set.iter() {
-                    println!(
-                        "[{label}] {} at {} ({}:{}) — {}",
-                        r.kind.name(),
-                        r.func,
-                        r.file,
-                        r.line,
-                        r.details
-                    );
-                }
+        let mut text = format!(
+            "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only\n",
+            confirmed.len(),
+            static_only.len(),
+            dynamic_only.len()
+        );
+        for (label, set) in [
+            ("confirmed-both", &confirmed),
+            ("static-only", &static_only),
+            ("dynamic-only", &dynamic_only),
+        ] {
+            for r in set.iter() {
+                text.push_str(&format!(
+                    "[{label}] {} at {} ({}:{}) — {}\n",
+                    r.kind.name(),
+                    r.func,
+                    r.file,
+                    r.line,
+                    r.details
+                ));
             }
         }
         let to_vals = |rs: &[&Report]| Value::Array(rs.iter().map(|r| r.to_value()).collect());
-        Value::Object(vec![
+        let value = Value::Object(vec![
             ("confirmed_both".to_string(), to_vals(&confirmed)),
             ("static_only".to_string(), to_vals(&static_only)),
             ("dynamic_only".to_string(), to_vals(&dynamic_only)),
-        ])
+        ]);
+        (text, value)
     });
+
+    let (end, term_label) = end_of_termination(&termination);
+    let faults_out = fault_stats.map(|fs| FaultCounts {
+        total: fs.total(),
+        spurious_wakeups: fs.spurious_wakeups,
+        lock_failures: fs.lock_failures,
+        alloc_failures: fs.alloc_failures,
+        kills: fs.kills,
+    });
+    finish_run(dynamic, truncated, end, term_label, faults_out, cross, gen_suppressions, json);
+}
+
+/// How a run (live or replayed) ended, reduced to what the CLI prints.
+/// `check` builds this from [`Termination`], `analyze` from the trace
+/// footer's [`TraceTermination`]; both then share [`finish_run`], which is
+/// what makes the offline text output byte-identical to the inline run.
+enum EndKind {
+    Clean,
+    /// Per blocked thread: (tid, what it blocks on, holder tids).
+    Deadlock(Vec<(u32, BlockOn, Vec<u32>)>),
+    GuestError(String),
+    TimedOut,
+}
+
+/// Injected-fault counters in CLI-neutral form (live or from the footer).
+struct FaultCounts {
+    total: u64,
+    spurious_wakeups: u64,
+    lock_failures: u64,
+    alloc_failures: u64,
+    kills: u64,
+}
+
+fn end_of_termination(t: &Termination) -> (EndKind, String) {
+    let label = format!("{t:?}");
+    let end = match t {
+        Termination::AllExited => EndKind::Clean,
+        Termination::Deadlock(waits) => EndKind::Deadlock(
+            waits
+                .iter()
+                .map(|w| (w.tid.0, w.on, w.holders.iter().map(|t| t.0).collect()))
+                .collect(),
+        ),
+        Termination::GuestError(e) => EndKind::GuestError(e.to_string()),
+        Termination::FuelExhausted => EndKind::TimedOut,
+    };
+    (end, label)
+}
+
+/// The trace footer keeps deadlock waits and the rendered guest error but
+/// not the full `Termination` value, so the JSON `termination` label for
+/// those two cases is a summary rather than the live Debug string; the
+/// text output (the byte-identity contract) is unaffected.
+fn end_of_trace(t: &TraceTermination) -> (EndKind, String) {
+    match t {
+        TraceTermination::AllExited => (EndKind::Clean, "AllExited".to_string()),
+        TraceTermination::Deadlock(waits) => (
+            EndKind::Deadlock(waits.iter().map(|w| (w.tid, w.on, w.holders.clone())).collect()),
+            format!("Deadlock({} waiting)", waits.len()),
+        ),
+        TraceTermination::GuestError(e) => {
+            (EndKind::GuestError(e.clone()), format!("GuestError({e})"))
+        }
+        TraceTermination::FuelExhausted => (EndKind::TimedOut, "FuelExhausted".to_string()),
+    }
+}
+
+/// Shared tail of `check` and `analyze`: print reports, termination
+/// diagnostics, optional cross-check block and JSON object, then exit with
+/// the 0/1/2 contract.
+#[allow(clippy::too_many_arguments)]
+fn finish_run(
+    dynamic: Vec<Report>,
+    truncated: bool,
+    end: EndKind,
+    term_label: String,
+    faults: Option<FaultCounts>,
+    cross: Option<(String, Value)>,
+    gen_suppressions: bool,
+    json: bool,
+) -> ! {
+    let mut warnings = dynamic.len();
+
+    if !json {
+        for (i, r) in dynamic.iter().enumerate() {
+            println!("{}", r.render());
+            if gen_suppressions {
+                println!("{}", Suppression::from_report(&format!("auto-{}", i + 1), r, 3).render());
+            }
+        }
+    }
+
+    let mut guest_error: Option<String> = None;
+    let timed_out = matches!(end, EndKind::TimedOut);
+    match &end {
+        EndKind::Clean => {}
+        EndKind::Deadlock(waits) => {
+            if !json {
+                println!("DEADLOCK: {} thread(s) blocked:", waits.len());
+                for (tid, on, holders) in waits {
+                    println!("  thread {tid} blocked on {on:?} held by {holders:?}");
+                }
+            }
+            warnings += 1;
+        }
+        EndKind::GuestError(e) => {
+            // The *guest* faulted; the detector kept its state. Report as a
+            // diagnostic and exit 2 — this is neither clean nor a finding.
+            guest_error = Some(e.clone());
+            if !json {
+                println!("guest error: {e}");
+            }
+        }
+        EndKind::TimedOut => {
+            // Budget cap hit: a partial (but valid) run, not an error.
+            if !json {
+                println!("timed out: slot budget exhausted before the program finished");
+            }
+        }
+    }
+
+    if !json {
+        if let Some((text, _)) = &cross {
+            print!("{text}");
+        }
+    }
 
     if json {
         let mut obj = vec![
             ("warnings".to_string(), Value::UInt(warnings as u64)),
-            ("termination".to_string(), Value::Str(format!("{termination:?}"))),
+            ("termination".to_string(), Value::Str(term_label)),
             ("truncated".to_string(), Value::Bool(truncated)),
             ("timed_out".to_string(), Value::Bool(timed_out)),
             ("reports".to_string(), reports_json(&dynamic)),
@@ -452,11 +602,11 @@ fn main() {
         if let Some(e) = &guest_error {
             obj.push(("guest_error".to_string(), Value::Str(e.clone())));
         }
-        if let Some(fs) = &fault_stats {
+        if let Some(fs) = &faults {
             obj.push((
                 "injected_faults".to_string(),
                 Value::Object(vec![
-                    ("total".to_string(), Value::UInt(fs.total())),
+                    ("total".to_string(), Value::UInt(fs.total)),
                     ("spurious_wakeups".to_string(), Value::UInt(fs.spurious_wakeups)),
                     ("lock_failures".to_string(), Value::UInt(fs.lock_failures)),
                     ("alloc_failures".to_string(), Value::UInt(fs.alloc_failures)),
@@ -464,7 +614,7 @@ fn main() {
                 ]),
             ));
         }
-        if let Some(c) = cross {
+        if let Some((_, c)) = cross {
             obj.push(("static_cross_check".to_string(), c));
         }
         println!("{}", Value::Object(obj));
@@ -476,6 +626,201 @@ fn main() {
         std::process::exit(EXIT_ERROR);
     }
     std::process::exit(if warnings == 0 { 0 } else { EXIT_FINDINGS });
+}
+
+/// Write a checkpoint through a buffered writer, flushing after every
+/// line: an interrupt mid-save tears at most the final line, which
+/// `parse_repair` drops on resume.
+fn write_checkpoint(path: &str, rendered: &str) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for line in rendered.split_inclusive('\n') {
+        w.write_all(line.as_bytes())?;
+        w.flush()?;
+    }
+    w.flush()
+}
+
+/// Build the replay-side detector exactly the way the inline `check` path
+/// builds its tool (same config, same suppression wiring) — the other half
+/// of the byte-identity contract.
+fn build_replay_detector(
+    name: &str,
+    cfg: DetectorConfig,
+    suppressions: &SuppressionSet,
+) -> ReplayDetector {
+    match name {
+        "djit" => ReplayDetector::Djit(DjitDetector::new(cfg)),
+        "hybrid" | "hybrid-queue" => ReplayDetector::Hybrid(HybridDetector::new(cfg)),
+        _ => ReplayDetector::Eraser(EraserDetector::with_suppressions(cfg, suppressions.clone())),
+    }
+}
+
+fn read_trace(path: &str) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(EXIT_ERROR);
+    })
+}
+
+/// `raceline analyze`: feed a recorded trace through any detector
+/// configuration — no VM, no re-execution — and print exactly what
+/// `raceline check` would have printed inline.
+fn run_analyze(args: Vec<String>) -> ! {
+    let mut trace_path: Option<String> = None;
+    let mut detector_name = "hwlc-dr".to_string();
+    let mut jobs: usize = 1;
+    let mut from_epoch: u64 = 0;
+    let mut suppressions = SuppressionSet::new();
+    let mut gen_suppressions = false;
+    let mut budget: Option<BudgetSpec> = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--detector" => detector_name = it.next().unwrap_or_else(|| usage()).clone(),
+            "--jobs" => {
+                jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--from-epoch" => {
+                from_epoch = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--suppressions" => {
+                let path = it.next().unwrap_or_else(|| usage());
+                let text = read_source(path);
+                suppressions = SuppressionSet::parse(&text).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                });
+            }
+            "--budget" => {
+                let spec = it.next().unwrap_or_else(|| usage());
+                budget = Some(BudgetSpec::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("--budget: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }));
+            }
+            "--gen-suppressions" => gen_suppressions = true,
+            "--json" => json = true,
+            path if !path.starts_with('-') => {
+                if trace_path.is_some() {
+                    usage();
+                }
+                trace_path = Some(path.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let path = trace_path.unwrap_or_else(|| usage());
+    let bytes = read_trace(&path);
+
+    let mut cfg = parse_detector(&detector_name);
+    if let Some(b) = &budget {
+        cfg.budget = b.detector;
+    }
+    let detector = build_replay_detector(&detector_name, cfg, &suppressions);
+    let outcome =
+        analyze_trace_bytes(&bytes, detector, jobs.max(1), from_epoch).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(EXIT_ERROR);
+        });
+    eprintln!(
+        "analyzed {} event(s) from {} epoch(s) [{detector_name}]",
+        outcome.events, outcome.footer.epochs
+    );
+
+    let dynamic: Vec<Report> =
+        outcome.reports.into_iter().filter(|r| !suppressions.matches(r)).collect();
+    let (end, term_label) = end_of_trace(&outcome.footer.termination);
+    let faults = outcome.footer.faults.map(|fs: TraceFaultStats| FaultCounts {
+        total: fs.total(),
+        spurious_wakeups: fs.spurious_wakeups,
+        lock_failures: fs.lock_failures,
+        alloc_failures: fs.alloc_failures,
+        kills: fs.kills,
+    });
+    finish_run(dynamic, outcome.truncated, end, term_label, faults, None, gen_suppressions, json);
+}
+
+/// `raceline trace-diff`: analyze two traces (or one trace under two
+/// detector configurations) and report warnings by stable fingerprint —
+/// which are new, which are fixed. Exit 0 when the sets match, 1 when they
+/// differ, 2 on error.
+fn run_trace_diff(args: Vec<String>) -> ! {
+    let mut paths: Vec<String> = Vec::new();
+    let mut detector_a = "hwlc-dr".to_string();
+    let mut detector_b: Option<String> = None;
+    let mut jobs: usize = 1;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--detector" => detector_a = it.next().unwrap_or_else(|| usage()).clone(),
+            "--detector-a" => detector_a = it.next().unwrap_or_else(|| usage()).clone(),
+            "--detector-b" => detector_b = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--jobs" => {
+                jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
+            }
+            "--json" => json = true,
+            path if !path.starts_with('-') => paths.push(path.to_string()),
+            _ => usage(),
+        }
+    }
+    if paths.len() != 2 {
+        usage();
+    }
+    let detector_b = detector_b.unwrap_or_else(|| detector_a.clone());
+    let suppressions = SuppressionSet::new();
+
+    let analyze_one = |path: &str, name: &str| -> BTreeMap<String, Report> {
+        let bytes = read_trace(path);
+        let det = build_replay_detector(name, parse_detector(name), &suppressions);
+        let outcome = analyze_trace_bytes(&bytes, det, jobs.max(1), 0).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(EXIT_ERROR);
+        });
+        outcome.reports.into_iter().map(|r| (warning_fingerprint(&r), r)).collect()
+    };
+    let old = analyze_one(&paths[0], &detector_a);
+    let new = analyze_one(&paths[1], &detector_b);
+
+    let fresh: Vec<(&String, &Report)> =
+        new.iter().filter(|(k, _)| !old.contains_key(*k)).collect();
+    let fixed: Vec<(&String, &Report)> =
+        old.iter().filter(|(k, _)| !new.contains_key(*k)).collect();
+    let unchanged = new.keys().filter(|k| old.contains_key(*k)).count();
+
+    let describe = |r: &Report| format!("{} at {}:{} ({})", r.kind.name(), r.file, r.line, r.func);
+    if json {
+        let to_vals = |rs: &[(&String, &Report)]| {
+            Value::Array(
+                rs.iter()
+                    .map(|(k, r)| {
+                        Value::Object(vec![
+                            ("fingerprint".to_string(), Value::Str((*k).clone())),
+                            ("summary".to_string(), Value::Str(describe(r))),
+                        ])
+                    })
+                    .collect(),
+            )
+        };
+        let obj = Value::Object(vec![
+            ("new".to_string(), to_vals(&fresh)),
+            ("fixed".to_string(), to_vals(&fixed)),
+            ("unchanged".to_string(), Value::UInt(unchanged as u64)),
+        ]);
+        println!("{obj}");
+    } else {
+        println!("trace-diff: {} new, {} fixed, {} unchanged", fresh.len(), fixed.len(), unchanged);
+        for (_, r) in &fresh {
+            println!("[new] {}", describe(r));
+        }
+        for (_, r) in &fixed {
+            println!("[fixed] {}", describe(r));
+        }
+    }
+    std::process::exit(if fresh.is_empty() && fixed.is_empty() { 0 } else { EXIT_FINDINGS });
 }
 
 /// `raceline lint`: parse + annotate + static passes, no execution.
@@ -785,36 +1130,26 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
     use vexec::tool::NullTool;
     use vexec::vm::run_program;
 
-    let mut out_path = "BENCH_overhead.json".to_string();
+    let mut out_path: Option<String> = None;
     let mut samples: usize = 15;
+    let mut trace_mode = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--out" => out_path = it.next().unwrap_or_else(|| usage()).clone(),
+            "--out" => out_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
             "--samples" => {
                 samples = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
             "--quick" => samples = 3,
+            "--trace" => trace_mode = true,
             _ => usage(),
         }
     }
     samples = samples.max(1);
-
-    /// Median wall-clock nanoseconds over `samples` timed calls (after one
-    /// untimed warm-up, so lazy init and cold caches don't skew the first
-    /// sample).
-    fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
-        f();
-        let mut times: Vec<u64> = (0..samples)
-            .map(|_| {
-                let t = std::time::Instant::now();
-                f();
-                t.elapsed().as_nanos() as u64
-            })
-            .collect();
-        times.sort_unstable();
-        times[times.len() / 2]
+    if trace_mode {
+        run_bench_trace(samples, out_path.unwrap_or_else(|| "BENCH_trace.json".to_string()));
     }
+    let out_path = out_path.unwrap_or_else(|| "BENCH_overhead.json".to_string());
 
     const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
     let prog = vm_workload_program(SPEC);
@@ -917,6 +1252,169 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
         "bench-snapshot: wrote {out_path} (vm/native {:.1}x, hwlc-dr/vm {:.1}x)",
         ratio(vm, native),
         ratio(ns_of("vm-eraser-hwlc-dr"), vm)
+    );
+    std::process::exit(0);
+}
+
+/// Median wall-clock nanoseconds over `samples` timed calls (after one
+/// untimed warm-up, so lazy init and cold caches don't skew the first
+/// sample).
+fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
+    f();
+    let mut times: Vec<u64> = (0..samples)
+        .map(|_| {
+            let t = std::time::Instant::now();
+            f();
+            t.elapsed().as_nanos() as u64
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+/// `raceline bench-snapshot --trace`: measure what recording costs. Two
+/// angles: end-to-end VM overhead (record tool vs no tool vs inline
+/// detectors — recording must be the cheapest instrumented mode, that is
+/// the subsystem's reason to exist) and raw codec throughput over the
+/// workload's event stream.
+fn run_bench_trace(samples: usize, out_path: String) -> ! {
+    use raceline_trace::format::{decode_record, encode_event, CodecState, Cursor};
+    use sipsim::native::{vm_workload_program, WorkloadSpec};
+    use vexec::tool::{NullTool, RecordingTool};
+    use vexec::vm::run_program;
+
+    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+    let prog = vm_workload_program(SPEC);
+
+    let mut medians: Vec<(&str, u64)> = Vec::new();
+    medians.push((
+        "vm-no-tool",
+        median_ns(samples, || {
+            let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
+            std::hint::black_box(r.stats.events);
+        }),
+    ));
+    medians.push((
+        "vm-record",
+        median_ns(samples, || {
+            let mut w = TraceWriter::new(Vec::with_capacity(1 << 20));
+            let r = run_program(&prog, &mut w, &mut RoundRobin::new());
+            let s = w.finish(&r.termination, &r.stats, r.faults.as_ref()).expect("vec sink");
+            std::hint::black_box(s.bytes);
+        }),
+    ));
+    medians.push((
+        "vm-eraser-hwlc-dr",
+        median_ns(samples, || {
+            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-hybrid",
+        median_ns(samples, || {
+            let mut det = HybridDetector::new(DetectorConfig::hybrid());
+            run_program(&prog, &mut det, &mut RoundRobin::new());
+            std::hint::black_box(det.sink.location_count());
+        }),
+    ));
+
+    // Raw codec throughput over the workload's own event stream, VM cost
+    // excluded. Symbol bounds are irrelevant here, so decode with the
+    // loosest cap.
+    let mut rec = RecordingTool::new();
+    run_program(&prog, &mut rec, &mut RoundRobin::new());
+    let events = rec.events;
+    let mut encoded = Vec::new();
+    let mut st = CodecState::default();
+    for ev in &events {
+        encode_event(&mut encoded, &mut st, ev);
+    }
+    let encode_ns = median_ns(samples, || {
+        let mut buf = Vec::with_capacity(encoded.len());
+        let mut st = CodecState::default();
+        for ev in &events {
+            encode_event(&mut buf, &mut st, ev);
+        }
+        std::hint::black_box(buf.len());
+    });
+    let decode_ns = median_ns(samples, || {
+        let mut c = Cursor::new(&encoded, 0);
+        let mut st = CodecState::default();
+        let mut n = 0u64;
+        while !c.is_empty() {
+            decode_record(&mut c, &mut st, u32::MAX).expect("self-encoded stream");
+            n += 1;
+        }
+        std::hint::black_box(n);
+    });
+    let per_sec = |ns: u64| {
+        if ns == 0 {
+            0.0
+        } else {
+            events.len() as f64 / (ns as f64 / 1e9)
+        }
+    };
+    let bytes_per_event =
+        if events.is_empty() { 0.0 } else { encoded.len() as f64 / events.len() as f64 };
+
+    let ns_of = |name: &str| medians.iter().find(|(n, _)| *n == name).unwrap().1 as f64;
+    let vm = ns_of("vm-no-tool");
+    let record = ns_of("vm-record");
+    let hybrid = ns_of("vm-hybrid");
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 0.0 };
+    let multiples: Vec<(String, Value)> = vec![
+        ("vm-record/vm-no-tool".to_string(), Value::Float(ratio(record, vm))),
+        (
+            "vm-eraser-hwlc-dr/vm-no-tool".to_string(),
+            Value::Float(ratio(ns_of("vm-eraser-hwlc-dr"), vm)),
+        ),
+        ("vm-hybrid/vm-no-tool".to_string(), Value::Float(ratio(hybrid, vm))),
+        ("vm-hybrid/vm-record".to_string(), Value::Float(ratio(hybrid, record))),
+    ];
+
+    let obj = Value::Object(vec![
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                ("threads".to_string(), Value::UInt(SPEC.threads as u64)),
+                ("iterations".to_string(), Value::UInt(SPEC.iterations)),
+            ]),
+        ),
+        ("samples".to_string(), Value::UInt(samples as u64)),
+        (
+            "median_ns".to_string(),
+            Value::Object(
+                medians.iter().map(|(n, ns)| (n.to_string(), Value::UInt(*ns))).collect(),
+            ),
+        ),
+        (
+            "codec".to_string(),
+            Value::Object(vec![
+                ("events".to_string(), Value::UInt(events.len() as u64)),
+                ("encoded_bytes".to_string(), Value::UInt(encoded.len() as u64)),
+                ("bytes_per_event".to_string(), Value::Float(bytes_per_event)),
+                ("encode_events_per_sec".to_string(), Value::Float(per_sec(encode_ns))),
+                ("decode_events_per_sec".to_string(), Value::Float(per_sec(decode_ns))),
+            ]),
+        ),
+        ("multiples".to_string(), Value::Object(multiples)),
+        ("record_cheaper_than_hybrid".to_string(), Value::Bool(record < hybrid)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{obj}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(EXIT_ERROR);
+    }
+    for (name, ns) in &medians {
+        eprintln!("bench-snapshot {name}: median {:.3} ms", *ns as f64 / 1e6);
+    }
+    eprintln!(
+        "bench-snapshot: wrote {out_path} (record/vm {:.2}x, hybrid/record {:.2}x, \
+         {:.1} B/event)",
+        ratio(record, vm),
+        ratio(hybrid, record),
+        bytes_per_event
     );
     std::process::exit(0);
 }

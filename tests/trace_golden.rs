@@ -1,0 +1,179 @@
+//! Golden equivalence: for the paper's T1–T8 evaluation cases, feeding a
+//! recorded trace through any detector configuration must reproduce the
+//! inline run's reports *byte for byte* — same renders, same order, same
+//! truncation flag — and must do so identically for any `--jobs` count.
+//! Plus the robustness half of the contract: corrupting or truncating a
+//! trace anywhere yields a structured error, never a panic or a wrong
+//! answer.
+
+use helgrind_core::replay::{analyze_trace_bytes, ReplayDetector};
+use helgrind_core::{
+    DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, SuppressionSet,
+};
+use raceline_trace::reader::parse_trace;
+use raceline_trace::writer::TraceWriter;
+use vexec::sched::RoundRobin;
+use vexec::vm::{run_flat, Termination, VmOptions};
+
+const ENGINES: &[&str] = &["original", "hwlc", "hwlc-dr", "djit", "hybrid", "hybrid-queue"];
+
+fn config_of(name: &str) -> DetectorConfig {
+    match name {
+        "original" => DetectorConfig::original(),
+        "hwlc" => DetectorConfig::hwlc(),
+        "hwlc-dr" => DetectorConfig::hwlc_dr(),
+        "djit" => DetectorConfig::djit(),
+        "hybrid" => DetectorConfig::hybrid(),
+        "hybrid-queue" => DetectorConfig::hybrid_queue_hb(),
+        other => panic!("unknown engine {other}"),
+    }
+}
+
+/// Inline run: the reference the offline path must match byte for byte.
+fn run_inline(
+    flat: &vexec::ir::lower::FlatProgram,
+    engine: &str,
+) -> (Vec<String>, bool, Termination) {
+    let cfg = config_of(engine);
+    let (reports, truncated, termination): (Vec<Report>, bool, Termination) = match engine {
+        "djit" => {
+            let mut det = DjitDetector::new(cfg);
+            let r = run_flat(flat, &mut det, &mut RoundRobin::new(), VmOptions::default());
+            (det.sink.take_reports(), det.truncated(), r.termination)
+        }
+        "hybrid" | "hybrid-queue" => {
+            let mut det = HybridDetector::new(cfg);
+            let r = run_flat(flat, &mut det, &mut RoundRobin::new(), VmOptions::default());
+            (det.sink.take_reports(), det.truncated(), r.termination)
+        }
+        _ => {
+            let mut det = EraserDetector::with_suppressions(cfg, SuppressionSet::new());
+            let r = run_flat(flat, &mut det, &mut RoundRobin::new(), VmOptions::default());
+            (det.sink.take_reports(), det.truncated(), r.termination)
+        }
+    };
+    (reports.iter().map(Report::render).collect(), truncated, termination)
+}
+
+fn replay_detector(engine: &str) -> ReplayDetector {
+    let cfg = config_of(engine);
+    match engine {
+        "djit" => ReplayDetector::Djit(DjitDetector::new(cfg)),
+        "hybrid" | "hybrid-queue" => ReplayDetector::Hybrid(HybridDetector::new(cfg)),
+        _ => ReplayDetector::Eraser(EraserDetector::with_suppressions(cfg, SuppressionSet::new())),
+    }
+}
+
+fn analyze(bytes: &[u8], engine: &str, jobs: usize) -> (Vec<String>, bool) {
+    let outcome = analyze_trace_bytes(bytes, replay_detector(engine), jobs, 0)
+        .expect("recorded trace must analyze cleanly");
+    (outcome.reports.iter().map(Report::render).collect(), outcome.truncated)
+}
+
+#[test]
+fn record_analyze_matches_inline_for_all_cases_and_engines() {
+    for tc in sipsim::testcases() {
+        let flat = tc.build().program.lower();
+        // Small epochs so even the small cases exercise multi-epoch decode
+        // and the codec reset at every boundary.
+        let bytes = record_bytes(&flat, 512);
+        for engine in ENGINES {
+            let (inline_reports, inline_trunc, _) = run_inline(&flat, engine);
+            let (replayed, replay_trunc) = analyze(&bytes, engine, 1);
+            assert_eq!(
+                replayed, inline_reports,
+                "case {} engine {engine}: offline reports differ from inline",
+                tc.name
+            );
+            assert_eq!(replay_trunc, inline_trunc, "case {} engine {engine}", tc.name);
+        }
+    }
+}
+
+#[test]
+fn sharded_analysis_is_bit_identical_to_sequential() {
+    for tc in sipsim::testcases() {
+        let flat = tc.build().program.lower();
+        let bytes = record_bytes(&flat, 128);
+        assert!(
+            parse_trace(&bytes).expect("valid trace").epochs.len() > 1,
+            "case {} must span several epochs for this test to bite",
+            tc.name
+        );
+        for engine in ["hwlc-dr", "hybrid"] {
+            let seq = analyze(&bytes, engine, 1);
+            for jobs in [2, 4, 8] {
+                assert_eq!(
+                    analyze(&bytes, engine, jobs),
+                    seq,
+                    "case {} engine {engine} jobs {jobs}",
+                    tc.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_byte_mutation_is_detected() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 256);
+    parse_trace(&bytes).expect("unmutated trace parses");
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0xFF;
+        let r = std::panic::catch_unwind(|| {
+            analyze_trace_bytes(&mutated, replay_detector("hwlc-dr"), 1, 0).map(|_| ())
+        });
+        match r {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("flipping byte {i} went undetected"),
+            Err(_) => panic!("flipping byte {i} caused a panic"),
+        }
+    }
+}
+
+#[test]
+fn every_truncation_is_detected() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 256);
+    for len in 0..bytes.len() {
+        let r = std::panic::catch_unwind(|| parse_trace(&bytes[..len]).map(|_| ()));
+        match r {
+            Ok(Err(_)) => {}
+            Ok(Ok(())) => panic!("prefix of {len} bytes parsed as a complete trace"),
+            Err(_) => panic!("prefix of {len} bytes caused a panic"),
+        }
+    }
+}
+
+/// Record a run into an in-memory buffer and hand the bytes back.
+fn record_bytes(flat: &vexec::ir::lower::FlatProgram, epoch_events: u64) -> Vec<u8> {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    /// `TraceWriter::finish` consumes the writer without returning the
+    /// sink, so share the buffer with the test through an Arc.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let sink = SharedBuf::default();
+    let mut writer = TraceWriter::new(sink.clone()).with_epoch_events(epoch_events);
+    let r = run_flat(flat, &mut writer, &mut RoundRobin::new(), VmOptions::default());
+    writer
+        .finish(&r.termination, &r.stats, r.faults.as_ref())
+        .expect("in-memory trace write cannot fail");
+    let bytes = sink.0.lock().unwrap().clone();
+    bytes
+}
