@@ -19,7 +19,7 @@ use vexec::sched::RoundRobin;
 use vexec::tool::NullTool;
 use vexec::vm::{run_flat, VmOptions};
 
-const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 16 };
 
 fn bench_faults(c: &mut Criterion) {
     let prog = vm_workload_program(SPEC);

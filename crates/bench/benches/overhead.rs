@@ -16,7 +16,7 @@ use vexec::sched::RoundRobin;
 use vexec::tool::NullTool;
 use vexec::vm::run_program;
 
-const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 16 };
 
 fn bench_overhead(c: &mut Criterion) {
     let prog = vm_workload_program(SPEC);

@@ -116,7 +116,7 @@ fn bench_shadow(c: &mut Criterion) {
 }
 
 fn bench_explore(c: &mut Criterion) {
-    let prog = vm_workload_program(WorkloadSpec { threads: 4, iterations: 120 });
+    let prog = vm_workload_program(WorkloadSpec { threads: 4, iterations: 120, parse_reads: 16 });
     let mut group = c.benchmark_group("explore");
     group.sample_size(10);
 

@@ -18,7 +18,7 @@ use vexec::sched::RoundRobin;
 use vexec::tool::{NullTool, RecordingTool};
 use vexec::vm::run_program;
 
-const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 16 };
 
 fn bench_codec(c: &mut Criterion) {
     // One VM run supplies a realistic event mix; the codec is then

@@ -161,7 +161,7 @@ fn e6(json: &Option<String>) {
 
 fn e7(json: &Option<String>) {
     println!("## E7 / §4.5 — execution overhead (paper: VM 8-10x, VM+analysis 20-30x)\n");
-    let spec = WorkloadSpec { threads: 4, iterations: 5_000 };
+    let spec = WorkloadSpec { threads: 4, iterations: 5_000, parse_reads: 16 };
     let r = e7_performance(spec, 5);
     println!(
         "workload: {} threads x {} iterations, {} events",

@@ -67,6 +67,20 @@ fn build_report(
     }
 }
 
+/// Per-engine analysis counters, surfaced by `raceline check --stats` /
+/// `analyze --stats` (stderr only — stdout report identity is the
+/// filter-equivalence contract and these counters legitimately differ
+/// between filtered and unfiltered runs).
+#[derive(Clone, Copy, Debug)]
+pub struct EngineStats {
+    /// Engine label ("lockset" or "hb").
+    pub name: &'static str,
+    /// Memory accesses the engine processed.
+    pub accesses: u64,
+    /// Granules dropped on the floor after the shadow budget filled.
+    pub shadow_overflow: u64,
+}
+
 /// The Eraser/Helgrind lockset detector with lock-order deadlock
 /// prediction.
 pub struct EraserDetector {
@@ -103,6 +117,15 @@ impl EraserDetector {
 
     pub fn engine(&self) -> &LocksetEngine {
         &self.engine
+    }
+
+    /// Analysis counters for `--stats`.
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        vec![EngineStats {
+            name: "lockset",
+            accesses: self.engine.accesses,
+            shadow_overflow: self.engine.shadow_overflow(),
+        }]
     }
 
     /// True if any budget cap degraded this run's results.
@@ -188,6 +211,15 @@ impl DjitDetector {
         DjitDetector { engine: HbEngine::new(cfg), sink, guest_fault: None }
     }
 
+    /// Analysis counters for `--stats`.
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        vec![EngineStats {
+            name: "hb",
+            accesses: self.engine.accesses,
+            shadow_overflow: self.engine.shadow_overflow(),
+        }]
+    }
+
     /// True if any budget cap degraded this run's results.
     pub fn truncated(&self) -> bool {
         self.engine.truncated() || self.sink.truncated()
@@ -256,6 +288,22 @@ impl HybridDetector {
         let mut sink = ReportSink::new();
         sink.set_max_reports(cfg.budget.max_reports);
         HybridDetector { lockset, hb, sink, guest_fault: None }
+    }
+
+    /// Analysis counters for `--stats`.
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        vec![
+            EngineStats {
+                name: "lockset",
+                accesses: self.lockset.accesses,
+                shadow_overflow: self.lockset.shadow_overflow(),
+            },
+            EngineStats {
+                name: "hb",
+                accesses: self.hb.accesses,
+                shadow_overflow: self.hb.shadow_overflow(),
+            },
+        ]
     }
 
     /// True if any budget cap degraded this run's results.

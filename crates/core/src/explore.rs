@@ -15,6 +15,7 @@ use crate::report::{Report, ReportKind, StackFrame};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use vexec::faults::FaultPlan;
+use vexec::filter::FilterTool;
 use vexec::ir::lower::FlatProgram;
 use vexec::ir::Program;
 use vexec::sched::SeededRandom;
@@ -56,6 +57,10 @@ pub struct ExploreLimits {
     /// value produces a bit-identical summary and checkpoint — see the
     /// merge protocol notes on [`explore_schedules_with`].
     pub jobs: usize,
+    /// Disable the redundant-access filter cache in front of the detector.
+    /// The filter is report-preserving, so this only trades speed for
+    /// nothing — it exists for the equivalence gates and for debugging.
+    pub no_filter: bool,
 }
 
 /// Aggregated exploration outcome.
@@ -143,10 +148,18 @@ fn run_seed(
     base_seed: u64,
     i: usize,
     opts: &VmOptions,
+    no_filter: bool,
 ) -> RunOutcome {
-    let mut det = EraserDetector::new(cfg);
     let mut sched = SeededRandom::new(base_seed.wrapping_add(i as u64));
-    let r = run_flat(flat, &mut det, &mut sched, opts.clone());
+    let (r, mut det) = if no_filter {
+        let mut det = EraserDetector::new(cfg);
+        let r = run_flat(flat, &mut det, &mut sched, opts.clone());
+        (r, det)
+    } else {
+        let mut tool = FilterTool::new(EraserDetector::new(cfg));
+        let r = run_flat(flat, &mut tool, &mut sched, opts.clone());
+        (r, tool.into_parts().0)
+    };
     RunOutcome {
         slots: r.stats.slots,
         termination: r.termination,
@@ -248,7 +261,7 @@ pub fn explore_schedules_with(
                     break;
                 }
             }
-            let o = run_seed(&flat, cfg, base_seed, i, &opts);
+            let o = run_seed(&flat, cfg, base_seed, i, &opts, limits.no_filter);
             fold_outcome(&mut summary, &mut agg, o, i);
         }
     } else {
@@ -274,7 +287,10 @@ pub fn explore_schedules_with(
                             if i >= runs {
                                 break;
                             }
-                            local.push((i, run_seed(flat, cfg, base_seed, i, worker_opts)));
+                            local.push((
+                                i,
+                                run_seed(flat, cfg, base_seed, i, worker_opts, limits.no_filter),
+                            ));
                         }
                         local
                     })
@@ -708,6 +724,32 @@ mod tests {
             s.slots_used,
             s.checkpoint().render(),
         )
+    }
+
+    #[test]
+    fn filtered_sweep_is_bit_identical_to_unfiltered() {
+        let prog = mixed_program();
+        let filtered = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xDEED,
+            ExploreLimits::default(),
+            None,
+        );
+        let unfiltered = explore_schedules_with(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xDEED,
+            ExploreLimits { no_filter: true, ..Default::default() },
+            None,
+        );
+        assert_eq!(fingerprint(&filtered), fingerprint(&unfiltered));
+        for (a, b) in filtered.locations.iter().zip(unfiltered.locations.iter()) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.report.details, b.report.details);
+        }
     }
 
     #[test]

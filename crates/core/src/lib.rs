@@ -43,7 +43,7 @@ pub mod vc;
 
 pub use budget::{BudgetSpec, DetectorBudget};
 pub use config::{BusLockModel, DetectorConfig};
-pub use detector::{DjitDetector, EraserDetector, HybridDetector};
+pub use detector::{DjitDetector, EngineStats, EraserDetector, HybridDetector};
 pub use eraser::{LocksetEngine, RaceInfo, VarState};
 pub use explore::{
     explore_schedules, explore_schedules_with, ExploreCheckpoint, ExploreLimits, ExploreSummary,

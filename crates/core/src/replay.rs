@@ -31,7 +31,7 @@ use vexec::event::{Event, ThreadId};
 use vexec::ir::SrcLoc;
 use vexec::util::Symbol;
 
-use crate::detector::{DjitDetector, EraserDetector, HybridDetector};
+use crate::detector::{DjitDetector, EngineStats, EraserDetector, HybridDetector};
 use crate::report::{format_block_note, Report, ReportCtx, StackFrame};
 
 /// Any of the three detector families, unified for trace dispatch. Build
@@ -76,6 +76,15 @@ impl ReplayDetector {
             ReplayDetector::Hybrid(d) => d.sink.take_reports(),
         }
     }
+
+    /// Per-engine analysis counters, for `analyze --stats`.
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        match self {
+            ReplayDetector::Eraser(d) => d.engine_stats(),
+            ReplayDetector::Djit(d) => d.engine_stats(),
+            ReplayDetector::Hybrid(d) => d.engine_stats(),
+        }
+    }
 }
 
 /// What offline analysis hands back to the caller.
@@ -85,6 +94,8 @@ pub struct ReplayOutcome {
     /// Events dispatched to the detector (suffix only under `from_epoch`).
     pub events: u64,
     pub footer: TraceFooter,
+    /// Per-engine counters from the replay-side detector (`--stats`).
+    pub engine_stats: Vec<EngineStats>,
 }
 
 /// Reconstructed report context: symbol table, per-thread backtraces,
@@ -306,6 +317,7 @@ pub fn analyze_trace_bytes(
     detector.handle_finish();
     Ok(ReplayOutcome {
         truncated: detector.truncated(),
+        engine_stats: detector.engine_stats(),
         reports: detector.take_reports(),
         events: dispatched,
         footer: parsed.footer,

@@ -25,7 +25,7 @@ pub mod workload;
 pub use proxy::{build_proxy, BuiltProxy, Dispatch, ProxyConfig, SiteLabel, SiteMap};
 pub use sip::{Method, SipRequest};
 pub use testcases::{
-    reproduce_fig6, run_case, run_case_chaos, testcases, CaseResult, ChaosRunOutcome, Fig6Row,
-    TestCase,
+    reproduce_fig6, run_case, run_case_chaos, run_case_chaos_with, testcases, CaseResult,
+    ChaosRunOutcome, Fig6Row, TestCase,
 };
 pub use workload::{apply_chaos, generate, ChaosSpec, FlowKind, ScenarioSpec};

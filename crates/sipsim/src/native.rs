@@ -19,11 +19,16 @@ use vexec::ir::{Expr, Program};
 pub struct WorkloadSpec {
     pub threads: usize,
     pub iterations: u64,
+    /// Per-iteration message-parse phase: each worker re-reads the two
+    /// fields of its thread-private parse block this many times (header
+    /// scan over a buffer that cannot change under its feet — the
+    /// canonical redundant-access pattern the filter cache targets).
+    pub parse_reads: u64,
 }
 
 impl Default for WorkloadSpec {
     fn default() -> Self {
-        WorkloadSpec { threads: 4, iterations: 2_000 }
+        WorkloadSpec { threads: 4, iterations: 2_000, parse_reads: 16 }
     }
 }
 
@@ -37,6 +42,8 @@ pub fn native_workload(spec: WorkloadSpec) -> u64 {
             let session = Arc::clone(&session);
             let refcount = Arc::clone(&refcount);
             std::thread::spawn(move || {
+                // Thread-private parse block (header kind + length).
+                let parse_block = [0u64, 0u64];
                 for _ in 0..spec.iterations {
                     {
                         let mut s = session.lock().unwrap();
@@ -45,6 +52,11 @@ pub fn native_workload(spec: WorkloadSpec) -> u64 {
                     // COW-string-style refcount churn (bus-locked RMW).
                     refcount.fetch_add(1, Ordering::SeqCst);
                     refcount.fetch_sub(1, Ordering::SeqCst);
+                    // Parse phase: repeated reads of the private header.
+                    for _ in 0..spec.parse_reads {
+                        std::hint::black_box(parse_block[0]);
+                        std::hint::black_box(parse_block[1]);
+                    }
                 }
             })
         })
@@ -63,9 +75,16 @@ pub fn vm_workload_program(spec: WorkloadSpec) -> Program {
     let session = pb.global("g_session", 8);
     let refcount = pb.global("g_refcount", 8);
     let m_cell = pb.global("g_mutex", 8);
+    // One 16-byte thread-private parse block per worker (header kind +
+    // length), handed to each worker by address. Only its owner ever
+    // touches it, so the repeated header reads below are exactly the
+    // redundant accesses a filter cache can elide.
+    let stats = pb.global("g_parse", (spec.threads.max(1) as u64) * 16);
 
     let wloc = pb.loc("workload.cpp", 10, "worker");
-    let mut w = ProcBuilder::new(0);
+    let ploc = pb.loc("workload.cpp", 18, "worker");
+    let mut w = ProcBuilder::new(1);
+    let block = w.param(0);
     w.at(wloc);
     let mx = w.load_new(m_cell, 8);
     w.begin_repeat(spec.iterations);
@@ -75,6 +94,24 @@ pub fn vm_workload_program(spec: WorkloadSpec) -> Program {
     w.unlock(mx);
     w.atomic_rmw(None, Expr::Global(refcount), 1u64, 8);
     w.atomic_rmw(None, Expr::Global(refcount), (-1i64) as u64, 8);
+    // Parse phase: scan the private header repeatedly between sync ops.
+    // Unrolled 4× so the loop-counter bookkeeping doesn't dwarf the access
+    // events themselves (the native compiler unrolls the matching loop
+    // too) — the remainder pairs are emitted straight-line after the loop.
+    w.at(ploc);
+    if spec.parse_reads >= 4 {
+        w.begin_repeat(spec.parse_reads / 4);
+        for _ in 0..4 {
+            w.load_new(Expr::Reg(block), 8);
+            w.load_new(Expr::Reg(block).add(Expr::Const(8)), 8);
+        }
+        w.end_repeat();
+    }
+    for _ in 0..spec.parse_reads % 4 {
+        w.load_new(Expr::Reg(block), 8);
+        w.load_new(Expr::Reg(block).add(Expr::Const(8)), 8);
+    }
+    w.at(wloc);
     w.end_repeat();
     let worker = pb.add_proc("worker", w);
 
@@ -85,8 +122,9 @@ pub fn vm_workload_program(spec: WorkloadSpec) -> Program {
     m.store(m_cell, mx, 8);
     m.store(refcount, 1u64, 8);
     let mut joins = Vec::new();
-    for _ in 0..spec.threads {
-        joins.push(m.spawn(worker, vec![]));
+    for i in 0..spec.threads {
+        let block = Expr::Global(stats).add(Expr::Const(i as u64 * 16));
+        joins.push(m.spawn(worker, vec![block]));
     }
     for h in joins {
         m.join(h);
@@ -112,13 +150,13 @@ mod tests {
 
     #[test]
     fn native_workload_computes_expected_total() {
-        let spec = WorkloadSpec { threads: 3, iterations: 100 };
+        let spec = WorkloadSpec { threads: 3, iterations: 100, parse_reads: 8 };
         assert_eq!(native_workload(spec), 300);
     }
 
     #[test]
     fn vm_workload_matches_native_semantics() {
-        let spec = WorkloadSpec { threads: 3, iterations: 50 };
+        let spec = WorkloadSpec { threads: 3, iterations: 50, parse_reads: 8 };
         let prog = vm_workload_program(spec);
         let mut tool = NullTool;
         let r = run_program(&prog, &mut tool, &mut RoundRobin::new());
@@ -128,10 +166,30 @@ mod tests {
     #[test]
     fn vm_workload_is_race_free_under_detector() {
         use helgrind_core::{DetectorConfig, EraserDetector};
-        let spec = WorkloadSpec { threads: 3, iterations: 20 };
+        let spec = WorkloadSpec { threads: 3, iterations: 20, parse_reads: 8 };
         let prog = vm_workload_program(spec);
         let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
         run_program(&prog, &mut det, &mut RoundRobin::new()).expect_clean();
         assert_eq!(det.sink.race_location_count(), 0, "{:?}", det.sink.reports());
+    }
+
+    #[test]
+    fn vm_workload_parse_phase_is_filterable() {
+        use helgrind_core::{DetectorConfig, EraserDetector};
+        use vexec::filter::FilterTool;
+        let spec = WorkloadSpec { threads: 3, iterations: 20, parse_reads: 8 };
+        let prog = vm_workload_program(spec);
+        let mut filtered = FilterTool::new(EraserDetector::new(DetectorConfig::hwlc_dr()));
+        run_program(&prog, &mut filtered, &mut RoundRobin::new()).expect_clean();
+        let (det, stats) = filtered.into_parts();
+        assert_eq!(det.sink.race_location_count(), 0, "{:?}", det.sink.reports());
+        // The parse phase exists precisely so the filter has something to
+        // elide: (parse_reads - 1) of each header-read pair per iteration.
+        assert!(
+            stats.hit_rate() > 0.4,
+            "expected a warm filter on the bench workload, got {:?} (hit rate {:.3})",
+            stats,
+            stats.hit_rate()
+        );
     }
 }

@@ -15,6 +15,7 @@ use crate::workload::ScenarioSpec;
 use helgrind_core::report::ReportKind;
 use helgrind_core::{DetectorConfig, EraserDetector};
 use vexec::faults::{FaultPlan, FaultStats};
+use vexec::filter::FilterTool;
 use vexec::sched::{RoundRobin, SeededRandom};
 use vexec::vm::{run_flat, run_program, Termination, VmOptions};
 
@@ -169,6 +170,8 @@ fn fnv1a(h: &mut u64, bytes: &[u8]) {
 /// Run a built proxy under fault injection with a seeded-random schedule.
 /// Tolerates every termination kind; panics only propagate from genuine
 /// detector/VM bugs (which is what the chaos harness exists to catch).
+/// Runs with the redundant-access filter enabled; fingerprints are
+/// filter-invariant (see `run_case_chaos_with`).
 pub fn run_case_chaos(
     built: &BuiltProxy,
     cfg: DetectorConfig,
@@ -176,15 +179,38 @@ pub fn run_case_chaos(
     sched_seed: u64,
     max_slots: Option<u64>,
 ) -> ChaosRunOutcome {
+    run_case_chaos_with(built, cfg, plan, sched_seed, max_slots, true)
+}
+
+/// [`run_case_chaos`] with explicit control over the redundant-access
+/// filter cache. The filter is report-preserving, so `use_filter` must not
+/// change the outcome — the chaos fingerprint doubles as the equivalence
+/// evidence under fault injection, and a dedicated test asserts on/off
+/// equality.
+pub fn run_case_chaos_with(
+    built: &BuiltProxy,
+    cfg: DetectorConfig,
+    plan: FaultPlan,
+    sched_seed: u64,
+    max_slots: Option<u64>,
+    use_filter: bool,
+) -> ChaosRunOutcome {
     let flat = built.program.lower();
-    let mut det = EraserDetector::new(cfg);
     let mut sched = SeededRandom::new(sched_seed);
     let opts = VmOptions {
         faults: Some(plan),
         max_slots: max_slots.unwrap_or(VmOptions::default().max_slots),
         ..Default::default()
     };
-    let r = run_flat(&flat, &mut det, &mut sched, opts);
+    let (r, det) = if use_filter {
+        let mut tool = FilterTool::new(EraserDetector::new(cfg));
+        let r = run_flat(&flat, &mut tool, &mut sched, opts);
+        (r, tool.into_parts().0)
+    } else {
+        let mut det = EraserDetector::new(cfg);
+        let r = run_flat(&flat, &mut det, &mut sched, opts);
+        (r, det)
+    };
 
     let mut out = ChaosRunOutcome {
         clean: r.termination.is_clean(),
@@ -315,6 +341,31 @@ mod tests {
         assert!(calm.clean, "{calm:?}");
         assert!(calm.real_hits > 0);
         assert_eq!(calm.fault_stats.map(|f| f.total()), Some(0));
+    }
+
+    #[test]
+    fn chaos_fingerprint_is_filter_invariant() {
+        // The filter elides events before the detector sees them; under a
+        // fault plan (killed threads, failed locks, failed allocs) the
+        // fingerprint — termination, every report field, fault stats —
+        // must still match the unfiltered run bit for bit.
+        let tc = &testcases()[2]; // T3, the smallest case
+        let built = tc.build();
+        for (plan_seed, sched_seed) in [(0xC0FFEEu64, 7u64), (0xBEEF, 11), (42, 3)] {
+            let plan = FaultPlan::from_seed(plan_seed);
+            for cfg in
+                [DetectorConfig::original(), DetectorConfig::hwlc(), DetectorConfig::hwlc_dr()]
+            {
+                let on = run_case_chaos_with(&built, cfg, plan, sched_seed, None, true);
+                let off = run_case_chaos_with(&built, cfg, plan, sched_seed, None, false);
+                assert_eq!(
+                    on.fingerprint, off.fingerprint,
+                    "plan {plan_seed:#x} sched {sched_seed}: {on:?} vs {off:?}"
+                );
+                assert_eq!(on.truncated, off.truncated);
+                assert_eq!(on.locations, off.locations);
+            }
+        }
     }
 
     #[test]

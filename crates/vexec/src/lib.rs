@@ -52,6 +52,7 @@
 
 pub mod event;
 pub mod faults;
+pub mod filter;
 pub mod heap;
 pub mod ir;
 pub mod sched;
@@ -63,6 +64,7 @@ pub mod vm;
 
 pub use event::{AccessKind, AcqMode, ClientEv, Event, SyncId, ThreadId};
 pub use faults::{FaultInjector, FaultKind, FaultPlan, FaultStats};
+pub use filter::{FilterCache, FilterStats, FilterTool};
 pub use ir::builder::{ProcBuilder, ProgramBuilder};
 pub use ir::{Cond, Expr, Program, SrcLoc, SyncKind, SyncOp};
 pub use sched::{Pct, PriorityOrder, Quantum, RoundRobin, Scheduler, SeededRandom, SplitMix64};

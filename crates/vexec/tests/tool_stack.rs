@@ -1,0 +1,117 @@
+//! Regression tests for tool stacking: every hook of the [`Tool`] trait —
+//! `on_event`, `on_guest_fault`, `on_finish` — must reach *every* tool in a
+//! [`FanoutTool`] stack, including when the run ends in a structured guest
+//! fault from an injected failure. (A stack that forwards only `on_event`
+//! silently loses detector end-of-run flushes and fault diagnostics.)
+
+use vexec::faults::FaultPlan;
+use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
+use vexec::sched::RoundRobin;
+use vexec::tool::{FanoutTool, Tool};
+use vexec::vm::{run_flat, GuestError, Termination, VmOptions, VmView};
+use vexec::Event;
+
+/// Records exactly which hooks fired.
+#[derive(Default)]
+struct ProbeTool {
+    events: u64,
+    faults: Vec<String>,
+    finishes: u64,
+}
+
+impl Tool for ProbeTool {
+    fn on_event(&mut self, _ev: &Event, _vm: &VmView<'_>) {
+        self.events += 1;
+    }
+
+    fn on_guest_fault(&mut self, err: &GuestError, _vm: &VmView<'_>) {
+        self.faults.push(err.to_string());
+    }
+
+    fn on_finish(&mut self, _vm: &VmView<'_>) {
+        self.finishes += 1;
+    }
+}
+
+fn locked_counter_program() -> vexec::Program {
+    let mut pb = ProgramBuilder::new();
+    let counter = pb.global("counter", 8);
+    let m_cell = pb.global("m_cell", 8);
+    let wloc = pb.loc("stack.cpp", 5, "worker");
+    let mut w = ProcBuilder::new(0);
+    w.at(wloc);
+    let mx = w.load_new(m_cell, 8);
+    w.begin_repeat(8);
+    w.lock(mx);
+    let v = w.load_new(counter, 8);
+    w.store(counter, vexec::ir::Expr::Reg(v).add(1u64.into()), 8);
+    w.unlock(mx);
+    // Per-iteration scratch buffer. Under an alloc-failure plan the
+    // allocation returns null and the store becomes a wild write — the
+    // structured guest fault the second test provokes.
+    let buf = w.alloc(16u64);
+    w.store(vexec::ir::Expr::Reg(buf), 1u64, 8);
+    w.free(vexec::ir::Expr::Reg(buf));
+    w.end_repeat();
+    let worker = pb.add_proc("worker", w);
+
+    let mloc = pb.loc("stack.cpp", 20, "main");
+    let mut m = ProcBuilder::new(0);
+    m.at(mloc);
+    let mx = m.new_mutex();
+    m.store(m_cell, mx, 8);
+    let a = m.spawn(worker, vec![]);
+    let b = m.spawn(worker, vec![]);
+    m.join(a);
+    m.join(b);
+    let main_id = pb.add_proc("main", m);
+    pb.set_entry(main_id);
+    pb.finish()
+}
+
+#[test]
+fn fanout_forwards_all_hooks_on_clean_run() {
+    let flat = locked_counter_program().lower();
+    let mut a = ProbeTool::default();
+    let mut b = ProbeTool::default();
+    {
+        let mut stack = FanoutTool::new(vec![&mut a, &mut b]);
+        let r = run_flat(&flat, &mut stack, &mut RoundRobin::new(), VmOptions::default());
+        assert!(r.termination.is_clean(), "{:?}", r.termination);
+    }
+    assert!(a.events > 0);
+    assert_eq!(a.events, b.events, "both tools must see the same stream");
+    assert_eq!(a.finishes, 1);
+    assert_eq!(b.finishes, 1);
+    assert!(a.faults.is_empty() && b.faults.is_empty());
+}
+
+#[test]
+fn fanout_forwards_guest_fault_to_every_tool() {
+    let flat = locked_counter_program().lower();
+    // Every worker allocation fails: the null-pointer store that follows
+    // is a structured guest fault, which must fan out to both tools.
+    let plan = FaultPlan {
+        seed: 7,
+        wakeup_permille: 0,
+        lockfail_permille: 0,
+        allocfail_permille: 1000,
+        kill_permille: 0,
+        max_kills: 0,
+    };
+    let opts = VmOptions { faults: Some(plan), max_slots: 100_000, ..Default::default() };
+    let mut a = ProbeTool::default();
+    let mut b = ProbeTool::default();
+    let term = {
+        let mut stack = FanoutTool::new(vec![&mut a, &mut b]);
+        run_flat(&flat, &mut stack, &mut RoundRobin::new(), opts).termination
+    };
+    assert!(matches!(term, Termination::GuestError(_)), "{term:?}");
+    assert_eq!(a.faults.len(), 1, "first tool missed the fault");
+    assert_eq!(b.faults.len(), 1, "second tool missed the fault");
+    assert_eq!(a.faults, b.faults, "tools saw different faults");
+    assert_eq!(a.events, b.events);
+    // on_finish still fires after a faulted run (detectors flush there).
+    assert_eq!(a.finishes, 1);
+    assert_eq!(b.finishes, 1);
+}

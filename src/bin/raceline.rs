@@ -32,6 +32,13 @@
 //!                           total-slots — the last is the --explore
 //!                           watchdog); capped runs degrade and set
 //!                           truncated/timed_out flags instead of aborting
+//!   --no-filter             disable the redundant-access filter cache
+//!                           (reports are identical either way; the filter
+//!                           only saves time — also valid for record,
+//!                           --explore and chaos)
+//!   --stats                 print per-engine access counts, filter hit
+//!                           rate and shadow-overflow counters to stderr
+//!                           (also valid for analyze; stdout is unchanged)
 //!   --static-cross-check    also run the static analysis and label each
 //!                           finding confirmed-both / static-only /
 //!                           dynamic-only (joined by kind, file, line)
@@ -56,8 +63,11 @@ use serde::{Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io::Write as _;
 use vexec::faults::{parse_u64, FaultPlan, FaultStats};
+use vexec::filter::{FilterStats, FilterTool};
+use vexec::ir::lower::FlatProgram;
 use vexec::sched::{Pct, RoundRobin, Scheduler, SeededRandom};
-use vexec::vm::{run_flat, BlockOn, Termination, VmOptions};
+use vexec::tool::Tool;
+use vexec::vm::{run_flat, BlockOn, RunResult, Termination, VmOptions};
 
 fn usage() -> ! {
     eprintln!(
@@ -66,16 +76,19 @@ fn usage() -> ! {
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
          [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
-         [--jobs <n>] [--static-cross-check] [--json] [--emit-annotated] [--emit-ir]\n\
+         [--jobs <n>] [--static-cross-check] [--no-filter] [--stats] [--json] \
+         [--emit-annotated] [--emit-ir]\n\
          \x20      raceline record <file.mcpp>... [--out <trace.rltrace>] \
-         [--epoch-events <n>] [--schedule ...] [--faults <spec>] [--budget <spec>]\n\
+         [--epoch-events <n>] [--schedule ...] [--faults <spec>] [--budget <spec>] \
+         [--no-filter] [--stats]\n\
          \x20      raceline analyze <trace.rltrace> [--detector <name>] [--jobs <n>] \
-         [--from-epoch <k>] [--suppressions <file>] [--gen-suppressions] [--budget <spec>] [--json]\n\
+         [--from-epoch <k>] [--suppressions <file>] [--gen-suppressions] [--budget <spec>] \
+         [--stats] [--json]\n\
          \x20      raceline trace-diff <old.rltrace> <new.rltrace> [--detector <name>] \
          [--detector-a <name>] [--detector-b <name>] [--jobs <n>] [--json]\n\
          \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
          \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
-         [--detector <name>] [--max-slots <n>] [--jobs <n>] [--json]\n\
+         [--detector <name>] [--max-slots <n>] [--jobs <n>] [--no-filter] [--json]\n\
          \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace]"
     );
     std::process::exit(2);
@@ -171,6 +184,8 @@ fn main() {
     let mut cross_check = false;
     let mut record_out: Option<String> = None;
     let mut epoch_events: Option<u64> = None;
+    let mut no_filter = false;
+    let mut stats = false;
 
     let args: Vec<String> = args.collect();
     let mut it = args.iter();
@@ -215,6 +230,8 @@ fn main() {
             "--emit-annotated" => emit_annotated = true,
             "--emit-ir" => emit_ir = true,
             "--json" => json = true,
+            "--no-filter" => no_filter = true,
+            "--stats" => stats = true,
             "--static-cross-check" => cross_check = true,
             "--explore" => {
                 explore = Some(it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
@@ -270,6 +287,7 @@ fn main() {
             total_slot_budget: budget.as_ref().and_then(|b| b.total_slots),
             faults,
             jobs,
+            no_filter,
         };
         let resume = checkpoint_path.as_ref().and_then(|p| {
             let text = std::fs::read_to_string(p).ok()?;
@@ -366,12 +384,28 @@ fn main() {
         if let Some(n) = epoch_events {
             writer = writer.with_epoch_events(n);
         }
-        let r = run_flat(&flat, &mut writer, sched.as_mut(), opts);
+        // The filter elides exact-repeat accesses before they reach the
+        // writer: smaller traces, same reports on replay (elided events
+        // are state-transition no-ops). --no-filter forces full streams.
+        let (r, writer, filter_stats) = if no_filter {
+            let r = run_flat(&flat, &mut writer, sched.as_mut(), opts);
+            (r, writer, None)
+        } else {
+            let mut tool = FilterTool::new(writer);
+            let r = run_flat(&flat, &mut tool, sched.as_mut(), opts);
+            let (writer, fstats) = tool.into_parts();
+            (r, writer, Some(fstats))
+        };
         let summary =
             writer.finish(&r.termination, &r.stats, r.faults.as_ref()).unwrap_or_else(|e| {
                 eprintln!("cannot write {out_path}: {e}");
                 std::process::exit(EXIT_ERROR);
             });
+        if stats {
+            if let Some(fs) = filter_stats {
+                print_filter_stats(&fs);
+            }
+        }
         match &r.termination {
             Termination::AllExited => {}
             Termination::Deadlock(waits) => {
@@ -392,33 +426,47 @@ fn main() {
     let termination;
     let truncated;
     let fault_stats: Option<FaultStats>;
+    let engine_stats: Vec<helgrind_core::EngineStats>;
+    let filter_stats: Option<vexec::filter::FilterStats>;
     let dynamic: Vec<Report> = match detector_name.as_str() {
         "djit" => {
-            let mut det = DjitDetector::new(cfg);
-            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            let det = DjitDetector::new(cfg);
+            let (r, mut det, fstats) = run_detector(&flat, det, sched.as_mut(), opts, no_filter);
             termination = r.termination;
             fault_stats = r.faults;
             truncated = det.truncated();
+            engine_stats = det.engine_stats();
+            filter_stats = fstats;
             det.sink.take_reports()
         }
         "hybrid" | "hybrid-queue" => {
-            let mut det = HybridDetector::new(cfg);
-            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            let det = HybridDetector::new(cfg);
+            let (r, mut det, fstats) = run_detector(&flat, det, sched.as_mut(), opts, no_filter);
             termination = r.termination;
             fault_stats = r.faults;
             truncated = det.truncated();
+            engine_stats = det.engine_stats();
+            filter_stats = fstats;
             det.sink.take_reports()
         }
         _ => {
             // Eraser applies suppressions inside its sink already.
-            let mut det = EraserDetector::with_suppressions(cfg, suppressions.clone());
-            let r = run_flat(&flat, &mut det, sched.as_mut(), opts);
+            let det = EraserDetector::with_suppressions(cfg, suppressions.clone());
+            let (r, mut det, fstats) = run_detector(&flat, det, sched.as_mut(), opts, no_filter);
             termination = r.termination;
             fault_stats = r.faults;
             truncated = det.truncated();
+            engine_stats = det.engine_stats();
+            filter_stats = fstats;
             det.sink.take_reports()
         }
     };
+    if stats {
+        print_engine_stats(&engine_stats);
+        if let Some(fs) = filter_stats {
+            print_filter_stats(&fs);
+        }
+    }
     let dynamic: Vec<Report> = dynamic.into_iter().filter(|r| !suppressions.matches(r)).collect();
 
     // Static cross-check: join the two report streams by (kind, file,
@@ -495,6 +543,54 @@ struct FaultCounts {
     lock_failures: u64,
     alloc_failures: u64,
     kills: u64,
+}
+
+/// Run any detector through the VM, with the redundant-access filter in
+/// front unless `--no-filter`. The filter is report-preserving (the
+/// equivalence gates enforce it), so both paths print identical stdout.
+fn run_detector<T: Tool>(
+    flat: &FlatProgram,
+    det: T,
+    sched: &mut dyn Scheduler,
+    opts: VmOptions,
+    no_filter: bool,
+) -> (RunResult, T, Option<FilterStats>) {
+    if no_filter {
+        let mut det = det;
+        let r = run_flat(flat, &mut det, sched, opts);
+        (r, det, None)
+    } else {
+        let mut tool = FilterTool::new(det);
+        let r = run_flat(flat, &mut tool, sched, opts);
+        let (det, fstats) = tool.into_parts();
+        (r, det, Some(fstats))
+    }
+}
+
+/// `--stats` output, stderr only: stdout report identity between filtered
+/// and unfiltered runs is a hard contract, and engine access counts
+/// legitimately differ when the filter elides events.
+fn print_engine_stats(stats: &[helgrind_core::EngineStats]) {
+    for s in stats {
+        eprintln!(
+            "stats: engine {} processed {} access(es), shadow overflow {}",
+            s.name, s.accesses, s.shadow_overflow
+        );
+    }
+}
+
+fn print_filter_stats(fs: &FilterStats) {
+    eprintln!(
+        "stats: filter elided {} of {} candidate access(es) ({:.1}% hit rate, \
+         {:.1}% of all {} event(s)); epoch bumps: {} thread, {} global",
+        fs.elided,
+        fs.candidates,
+        fs.hit_rate() * 100.0,
+        fs.elided_fraction() * 100.0,
+        fs.events,
+        fs.thread_epoch_bumps,
+        fs.global_epoch_bumps
+    );
 }
 
 fn end_of_termination(t: &Termination) -> (EndKind, String) {
@@ -674,6 +770,7 @@ fn run_analyze(args: Vec<String>) -> ! {
     let mut gen_suppressions = false;
     let mut budget: Option<BudgetSpec> = None;
     let mut json = false;
+    let mut stats = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -685,6 +782,7 @@ fn run_analyze(args: Vec<String>) -> ! {
             "--from-epoch" => {
                 from_epoch = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
+            "--stats" => stats = true,
             "--suppressions" => {
                 let path = it.next().unwrap_or_else(|| usage());
                 let text = read_source(path);
@@ -728,6 +826,11 @@ fn run_analyze(args: Vec<String>) -> ! {
         "analyzed {} event(s) from {} epoch(s) [{detector_name}]",
         outcome.events, outcome.footer.epochs
     );
+    if stats {
+        // Replay-side counters only: the trace is already filtered (or
+        // not) at record time; analyze never re-filters.
+        print_engine_stats(&outcome.engine_stats);
+    }
 
     let dynamic: Vec<Report> =
         outcome.reports.into_iter().filter(|r| !suppressions.matches(r)).collect();
@@ -864,10 +967,12 @@ fn run_chaos(args: Vec<String>) -> ! {
     let mut max_slots: Option<u64> = None;
     let mut jobs: usize = 1;
     let mut json = false;
+    let mut no_filter = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--no-filter" => no_filter = true,
             "--jobs" => {
                 jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -942,7 +1047,7 @@ fn run_chaos(args: Vec<String>) -> ! {
         let ci = i % cases.len();
         let sched_seed = seed ^ (i as u64).wrapping_mul(0x9E37_79B9);
         let b = &built[ci];
-        let run = || sipsim::run_case_chaos(b, cfg, plan, sched_seed, max_slots);
+        let run = || sipsim::run_case_chaos_with(b, cfg, plan, sched_seed, max_slots, !no_filter);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(run)).ok();
         // Determinism probe on a sample of runs: the same (plan, schedule)
         // must reproduce the exact report fingerprint.
@@ -1151,7 +1256,7 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_overhead.json".to_string());
 
-    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 32 };
     let prog = vm_workload_program(SPEC);
 
     let mut medians: Vec<(&str, u64)> = Vec::new();
@@ -1200,6 +1305,33 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
             std::hint::black_box(det.sink.location_count());
         }),
     ));
+    // Filter-on twins of the detector rows (the plain rows are filter-off,
+    // matching what earlier snapshots measured). `check` defaults to the
+    // filtered path, so these are what users actually get.
+    medians.push((
+        "vm-eraser-hwlc-dr-filter",
+        median_ns(samples, || {
+            let mut tool = FilterTool::new(EraserDetector::new(DetectorConfig::hwlc_dr()));
+            run_program(&prog, &mut tool, &mut RoundRobin::new());
+            std::hint::black_box(tool.inner().sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-djit-filter",
+        median_ns(samples, || {
+            let mut tool = FilterTool::new(DjitDetector::new(DetectorConfig::djit()));
+            run_program(&prog, &mut tool, &mut RoundRobin::new());
+            std::hint::black_box(tool.inner().sink.location_count());
+        }),
+    ));
+    medians.push((
+        "vm-hybrid-filter",
+        median_ns(samples, || {
+            let mut tool = FilterTool::new(HybridDetector::new(DetectorConfig::hybrid()));
+            run_program(&prog, &mut tool, &mut RoundRobin::new());
+            std::hint::black_box(tool.inner().sink.location_count());
+        }),
+    ));
 
     let ns_of = |name: &str| medians.iter().find(|(n, _)| *n == name).unwrap().1 as f64;
     let native = ns_of("native-threads");
@@ -1219,6 +1351,14 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
                 .push((format!("{name}/native-threads"), Value::Float(ratio(*ns as f64, native))));
         }
     }
+    // Filter speedups: off/on per detector — the access-filter acceptance
+    // bar is ≥1.3x on vm-hybrid.
+    for base in ["vm-eraser-hwlc-dr", "vm-djit", "vm-hybrid"] {
+        multiples.push((
+            format!("{base}/{base}-filter"),
+            Value::Float(ratio(ns_of(base), ns_of(&format!("{base}-filter")))),
+        ));
+    }
 
     let obj = Value::Object(vec![
         (
@@ -1226,6 +1366,7 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
             Value::Object(vec![
                 ("threads".to_string(), Value::UInt(SPEC.threads as u64)),
                 ("iterations".to_string(), Value::UInt(SPEC.iterations)),
+                ("parse_reads".to_string(), Value::UInt(SPEC.parse_reads)),
             ]),
         ),
         ("samples".to_string(), Value::UInt(samples as u64)),
@@ -1249,9 +1390,11 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
         eprintln!("bench-snapshot {name}: median {:.3} ms", *ns as f64 / 1e6);
     }
     eprintln!(
-        "bench-snapshot: wrote {out_path} (vm/native {:.1}x, hwlc-dr/vm {:.1}x)",
+        "bench-snapshot: wrote {out_path} (vm/native {:.1}x, hwlc-dr/vm {:.1}x, \
+         hybrid filter speedup {:.2}x)",
         ratio(vm, native),
-        ratio(ns_of("vm-eraser-hwlc-dr"), vm)
+        ratio(ns_of("vm-eraser-hwlc-dr"), vm),
+        ratio(ns_of("vm-hybrid"), ns_of("vm-hybrid-filter"))
     );
     std::process::exit(0);
 }
@@ -1283,7 +1426,7 @@ fn run_bench_trace(samples: usize, out_path: String) -> ! {
     use vexec::tool::{NullTool, RecordingTool};
     use vexec::vm::run_program;
 
-    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000 };
+    const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 16 };
     let prog = vm_workload_program(SPEC);
 
     let mut medians: Vec<(&str, u64)> = Vec::new();

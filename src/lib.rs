@@ -53,6 +53,7 @@ pub mod prelude {
         BusLockModel, DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report,
         ReportKind, SuppressionSet,
     };
+    pub use vexec::filter::{FilterCache, FilterStats, FilterTool};
     pub use vexec::ir::builder::{ProcBuilder, ProgramBuilder};
     pub use vexec::ir::{Cond, Expr, Program, SyncKind, SyncOp};
     pub use vexec::sched::{PriorityOrder, Quantum, RoundRobin, Scheduler, SeededRandom};

@@ -340,3 +340,62 @@ fn chaos_smoke_run_is_resilient() {
     assert!(line.contains("\"panics\":0"), "{stdout}");
     assert!(line.contains("\"nondeterministic\":0"), "{stdout}");
 }
+
+#[test]
+fn no_filter_leaves_check_output_byte_identical() {
+    for det in ["hwlc-dr", "djit", "hybrid"] {
+        let (on_out, _, on_code) = raceline(&["check", SAMPLE, "--detector", det]);
+        let (off_out, _, off_code) = raceline(&["check", SAMPLE, "--detector", det, "--no-filter"]);
+        assert_eq!(on_code, off_code, "{det}: exit codes must agree");
+        assert_eq!(on_out, off_out, "{det}: stdout must be byte-identical");
+    }
+}
+
+#[test]
+fn stats_flag_reports_to_stderr_only() {
+    let (plain_out, plain_err, _) = raceline(&["check", SAMPLE, "--detector", "hybrid"]);
+    let (stats_out, stats_err, code) =
+        raceline(&["check", SAMPLE, "--detector", "hybrid", "--stats"]);
+    assert_eq!(code, 1);
+    assert_eq!(plain_out, stats_out, "--stats must not change stdout");
+    assert!(!plain_err.contains("stats:"), "{plain_err}");
+    assert!(stats_err.contains("stats: engine lockset processed"), "{stats_err}");
+    assert!(stats_err.contains("stats: engine hb processed"), "{stats_err}");
+    assert!(stats_err.contains("stats: filter elided"), "{stats_err}");
+    assert!(stats_err.contains("hit rate"), "{stats_err}");
+}
+
+#[test]
+fn no_filter_stats_omits_the_filter_line() {
+    let (_, stderr, _) =
+        raceline(&["check", SAMPLE, "--detector", "hwlc-dr", "--stats", "--no-filter"]);
+    assert!(stderr.contains("stats: engine lockset processed"), "{stderr}");
+    assert!(!stderr.contains("stats: filter"), "{stderr}");
+}
+
+#[test]
+fn analyze_stats_reports_replay_engine_counters() {
+    let trace = std::env::temp_dir().join("raceline_filter_stats.rltrace");
+    let t = trace.to_str().unwrap();
+    let (_, stderr, code) = raceline(&["record", SAMPLE, "--out", t, "--stats"]);
+    assert_eq!(code, 0, "{stderr}");
+    assert!(
+        stderr.contains("stats: filter elided"),
+        "record --stats prints filter stats\n{stderr}"
+    );
+
+    let (a_out, a_err, a_code) = raceline(&["analyze", t, "--detector", "hwlc-dr", "--stats"]);
+    assert_eq!(a_code, 1, "{a_out}{a_err}");
+    assert!(a_err.contains("stats: engine lockset processed"), "{a_err}");
+
+    // A filtered trace analyzes to the same report text as a --no-filter one.
+    let trace2 = std::env::temp_dir().join("raceline_filter_stats_nf.rltrace");
+    let t2 = trace2.to_str().unwrap();
+    let (_, _, r_code) = raceline(&["record", SAMPLE, "--out", t2, "--no-filter"]);
+    assert_eq!(r_code, 0);
+    let (b_out, _, b_code) = raceline(&["analyze", t2, "--detector", "hwlc-dr"]);
+    assert_eq!(a_code, b_code);
+    assert_eq!(a_out, b_out, "filtered and unfiltered traces must analyze identically");
+    let _ = std::fs::remove_file(trace);
+    let _ = std::fs::remove_file(trace2);
+}
