@@ -12,15 +12,19 @@
 use crate::config::DetectorConfig;
 use crate::detector::EraserDetector;
 use crate::report::{Report, ReportKind, StackFrame};
+use std::cell::Cell;
+use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use vexec::event::{Event, ThreadId};
 use vexec::faults::FaultPlan;
 use vexec::filter::FilterTool;
 use vexec::ir::lower::FlatProgram;
 use vexec::ir::Program;
-use vexec::sched::SeededRandom;
+use vexec::sched::{Scheduler, SeededRandom};
+use vexec::tool::Tool;
 use vexec::util::FxHashMap;
-use vexec::vm::{run_flat, SlotMeter, Termination, VmOptions};
+use vexec::vm::{run_flat, GuestError, SlotMeter, Termination, VmOptions, VmView};
 
 /// One distinct warning location across the exploration.
 #[derive(Clone, Debug)]
@@ -29,6 +33,11 @@ pub struct LocationHit {
     pub report: Report,
     /// In how many runs this location was reported.
     pub hits: usize,
+    /// 1-based index of the first run that reported this location — the
+    /// "schedules until found" metric the directed-exploration gate
+    /// compares. `0` when the location was restored from a checkpoint
+    /// (found somewhere in the resumed prefix).
+    pub first_run: usize,
 }
 
 impl LocationHit {
@@ -167,6 +176,156 @@ fn run_seed(
     }
 }
 
+/// One static finding the directed sweep should try to confirm: the
+/// release/use window of an escaping guarded reference (the watch point is
+/// the release site), or the location of a static-only race (the watch
+/// point is the access itself).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DirectedTarget {
+    pub file: String,
+    pub line: u32,
+}
+
+/// Probe variants tried per target before falling back to seeded runs.
+const PROBE_VARIANTS: u64 = 2;
+
+#[derive(Clone, Debug)]
+struct DirectedProbe {
+    target: DirectedTarget,
+    variant: u64,
+}
+
+fn build_probes(targets: &[DirectedTarget], runs: usize) -> Vec<DirectedProbe> {
+    let mut probes = Vec::new();
+    for target in targets {
+        for variant in 0..PROBE_VARIANTS {
+            probes.push(DirectedProbe { target: target.clone(), variant });
+        }
+    }
+    probes.truncate(runs);
+    probes
+}
+
+/// Tool wrapper that watches for the target window: whenever a thread
+/// releases a lock — or touches memory — at the target source line, it is
+/// flagged for deprioritization, so another thread gets to run *inside*
+/// the release/use window before the flagged thread reaches its
+/// post-release use.
+struct WindowWatch<T> {
+    inner: T,
+    file: String,
+    line: u32,
+    flag: Rc<Cell<Option<ThreadId>>>,
+}
+
+impl<T: Tool> Tool for WindowWatch<T> {
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+        if let Event::Release { tid, loc, .. } | Event::Access { tid, loc, .. } = *ev {
+            if loc.line == self.line && vm.resolve(loc.file) == self.file {
+                self.flag.set(Some(tid));
+            }
+        }
+        self.inner.on_event(ev, vm);
+    }
+    fn on_guest_fault(&mut self, err: &GuestError, vm: &VmView<'_>) {
+        self.inner.on_guest_fault(err, vm);
+    }
+    fn on_finish(&mut self, vm: &VmView<'_>) {
+        self.inner.on_finish(vm);
+    }
+}
+
+/// Coarse strict-priority scheduler with window preemption: threads run in
+/// a rotation determined by the probe variant until the [`WindowWatch`]
+/// flags one, which is then pushed to the back of the priority order. The
+/// net effect is the Fig 7 confirmation order: the flagged thread finishes
+/// its critical section, every other thread runs through the window, and
+/// only then does the flagged thread reach its post-release use.
+struct DirectedSched {
+    /// Preferred first guest thread (rotation origin).
+    pref: u32,
+    /// Deprioritized threads, in flag order.
+    depri: Vec<ThreadId>,
+    flag: Rc<Cell<Option<ThreadId>>>,
+}
+
+impl Scheduler for DirectedSched {
+    fn pick(&mut self, runnable: &[ThreadId], _slot: u64) -> usize {
+        if let Some(t) = self.flag.take() {
+            if !self.depri.contains(&t) {
+                self.depri.push(t);
+            }
+        }
+        let rank = |tid: ThreadId| -> (u64, u64) {
+            match self.depri.iter().position(|&d| d == tid) {
+                Some(pos) => (1, pos as u64),
+                None => (0, u64::from(tid.0.wrapping_sub(self.pref))),
+            }
+        };
+        runnable.iter().enumerate().min_by_key(|(_, &tid)| rank(tid)).map(|(i, _)| i).unwrap_or(0)
+    }
+    fn name(&self) -> &'static str {
+        "directed"
+    }
+}
+
+/// Run one directed probe. Deterministic given `(program, probe, options)`
+/// — the probe scheduler and watch share no state with other runs — so
+/// probe outcomes merge exactly like seeded ones.
+fn run_probe(
+    flat: &FlatProgram,
+    cfg: DetectorConfig,
+    probe: &DirectedProbe,
+    opts: &VmOptions,
+    no_filter: bool,
+) -> RunOutcome {
+    let flag: Rc<Cell<Option<ThreadId>>> = Rc::new(Cell::new(None));
+    let mut sched =
+        DirectedSched { pref: 1 + probe.variant as u32, depri: Vec::new(), flag: flag.clone() };
+    let (r, mut det) = if no_filter {
+        let mut tool = WindowWatch {
+            inner: EraserDetector::new(cfg),
+            file: probe.target.file.clone(),
+            line: probe.target.line,
+            flag,
+        };
+        let r = run_flat(flat, &mut tool, &mut sched, opts.clone());
+        (r, tool.inner)
+    } else {
+        let mut tool = WindowWatch {
+            inner: FilterTool::new(EraserDetector::new(cfg)),
+            file: probe.target.file.clone(),
+            line: probe.target.line,
+            flag,
+        };
+        let r = run_flat(flat, &mut tool, &mut sched, opts.clone());
+        (r, tool.inner.into_parts().0)
+    };
+    RunOutcome {
+        slots: r.stats.slots,
+        termination: r.termination,
+        reports: det.sink.take_reports(),
+    }
+}
+
+/// Dispatch run index `i`: the probe prefix first, then the seeded sweep
+/// (seed `base_seed + (i - probes.len())`, so the seeded tail visits the
+/// same seeds an undirected sweep starts with).
+fn run_index(
+    flat: &FlatProgram,
+    cfg: DetectorConfig,
+    base_seed: u64,
+    i: usize,
+    opts: &VmOptions,
+    no_filter: bool,
+    probes: &[DirectedProbe],
+) -> RunOutcome {
+    match probes.get(i) {
+        Some(p) => run_probe(flat, cfg, p, opts, no_filter),
+        None => run_seed(flat, cfg, base_seed, i - probes.len(), opts, no_filter),
+    }
+}
+
 /// Fold one run's outcome into the summary — the single accounting path
 /// shared by the sequential loop and the parallel merge.
 fn fold_outcome(
@@ -188,7 +347,11 @@ fn fold_outcome(
     }
     for report in o.reports {
         let key = (report.file.clone(), report.line, report.func.clone());
-        agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit { report, hits: 1 });
+        agg.entry(key).and_modify(|l| l.hits += 1).or_insert(LocationHit {
+            report,
+            hits: 1,
+            first_run: i + 1,
+        });
     }
     summary.completed_runs = i + 1;
 }
@@ -230,6 +393,37 @@ pub fn explore_schedules_with(
     limits: ExploreLimits,
     resume: Option<&ExploreCheckpoint>,
 ) -> ExploreSummary {
+    explore_impl(program, cfg, runs, base_seed, limits, resume, &[])
+}
+
+/// [`explore_schedules_with`] with a directed prefix: the first run
+/// indices execute one probe per `(target, variant)` pair — a strict
+/// priority schedule that preempts at the target's release/use window —
+/// before the sweep falls back to the usual seeded random walk. Probe
+/// runs are deterministic (no seed involved), so the whole sweep keeps
+/// the byte-identical `--jobs N` merge guarantee.
+pub fn explore_schedules_directed(
+    program: &Program,
+    cfg: DetectorConfig,
+    runs: usize,
+    base_seed: u64,
+    limits: ExploreLimits,
+    resume: Option<&ExploreCheckpoint>,
+    targets: &[DirectedTarget],
+) -> ExploreSummary {
+    let probes = build_probes(targets, runs);
+    explore_impl(program, cfg, runs, base_seed, limits, resume, &probes)
+}
+
+fn explore_impl(
+    program: &Program,
+    cfg: DetectorConfig,
+    runs: usize,
+    base_seed: u64,
+    limits: ExploreLimits,
+    resume: Option<&ExploreCheckpoint>,
+    probes: &[DirectedProbe],
+) -> ExploreSummary {
     let mut agg: FxHashMap<(String, u32, String), LocationHit> = FxHashMap::default();
     let mut summary = ExploreSummary { runs, base_seed, ..Default::default() };
     let mut start = 0usize;
@@ -261,7 +455,7 @@ pub fn explore_schedules_with(
                     break;
                 }
             }
-            let o = run_seed(&flat, cfg, base_seed, i, &opts, limits.no_filter);
+            let o = run_index(&flat, cfg, base_seed, i, &opts, limits.no_filter, probes);
             fold_outcome(&mut summary, &mut agg, o, i);
         }
     } else {
@@ -289,7 +483,15 @@ pub fn explore_schedules_with(
                             }
                             local.push((
                                 i,
-                                run_seed(flat, cfg, base_seed, i, worker_opts, limits.no_filter),
+                                run_index(
+                                    flat,
+                                    cfg,
+                                    base_seed,
+                                    i,
+                                    worker_opts,
+                                    limits.no_filter,
+                                    probes,
+                                ),
                             ));
                         }
                         local
@@ -463,6 +665,7 @@ impl ExploreCheckpoint {
                     let line_no = num(fields[4])? as u32;
                     ck.locations.push(LocationHit {
                         hits: num(fields[0])? as usize,
+                        first_run: 0,
                         report: Report {
                             kind,
                             tid: num(fields[2])? as u32,
@@ -657,6 +860,7 @@ mod tests {
         let mut ck =
             ExploreCheckpoint { base_seed: 9, runs: 3, next_index: 2, ..Default::default() };
         ck.locations.push(LocationHit {
+            first_run: 1,
             report: Report {
                 kind: ReportKind::RaceWrite,
                 tid: 2,
@@ -841,5 +1045,124 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(key(&a), key(&b));
+    }
+
+    /// The Fig 7 shape in IR: a reader loads the guarded slot under the
+    /// lock, releases at fig7.cpp:30, and dereferences *after* release at
+    /// :31; a disciplined writer mutates the same object under the lock.
+    /// The race only reports when the locked write lands between the
+    /// reader's release and its post-release use — the window a
+    /// [`DirectedTarget`] at fig7.cpp:30 preempts into.
+    fn fig7_ir_program() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let slot = pb.global("g_slot", 8);
+        let obj = pb.global("g_obj", 8);
+        let m_cell = pb.global("g_m", 8);
+
+        let loc_get = pb.loc("fig7.cpp", 30, "reader");
+        let loc_use = pb.loc("fig7.cpp", 31, "reader");
+        let mut rd = ProcBuilder::new(0);
+        rd.at(loc_get);
+        let mx = rd.load_new(m_cell, 8);
+        rd.lock(mx);
+        let _h = rd.load_new(slot, 8);
+        rd.unlock(mx);
+        rd.at(loc_use);
+        let v = rd.load_new(obj, 8);
+        rd.store(obj, Expr::Reg(v).add(Expr::Const(1)), 8);
+        let reader = pb.add_proc("reader", rd);
+
+        let loc_w = pb.loc("fig7.cpp", 40, "locked_writer");
+        let mut wr = ProcBuilder::new(0);
+        wr.at(loc_w);
+        let mx = wr.load_new(m_cell, 8);
+        wr.lock(mx);
+        let v = wr.load_new(obj, 8);
+        wr.store(obj, Expr::Reg(v).add(Expr::Const(2)), 8);
+        wr.unlock(mx);
+        let writer = pb.add_proc("locked_writer", wr);
+
+        let mloc = pb.loc("fig7.cpp", 50, "main");
+        let mut m = ProcBuilder::new(0);
+        m.at(mloc);
+        let mx = m.new_mutex();
+        m.store(m_cell, mx, 8);
+        m.store(slot, 1u64, 8);
+        let a = m.spawn(reader, vec![]);
+        let b = m.spawn(writer, vec![]);
+        m.join(a);
+        m.join(b);
+        let main_id = pb.add_proc("main", m);
+        pb.set_entry(main_id);
+        pb.finish()
+    }
+
+    /// The PR's headline acceptance property: a sweep directed at the Fig 7
+    /// release site confirms the schedule-dependent race in strictly fewer
+    /// schedules than the undirected random sweep from the same base seed.
+    #[test]
+    fn directed_probe_confirms_before_undirected_sweep() {
+        let prog = fig7_ir_program();
+        // Pinned to a base seed whose undirected sweep needs several runs
+        // to stumble into the confirming order (run 4); the directed probe
+        // always confirms on run 1, making "strictly fewer" meaningful.
+        let seed = 0x1C;
+        let first_hit = |s: &ExploreSummary| {
+            s.locations
+                .iter()
+                .filter(|l| l.report.line == 31)
+                .map(|l| l.first_run)
+                .min()
+                .unwrap_or(usize::MAX)
+        };
+        let undirected = explore_schedules(&prog, DetectorConfig::hwlc_dr(), 16, seed);
+        let u = first_hit(&undirected);
+        assert!(u != usize::MAX, "undirected sweep must eventually find the race: {undirected:?}");
+        let targets = [DirectedTarget { file: "fig7.cpp".into(), line: 30 }];
+        let directed = explore_schedules_directed(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            16,
+            seed,
+            ExploreLimits::default(),
+            None,
+            &targets,
+        );
+        let d = first_hit(&directed);
+        assert_eq!(d, 1, "the first probe preempts straight into the window: {directed:?}");
+        assert!(d < u, "directed first hit {d} must beat undirected {u}");
+    }
+
+    #[test]
+    fn directed_parallel_is_bit_identical_to_sequential() {
+        let prog = fig7_ir_program();
+        let targets = [
+            DirectedTarget { file: "fig7.cpp".into(), line: 30 },
+            DirectedTarget { file: "fig7.cpp".into(), line: 40 },
+        ];
+        let seq = explore_schedules_directed(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xACE,
+            ExploreLimits { jobs: 1, ..Default::default() },
+            None,
+            &targets,
+        );
+        let par = explore_schedules_directed(
+            &prog,
+            DetectorConfig::hwlc_dr(),
+            24,
+            0xACE,
+            ExploreLimits { jobs: 8, ..Default::default() },
+            None,
+            &targets,
+        );
+        assert_eq!(fingerprint(&seq), fingerprint(&par));
+        for (a, b) in seq.locations.iter().zip(par.locations.iter()) {
+            assert_eq!(a.hits, b.hits);
+            assert_eq!(a.first_run, b.first_run);
+            assert_eq!(a.report.details, b.report.details);
+        }
     }
 }

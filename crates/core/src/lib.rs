@@ -46,8 +46,8 @@ pub use config::{BusLockModel, DetectorConfig};
 pub use detector::{DjitDetector, EngineStats, EraserDetector, HybridDetector};
 pub use eraser::{LocksetEngine, RaceInfo, VarState};
 pub use explore::{
-    explore_schedules, explore_schedules_with, ExploreCheckpoint, ExploreLimits, ExploreSummary,
-    LocationHit,
+    explore_schedules, explore_schedules_directed, explore_schedules_with, DirectedTarget,
+    ExploreCheckpoint, ExploreLimits, ExploreSummary, LocationHit,
 };
 pub use hb::{HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};

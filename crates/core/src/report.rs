@@ -39,6 +39,10 @@ pub enum ReportKind {
     UnannotatedDelete,
     /// Static lint: `delete` while holding a lock.
     DeleteWhileLocked,
+    /// Static escape analysis: a reference to lock-protected state flows
+    /// out of its critical section (return value, out-parameter, store or
+    /// spawn capture) and is used after the guarding lock is released.
+    EscapingGuardedRef,
 }
 
 impl ReportKind {
@@ -54,6 +58,7 @@ impl ReportKind {
             ReportKind::LockLeak => "LockLeak",
             ReportKind::UnannotatedDelete => "UnannotatedDelete",
             ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
+            ReportKind::EscapingGuardedRef => "EscapingGuardedRef",
         }
     }
 
@@ -70,6 +75,7 @@ impl ReportKind {
             ReportKind::LockLeak => "LockLeak",
             ReportKind::UnannotatedDelete => "UnannotatedDelete",
             ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
+            ReportKind::EscapingGuardedRef => "EscapingGuardedRef",
         }
     }
 
@@ -86,6 +92,7 @@ impl ReportKind {
             "LockLeak" => ReportKind::LockLeak,
             "UnannotatedDelete" => ReportKind::UnannotatedDelete,
             "DeleteWhileLocked" => ReportKind::DeleteWhileLocked,
+            "EscapingGuardedRef" => ReportKind::EscapingGuardedRef,
             _ => return None,
         })
     }
@@ -101,6 +108,7 @@ impl ReportKind {
             ReportKind::LockLeak => "LockLeak",
             ReportKind::UnannotatedDelete => "UnannotatedDelete",
             ReportKind::DeleteWhileLocked => "DeleteWhileLocked",
+            ReportKind::EscapingGuardedRef => "EscapingGuardedRef",
         }
     }
 }
@@ -421,6 +429,7 @@ mod tests {
             ReportKind::LockLeak,
             ReportKind::UnannotatedDelete,
             ReportKind::DeleteWhileLocked,
+            ReportKind::EscapingGuardedRef,
         ] {
             assert_eq!(ReportKind::from_code(k.code()), Some(k));
         }

@@ -1,0 +1,462 @@
+//! Interprocedural escape analysis for lock-protected state.
+//!
+//! The paper's Fig 7 bug is a *reference* to registry state read under a
+//! lock, returned out of the critical section, and dereferenced after the
+//! lock is dropped. The lockset and happens-before engines only see it when
+//! a schedule executes the racy interleaving; this pass finds the shape
+//! statically.
+//!
+//! The analysis is a taint propagation over the existing must-lockset
+//! dataflow: every read of a shared granule (global int or object field)
+//! performed while locks are must-held mints a [`GuardTag`] — the value now
+//! carries "reference guarded by these locks". Tags flow through locals,
+//! binary expressions, call arguments, return values, stores to globals and
+//! fields, and thread-spawn captures, propagated along the call graph to a
+//! fixpoint. An **escape** is a tag crossing one of the modeled routes
+//! (return value past the release, store to a global or field, store
+//! through an out-parameter, spawn capture); it is *reported* only when the
+//! tagged value is also **dereferenced** (field access, virtual call or
+//! `delete` through it) at a point where the guarding locks are no longer
+//! must-held. Plain copied-out values — `int last = g_pending == 0;` used
+//! after the unlock — therefore never warn: an int copy is not a reference,
+//! and it is never used as one.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::cfg::CfgStmt;
+use super::lockset::{LockAnalysis, LockSet};
+use super::ProgramView;
+use crate::ast::{Expr, FuncDef, GlobalKind, Stmt};
+
+/// Origin of one guarded value: a read of `source` in `src_func` while
+/// `locks` were must-held.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GuardTag {
+    pub locks: BTreeSet<String>,
+    pub src_func: String,
+    pub src_line: u32,
+    pub source: String,
+}
+
+/// A source point: used for both release sites and post-release use sites.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SiteRef {
+    pub func: String,
+    pub file: String,
+    pub line: u32,
+}
+
+/// One reported escape: a guarded reference leaving its critical section
+/// with at least one post-release dereference.
+#[derive(Clone, Debug)]
+pub struct EscapeFinding {
+    /// Function containing the escaping statement.
+    pub func: String,
+    pub file: String,
+    /// Line of the escaping statement (the `return`, store or spawn).
+    pub line: u32,
+    /// The guarding lock(s) the reference escapes from under.
+    pub locks: BTreeSet<String>,
+    /// Human description of the escape route.
+    pub route: String,
+    /// The guarded granule the reference was read from.
+    pub source: String,
+    /// Where the guard is released in the source function.
+    pub release_sites: Vec<SiteRef>,
+    /// Dereferences of the escaped reference without the guard held.
+    pub use_sites: Vec<SiteRef>,
+}
+
+impl EscapeFinding {
+    /// One-line summary used as the report `details` text.
+    pub fn describe(&self) -> String {
+        let locks = self.locks.iter().cloned().collect::<Vec<_>>().join(", ");
+        let uses = self
+            .use_sites
+            .iter()
+            .map(|s| format!("{} ({}:{})", s.func, s.file, s.line))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "reference to '{}' guarded by '{locks}' escapes via {}; \
+             dereferenced after release at {uses}",
+            self.source, self.route
+        )
+    }
+}
+
+/// Escape route crossings observed during propagation; findings are minted
+/// from these once use sites are known.
+type Candidate = (String, u32, String, GuardTag);
+
+#[derive(Default)]
+struct Taint {
+    /// (function, local) -> tags.
+    vars: BTreeMap<(String, String), BTreeSet<GuardTag>>,
+    /// global -> tags stored into it.
+    globals: BTreeMap<String, BTreeSet<GuardTag>>,
+    /// field name -> tags stored into it (field-insensitive in the base).
+    fields: BTreeMap<String, BTreeSet<GuardTag>>,
+    /// function -> tags of its returned values.
+    rets: BTreeMap<String, BTreeSet<GuardTag>>,
+}
+
+impl Taint {
+    fn absorb(set: &mut BTreeSet<GuardTag>, tags: &BTreeSet<GuardTag>, changed: &mut bool) {
+        for t in tags {
+            if set.insert(t.clone()) {
+                *changed = true;
+            }
+        }
+    }
+}
+
+fn locals_of(func: &FuncDef) -> BTreeSet<String> {
+    let mut locals: BTreeSet<String> = func.params.iter().map(|(_, n)| n.clone()).collect();
+    super::callgraph::visit_stmts(&func.body, &mut |s| match s {
+        Stmt::LetInt { name, .. } | Stmt::LetPtr { name, .. } | Stmt::LetThread { name, .. } => {
+            locals.insert(name.clone());
+        }
+        _ => {}
+    });
+    locals
+}
+
+fn held_names(held: &LockSet) -> BTreeSet<String> {
+    held.keys().cloned().collect()
+}
+
+/// Does `held` cover every guard of `tag`?
+fn guard_held(tag: &GuardTag, held: &LockSet) -> bool {
+    tag.locks.iter().all(|l| held.contains_key(l))
+}
+
+struct Pass<'v, 'a> {
+    view: &'v ProgramView<'a>,
+    locals: BTreeMap<String, BTreeSet<String>>,
+    taint: Taint,
+    candidates: BTreeSet<Candidate>,
+    changed: bool,
+}
+
+impl Pass<'_, '_> {
+    /// Tags carried by `e` evaluated in `func` with `held` must-locks.
+    /// Binding of tainted call/spawn arguments into callee parameters is a
+    /// side effect recorded directly on the taint state.
+    fn eval(&mut self, func: &str, e: &Expr, held: &LockSet) -> BTreeSet<GuardTag> {
+        match e {
+            Expr::Int(_) | Expr::New { .. } => BTreeSet::new(),
+            Expr::Var(n) => {
+                if self.locals[func].contains(n) {
+                    self.taint.vars.get(&(func.to_string(), n.clone())).cloned().unwrap_or_default()
+                } else if matches!(self.view.globals.get(n), Some(GlobalKind::Int)) {
+                    let mut tags = self.taint.globals.get(n).cloned().unwrap_or_default();
+                    if !held.is_empty() {
+                        tags.insert(GuardTag {
+                            locks: held_names(held),
+                            src_func: func.to_string(),
+                            src_line: 0, // patched by caller (line of the stmt)
+                            source: n.clone(),
+                        });
+                    }
+                    tags
+                } else {
+                    BTreeSet::new()
+                }
+            }
+            Expr::Field { base, field } => {
+                let mut tags = self.taint.fields.get(field).cloned().unwrap_or_default();
+                if !held.is_empty() {
+                    tags.insert(GuardTag {
+                        locks: held_names(held),
+                        src_func: func.to_string(),
+                        src_line: 0,
+                        source: format!("{base}->{field}"),
+                    });
+                }
+                tags
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                let mut tags = self.eval(func, lhs, held);
+                tags.extend(self.eval(func, rhs, held));
+                tags
+            }
+            Expr::Call { func: callee, args } => {
+                self.bind_args(func, callee, args, held);
+                self.taint.rets.get(callee).cloned().unwrap_or_default()
+            }
+        }
+    }
+
+    /// Propagate tainted arguments into the callee's parameters.
+    fn bind_args(&mut self, func: &str, callee: &str, args: &[Expr], held: &LockSet) {
+        let Some(def) = self.view.funcs.get(callee) else { return };
+        let params: Vec<String> = def.params.iter().map(|(_, n)| n.clone()).collect();
+        for (param, arg) in params.iter().zip(args) {
+            let tags = self.eval(func, arg, held);
+            if tags.is_empty() {
+                continue;
+            }
+            let entry = self.taint.vars.entry((callee.to_string(), param.clone())).or_default();
+            Taint::absorb(entry, &tags, &mut self.changed);
+        }
+    }
+
+    fn candidate(&mut self, func: &str, line: u32, route: String, tags: &BTreeSet<GuardTag>) {
+        for tag in tags {
+            let mut tag = tag.clone();
+            if tag.src_line == 0 {
+                tag.src_line = line;
+            }
+            if self.candidates.insert((func.to_string(), line, route.clone(), tag)) {
+                self.changed = true;
+            }
+        }
+    }
+
+    /// Stamp the statement line onto freshly minted source tags.
+    fn at_line(tags: BTreeSet<GuardTag>, line: u32) -> BTreeSet<GuardTag> {
+        tags.into_iter()
+            .map(|mut t| {
+                if t.src_line == 0 {
+                    t.src_line = line;
+                }
+                t
+            })
+            .collect()
+    }
+
+    fn transfer(&mut self, func: &str, cs: &CfgStmt<'_>, held: &LockSet) {
+        let line = cs.line();
+        let CfgStmt::Stmt(st) = cs else {
+            // Conditions only matter for their call-argument bindings.
+            if let CfgStmt::Cond(e, _) = cs {
+                let e = *e;
+                self.eval(func, e, held);
+            }
+            return;
+        };
+        match st {
+            Stmt::LetInt { name, value, .. } | Stmt::LetPtr { name, value, .. } => {
+                let tags = Self::at_line(self.eval(func, value, held), line);
+                if !tags.is_empty() {
+                    let entry =
+                        self.taint.vars.entry((func.to_string(), name.clone())).or_default();
+                    Taint::absorb(entry, &tags, &mut self.changed);
+                }
+            }
+            Stmt::Assign { name, value, .. } => {
+                let tags = Self::at_line(self.eval(func, value, held), line);
+                if tags.is_empty() {
+                    return;
+                }
+                if self.locals[func].contains(name) {
+                    let entry =
+                        self.taint.vars.entry((func.to_string(), name.clone())).or_default();
+                    Taint::absorb(entry, &tags, &mut self.changed);
+                } else if matches!(self.view.globals.get(name), Some(GlobalKind::Int)) {
+                    let entry = self.taint.globals.entry(name.clone()).or_default();
+                    Taint::absorb(entry, &tags, &mut self.changed);
+                    self.candidate(func, line, format!("store to global '{name}'"), &tags);
+                }
+            }
+            Stmt::FieldAssign { base, field, value, .. } => {
+                let tags = Self::at_line(self.eval(func, value, held), line);
+                if tags.is_empty() {
+                    return;
+                }
+                let entry = self.taint.fields.entry(field.clone()).or_default();
+                Taint::absorb(entry, &tags, &mut self.changed);
+                let is_param = self
+                    .view
+                    .funcs
+                    .get(func)
+                    .is_some_and(|f| f.params.iter().any(|(_, n)| n == base));
+                let route = if is_param {
+                    format!("store through out-parameter '{base}->{field}'")
+                } else {
+                    format!("store to field '{base}->{field}'")
+                };
+                self.candidate(func, line, route, &tags);
+            }
+            Stmt::Return { value: Some(v), .. } => {
+                let tags = Self::at_line(self.eval(func, v, held), line);
+                if tags.is_empty() {
+                    return;
+                }
+                let entry = self.taint.rets.entry(func.to_string()).or_default();
+                Taint::absorb(entry, &tags, &mut self.changed);
+                // The return escapes the critical section only if the guard
+                // has already been dropped on the way out.
+                let escaped: BTreeSet<GuardTag> =
+                    tags.iter().filter(|t| !guard_held(t, held)).cloned().collect();
+                self.candidate(func, line, "return value".to_string(), &escaped);
+            }
+            Stmt::LetThread { func: spawned, args, .. } => {
+                let Some(def) = self.view.funcs.get(spawned) else { return };
+                let params: Vec<String> = def.params.iter().map(|(_, n)| n.clone()).collect();
+                let mut captured: BTreeSet<GuardTag> = BTreeSet::new();
+                for (param, arg) in params.iter().zip(args) {
+                    let tags = Self::at_line(self.eval(func, arg, held), line);
+                    if tags.is_empty() {
+                        continue;
+                    }
+                    captured.extend(tags.iter().cloned());
+                    let entry =
+                        self.taint.vars.entry((spawned.clone(), param.clone())).or_default();
+                    Taint::absorb(entry, &tags, &mut self.changed);
+                }
+                self.candidate(func, line, format!("captured by spawn of '{spawned}'"), &captured);
+            }
+            Stmt::Call { func: callee, args, .. } => {
+                self.bind_args(func, callee, args, held);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Dereference bases appearing in an expression (`p->f` reads `p`).
+fn expr_derefs(e: &Expr, out: &mut Vec<String>) {
+    match e {
+        Expr::Field { base, .. } => out.push(base.clone()),
+        Expr::Bin { lhs, rhs, .. } => {
+            expr_derefs(lhs, out);
+            expr_derefs(rhs, out);
+        }
+        Expr::Call { args, .. } => args.iter().for_each(|a| expr_derefs(a, out)),
+        _ => {}
+    }
+}
+
+/// Dereference bases of one statement (including those in its value expr).
+fn stmt_derefs(cs: &CfgStmt<'_>) -> Vec<String> {
+    let mut out = Vec::new();
+    match cs {
+        CfgStmt::Cond(e, _) => expr_derefs(e, &mut out),
+        CfgStmt::Stmt(st) => match st {
+            Stmt::FieldAssign { base, value, .. } => {
+                out.push(base.clone());
+                expr_derefs(value, &mut out);
+            }
+            Stmt::VirtualCall { base, .. } => out.push(base.clone()),
+            Stmt::Delete { ptr, .. } => out.push(ptr.clone()),
+            Stmt::LetInt { value, .. }
+            | Stmt::LetPtr { value, .. }
+            | Stmt::Assign { value, .. } => expr_derefs(value, &mut out),
+            Stmt::Return { value: Some(v), .. } => expr_derefs(v, &mut out),
+            Stmt::LetThread { args, .. } | Stmt::Call { args, .. } => {
+                args.iter().for_each(|a| expr_derefs(a, &mut out))
+            }
+            Stmt::AtomicInc { target, .. } => expr_derefs(target, &mut out),
+            _ => {}
+        },
+    }
+    out
+}
+
+/// Run the pass: returns escapes sorted by (file, line, func, route).
+pub fn find_escapes(view: &ProgramView<'_>, la: &LockAnalysis<'_>) -> Vec<EscapeFinding> {
+    let locals: BTreeMap<String, BTreeSet<String>> =
+        view.funcs.iter().map(|(name, def)| (name.clone(), locals_of(def))).collect();
+    let mut pass =
+        Pass { view, locals, taint: Taint::default(), candidates: BTreeSet::new(), changed: true };
+
+    // Monotone fixpoint over finite tag sets; the bound is a safety net.
+    for _ in 0..32 {
+        if !pass.changed {
+            break;
+        }
+        pass.changed = false;
+        for (name, flow) in &la.flows {
+            for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+                for (k, cs) in blk.stmts.iter().enumerate() {
+                    let Some(held) = flow.must_in[b][k].clone() else { continue };
+                    pass.transfer(name, cs, &held);
+                }
+            }
+        }
+    }
+
+    // Post-release dereferences of tainted locals, per tag.
+    let mut uses: BTreeMap<GuardTag, BTreeSet<SiteRef>> = BTreeMap::new();
+    for (name, flow) in &la.flows {
+        for (b, blk) in flow.cfg.blocks.iter().enumerate() {
+            for (k, cs) in blk.stmts.iter().enumerate() {
+                let Some(held) = &flow.must_in[b][k] else { continue };
+                for base in stmt_derefs(cs) {
+                    let Some(tags) = pass.taint.vars.get(&(name.clone(), base)) else {
+                        continue;
+                    };
+                    for tag in tags {
+                        if guard_held(tag, held) {
+                            continue;
+                        }
+                        uses.entry(tag.clone()).or_default().insert(SiteRef {
+                            func: name.clone(),
+                            file: view.file_of(name),
+                            line: cs.line(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Mint findings: one per escape site with at least one use site.
+    let mut out: BTreeMap<(String, u32, String, String), EscapeFinding> = BTreeMap::new();
+    for (func, line, route, tag) in &pass.candidates {
+        let Some(sites) = uses.get(tag) else { continue };
+        let release_sites = release_sites_of(view, tag);
+        let key = (func.clone(), *line, route.clone(), tag.source.clone());
+        let f = out.entry(key).or_insert_with(|| EscapeFinding {
+            func: func.clone(),
+            file: view.file_of(func),
+            line: *line,
+            locks: BTreeSet::new(),
+            route: route.clone(),
+            source: tag.source.clone(),
+            release_sites: Vec::new(),
+            use_sites: Vec::new(),
+        });
+        f.locks.extend(tag.locks.iter().cloned());
+        for s in release_sites {
+            if !f.release_sites.contains(&s) {
+                f.release_sites.push(s);
+            }
+        }
+        for s in sites {
+            if !f.use_sites.contains(s) {
+                f.use_sites.push(s.clone());
+            }
+        }
+    }
+    let mut findings: Vec<EscapeFinding> = out.into_values().collect();
+    for f in &mut findings {
+        f.release_sites.sort();
+        f.use_sites.sort();
+    }
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, &a.func, &a.route).cmp(&(&b.file, b.line, &b.func, &b.route))
+    });
+    findings
+}
+
+/// Where the source function drops any of the guarding locks.
+fn release_sites_of(view: &ProgramView<'_>, tag: &GuardTag) -> Vec<SiteRef> {
+    let Some(def) = view.funcs.get(&tag.src_func) else { return Vec::new() };
+    let file = view.file_of(&tag.src_func);
+    let mut sites = Vec::new();
+    super::callgraph::visit_stmts(&def.body, &mut |s| match s {
+        Stmt::Unlock { mutex, line } if tag.locks.contains(mutex) => {
+            sites.push(SiteRef { func: tag.src_func.clone(), file: file.clone(), line: *line });
+        }
+        Stmt::RwUnlock { rwlock, line } if tag.locks.contains(rwlock) => {
+            sites.push(SiteRef { func: tag.src_func.clone(), file: file.clone(), line: *line });
+        }
+        _ => {}
+    });
+    sites.sort();
+    sites.dedup();
+    sites
+}

@@ -16,6 +16,7 @@
 pub mod callgraph;
 pub mod cfg;
 pub mod deadlock;
+pub mod escape;
 pub mod lint;
 pub mod lockset;
 
@@ -78,6 +79,10 @@ pub struct AnalysisResult {
     /// By construction a subset of any lockset a real execution observes
     /// there — the property the proptest in `tests/analysis.rs` checks.
     pub must_locksets: BTreeMap<(String, u32), BTreeSet<String>>,
+    /// Structured escape findings (also present in `reports` as
+    /// [`ReportKind::EscapingGuardedRef`]); the CLI uses the release and
+    /// use sites for directed exploration and cross-check confirmation.
+    pub escapes: Vec<escape::EscapeFinding>,
 }
 
 fn mk_report(kind: ReportKind, file: String, line: u32, func: String, details: String) -> Report {
@@ -155,6 +160,19 @@ pub fn analyze(units: &[(Unit, String)]) -> AnalysisResult {
         reports.push(mk_report(kind, view.file_of(&f.func), f.line, f.func, f.details));
     }
 
+    // Escapes: references to guarded state leaving their critical section
+    // with post-release dereferences (the Fig 7 class).
+    let escapes = escape::find_escapes(&view, &la);
+    for e in &escapes {
+        reports.push(mk_report(
+            ReportKind::EscapingGuardedRef,
+            e.file.clone(),
+            e.line,
+            e.func.clone(),
+            e.describe(),
+        ));
+    }
+
     // Deduplicate by the join key, deterministically ordered.
     let mut seen: BTreeSet<(ReportKind, String, u32)> = BTreeSet::new();
     reports.retain(|r| seen.insert((r.kind, r.file.clone(), r.line)));
@@ -162,7 +180,7 @@ pub fn analyze(units: &[(Unit, String)]) -> AnalysisResult {
         (&a.file, a.line, a.kind, &a.func).cmp(&(&b.file, b.line, b.kind, &b.func))
     });
 
-    AnalysisResult { reports, must_locksets: la.must_by_line() }
+    AnalysisResult { reports, must_locksets: la.must_by_line(), escapes }
 }
 
 /// Parse (and, for instrumented units, annotate) source files and analyze

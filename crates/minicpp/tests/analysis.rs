@@ -4,6 +4,8 @@
 //! must-held lockset computed statically for an access point is a subset
 //! of the lockset any real execution actually holds there.
 
+use helgrind_core::explore::explore_schedules;
+use helgrind_core::{DetectorConfig, ReportKind};
 use minicpp::analysis::{analyze, analyze_files};
 use minicpp::ast::Stmt;
 use minicpp::pipeline::{run_pipeline, SourceFile};
@@ -120,6 +122,49 @@ void main() {
 ";
     let res = analyze_files(&[SourceFile::new("dwl.cpp", src)]).expect("compiles");
     assert!(res.reports.iter().any(|r| r.kind.name() == "DeleteWhileLocked"), "{:#?}", res.reports);
+}
+
+#[test]
+fn escaping_ref_sample_flags_the_returned_reference() {
+    let src = sample("escaping_ref.mcpp");
+    let res = analyze_files(&[SourceFile::new("escaping_ref.mcpp", &src)]).expect("compiles");
+    let kinds: Vec<(String, u32)> =
+        res.reports.iter().map(|r| (r.kind.name().to_string(), r.line)).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            ("EscapingGuardedRef".to_string(), 16),
+            ("Race (read)".to_string(), 21),
+            ("Race (write)".to_string(), 21),
+            ("Race (read)".to_string(), 27),
+            ("Race (write)".to_string(), 27),
+        ],
+        "{:#?}",
+        res.reports
+    );
+    // The structured finding carries the full escape story: guard, route,
+    // release window and the post-release use the directed sweep aims at.
+    assert_eq!(res.escapes.len(), 1, "{:#?}", res.escapes);
+    let e = &res.escapes[0];
+    assert_eq!((e.func.as_str(), e.line), ("getDomainData", 16));
+    assert_eq!(e.route, "return value");
+    assert_eq!(e.locks, BTreeSet::from(["g_registry_m".to_string()]));
+    assert_eq!(e.source, "g_domain_slot");
+    let rel: Vec<(String, u32)> =
+        e.release_sites.iter().map(|s| (s.func.clone(), s.line)).collect();
+    assert_eq!(rel, vec![("getDomainData".to_string(), 15)], "{:#?}", e.release_sites);
+    let uses: Vec<(String, u32)> = e.use_sites.iter().map(|s| (s.func.clone(), s.line)).collect();
+    assert_eq!(uses, vec![("updateDomain".to_string(), 21)], "{:#?}", e.use_sites);
+}
+
+#[test]
+fn copy_out_sample_is_silent() {
+    // The safe twin: the getter copies a value out of the critical section
+    // and the copy is never dereferenced — no escape, no race, no lint.
+    let src = sample("copy_out.mcpp");
+    let res = analyze_files(&[SourceFile::new("copy_out.mcpp", &src)]).expect("compiles");
+    assert!(res.reports.is_empty(), "{:#?}", res.reports);
+    assert!(res.escapes.is_empty(), "{:#?}", res.escapes);
 }
 
 // -------------------------------------------------------------------
@@ -286,6 +331,109 @@ proptest! {
                 "static must-set {must:?} at {func}:{line} not within \
                  dynamically held {held:?}\n{src}"
             );
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Escape soundness property, mirroring the lockset subset one: on the
+// modeled escape routes (here: guarded reference returned by a getter),
+// every dynamically confirmed race at a post-release dereference of the
+// escaped reference is also reported statically — the static side has no
+// false negatives the dynamic side can expose.
+// -------------------------------------------------------------------
+
+/// A Fig 7 family member: one guarded getter, a locked writer, and 1–3
+/// user threads that each either dereference the returned reference after
+/// the lock is gone (the bug) or merely copy it into a local (safe).
+fn render_escape_program(users: &[bool]) -> (String, Vec<u32>) {
+    let mut lines: Vec<String> = vec![
+        "class Obj { int hits; virtual ~Obj() {} };".into(),
+        "mutex g_m;".into(),
+        "int g_slot;".into(),
+        "int getter() {".into(),
+        "    lock(g_m);".into(),
+        "    int h = g_slot;".into(),
+        "    unlock(g_m);".into(),
+        "    return h;".into(),
+        "}".into(),
+    ];
+    let mut deref_lines: Vec<u32> = Vec::new();
+    for (i, &derefs) in users.iter().enumerate() {
+        lines.push(format!("void user{i}() {{"));
+        lines.push("    Obj* p = getter();".into());
+        if derefs {
+            lines.push("    p->hits = p->hits + 1;".into());
+            deref_lines.push(lines.len() as u32);
+        } else {
+            lines.push("    int s = p;".into());
+        }
+        lines.push("}".into());
+    }
+    lines.push("void writer() {".into());
+    lines.push("    lock(g_m);".into());
+    lines.push("    Obj* q = g_slot;".into());
+    lines.push("    q->hits = q->hits + 2;".into());
+    lines.push("    unlock(g_m);".into());
+    lines.push("}".into());
+    lines.push("void main() {".into());
+    lines.push("    Obj* d = new Obj;".into());
+    lines.push("    d->hits = 0;".into());
+    lines.push("    g_slot = d;".into());
+    for i in 0..users.len() {
+        lines.push(format!("    thread t{i} = spawn user{i}();"));
+    }
+    lines.push("    thread w = spawn writer();".into());
+    for i in 0..users.len() {
+        lines.push(format!("    join(t{i});"));
+    }
+    lines.push("    join(w);".into());
+    lines.push("}".into());
+    (lines.join("\n") + "\n", deref_lines)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dynamically_confirmed_escape_races_are_reported_statically(
+        users in prop::collection::vec(any::<bool>(), 1..=3),
+        seed in 0u64..(1u64 << 16),
+    ) {
+        let (src, deref_lines) = render_escape_program(&users);
+        let out = run_pipeline(&[SourceFile::new("esc_gen.cpp", &src)])
+            .unwrap_or_else(|e| panic!("generated program must compile: {e:?}\n{src}"));
+        let stat = analyze(&out.units);
+        let use_lines: BTreeSet<u32> =
+            stat.escapes.iter().flat_map(|e| e.use_sites.iter().map(|u| u.line)).collect();
+
+        // Static side alone: every post-release dereference of the escaped
+        // reference is a recorded use site of some escape finding...
+        for l in &deref_lines {
+            prop_assert!(
+                use_lines.contains(l),
+                "deref at line {l} missing from escape use sites {use_lines:?}\n{src}"
+            );
+        }
+        // ...and pure copy-outs never produce an escape finding.
+        if deref_lines.is_empty() {
+            prop_assert!(stat.escapes.is_empty(), "{:#?}\n{src}", stat.escapes);
+        }
+
+        // Dynamic side: any race an explored schedule confirms at one of
+        // those dereference sites is covered by a static escape use site —
+        // the no-false-negative property the cross-check labels rely on.
+        let summary = explore_schedules(&out.program, DetectorConfig::hwlc_dr(), 8, seed);
+        for hit in &summary.locations {
+            if matches!(hit.report.kind, ReportKind::RaceRead | ReportKind::RaceWrite)
+                && deref_lines.contains(&hit.report.line)
+            {
+                prop_assert!(
+                    use_lines.contains(&hit.report.line),
+                    "dynamic race at line {} not covered statically ({use_lines:?})\n{src}",
+                    hit.report.line
+                );
+            }
         }
     }
 }

@@ -41,7 +41,16 @@
 //!                           (also valid for analyze; stdout is unchanged)
 //!   --static-cross-check    also run the static analysis and label each
 //!                           finding confirmed-both / static-only /
-//!                           dynamic-only (joined by kind, file, line)
+//!                           dynamic-only (joined by kind, file, line; an
+//!                           escaping-guarded-ref finding is confirmed when
+//!                           a dynamic race lands on one of its recorded
+//!                           post-release use sites)
+//!   --directed              (with --explore and --static-cross-check)
+//!                           spend the first schedules on probes that
+//!                           preempt at each static finding's release/use
+//!                           window — escape findings first, then static
+//!                           races — before falling back to the seeded
+//!                           sweep; still bit-identical across --jobs N
 //!   --json                  machine-readable output
 //!   --emit-annotated        print the annotated source (Fig 4 view)
 //!   --emit-ir               print the lowered guest IR (disassembly)
@@ -50,12 +59,17 @@
 //! error (unreadable input, compile error, bad usage, guest fault).
 //! ```
 
-use helgrind_core::explore::{explore_schedules_with, ExploreCheckpoint, ExploreLimits};
+use helgrind_core::explore::{
+    explore_schedules_directed, explore_schedules_with, DirectedTarget, ExploreCheckpoint,
+    ExploreLimits,
+};
 use helgrind_core::replay::{analyze_trace_bytes, warning_fingerprint, ReplayDetector};
+use helgrind_core::ReportKind;
 use helgrind_core::{
     BudgetSpec, DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, Suppression,
     SuppressionSet,
 };
+use minicpp::analysis::escape::EscapeFinding;
 use minicpp::pipeline::{run_pipeline, SourceFile};
 use raceline_trace::format::{TraceFaultStats, TraceTermination};
 use raceline_trace::writer::TraceWriter;
@@ -76,7 +90,7 @@ fn usage() -> ! {
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
          [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
-         [--jobs <n>] [--static-cross-check] [--no-filter] [--stats] [--json] \
+         [--jobs <n>] [--static-cross-check] [--directed] [--no-filter] [--stats] [--json] \
          [--emit-annotated] [--emit-ir]\n\
          \x20      raceline record <file.mcpp>... [--out <trace.rltrace>] \
          [--epoch-events <n>] [--schedule ...] [--faults <spec>] [--budget <spec>] \
@@ -147,6 +161,86 @@ fn reports_json(reports: &[Report]) -> Value {
     Value::Array(reports.iter().map(|r| r.to_value()).collect())
 }
 
+/// Probe targets for `--directed`, most promising first: each escape
+/// finding's release sites (the window the probe preempts into), then the
+/// locations of the static race findings themselves.
+fn directed_targets(stat: &minicpp::analysis::AnalysisResult) -> Vec<DirectedTarget> {
+    let mut targets: Vec<DirectedTarget> = Vec::new();
+    for e in &stat.escapes {
+        if e.release_sites.is_empty() {
+            targets.push(DirectedTarget { file: e.file.clone(), line: e.line });
+        }
+        for rs in &e.release_sites {
+            targets.push(DirectedTarget { file: rs.file.clone(), line: rs.line });
+        }
+    }
+    let mut races: Vec<DirectedTarget> = stat
+        .reports
+        .iter()
+        .filter(|r| matches!(r.kind, ReportKind::RaceRead | ReportKind::RaceWrite))
+        .map(|r| DirectedTarget { file: r.file.clone(), line: r.line })
+        .collect();
+    races.sort();
+    races.dedup();
+    targets.extend(races);
+    // Keep first occurrence (escape release sites outrank race locations).
+    let mut seen = BTreeSet::new();
+    targets.retain(|t| seen.insert(t.clone()));
+    targets
+}
+
+/// An escape finding is dynamically confirmed when some explored schedule
+/// reported a warning at one of its post-release use sites.
+fn escape_confirmed(
+    r: &Report,
+    escapes: &[EscapeFinding],
+    dyn_lines: &BTreeSet<(String, u32)>,
+) -> bool {
+    r.kind == ReportKind::EscapingGuardedRef
+        && escapes.iter().any(|e| {
+            e.file == r.file
+                && e.line == r.line
+                && e.use_sites.iter().any(|u| dyn_lines.contains(&(u.file.clone(), u.line)))
+        })
+}
+
+fn escapes_json(escapes: &[EscapeFinding], dyn_lines: &BTreeSet<(String, u32)>) -> Value {
+    let site = |s: &minicpp::analysis::escape::SiteRef| {
+        Value::Object(vec![
+            ("func".to_string(), Value::Str(s.func.clone())),
+            ("file".to_string(), Value::Str(s.file.clone())),
+            ("line".to_string(), Value::UInt(u64::from(s.line))),
+        ])
+    };
+    Value::Array(
+        escapes
+            .iter()
+            .map(|e| {
+                let confirmed =
+                    e.use_sites.iter().any(|u| dyn_lines.contains(&(u.file.clone(), u.line)));
+                Value::Object(vec![
+                    ("kind".to_string(), Value::Str("EscapingGuardedRef".to_string())),
+                    ("func".to_string(), Value::Str(e.func.clone())),
+                    ("file".to_string(), Value::Str(e.file.clone())),
+                    ("line".to_string(), Value::UInt(u64::from(e.line))),
+                    (
+                        "locks".to_string(),
+                        Value::Array(e.locks.iter().map(|l| Value::Str(l.clone())).collect()),
+                    ),
+                    ("route".to_string(), Value::Str(e.route.clone())),
+                    ("source".to_string(), Value::Str(e.source.clone())),
+                    (
+                        "release_sites".to_string(),
+                        Value::Array(e.release_sites.iter().map(site).collect()),
+                    ),
+                    ("use_sites".to_string(), Value::Array(e.use_sites.iter().map(site).collect())),
+                    ("confirmed".to_string(), Value::Bool(confirmed)),
+                ])
+            })
+            .collect(),
+    )
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let cmd = match args.next().as_deref() {
@@ -182,6 +276,7 @@ fn main() {
     let mut emit_ir = false;
     let mut json = false;
     let mut cross_check = false;
+    let mut directed = false;
     let mut record_out: Option<String> = None;
     let mut epoch_events: Option<u64> = None;
     let mut no_filter = false;
@@ -233,6 +328,7 @@ fn main() {
             "--no-filter" => no_filter = true,
             "--stats" => stats = true,
             "--static-cross-check" => cross_check = true,
+            "--directed" => directed = true,
             "--explore" => {
                 explore = Some(it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage()));
             }
@@ -309,54 +405,126 @@ fn main() {
                 }
             }
         });
-        let summary =
-            explore_schedules_with(&out.program, cfg, runs, 0xACE, limits, resume.as_ref());
+        if directed && !cross_check {
+            eprintln!("--directed requires --static-cross-check (it consumes static findings)");
+            std::process::exit(EXIT_ERROR);
+        }
+        let stat = cross_check.then(|| minicpp::analysis::analyze(&out.units));
+        let summary = if directed {
+            let stat = stat.as_ref().expect("--directed implies --static-cross-check");
+            let targets = directed_targets(stat);
+            eprintln!("directed: {} probe target(s) from static findings", targets.len());
+            explore_schedules_directed(
+                &out.program,
+                cfg,
+                runs,
+                0xACE,
+                limits,
+                resume.as_ref(),
+                &targets,
+            )
+        } else {
+            explore_schedules_with(&out.program, cfg, runs, 0xACE, limits, resume.as_ref())
+        };
         if let Some(p) = &checkpoint_path {
             if let Err(e) = write_checkpoint(p, &summary.checkpoint().render()) {
                 eprintln!("cannot write checkpoint {p}: {e}");
                 std::process::exit(EXIT_ERROR);
             }
         }
-        println!(
-            "explored {} schedules: {} clean, {} deadlocked",
-            summary.runs, summary.clean_runs, summary.deadlocked_runs
-        );
-        if summary.timed_out {
+        if !json {
             println!(
-                "timed out: {}/{} runs completed ({} fuel-exhausted)",
-                summary.completed_runs, summary.runs, summary.fuel_exhausted_runs
+                "explored {} schedules: {} clean, {} deadlocked",
+                summary.runs, summary.clean_runs, summary.deadlocked_runs
             );
+            if summary.timed_out {
+                println!(
+                    "timed out: {}/{} runs completed ({} fuel-exhausted)",
+                    summary.completed_runs, summary.runs, summary.fuel_exhausted_runs
+                );
+            }
+            for hit in &summary.locations {
+                println!(
+                    "[{:>3}/{:<3}] {}",
+                    hit.hits,
+                    summary.runs,
+                    hit.report.render().trim_end()
+                );
+            }
         }
-        for hit in &summary.locations {
-            println!("[{:>3}/{:<3}] {}", hit.hits, summary.runs, hit.report.render().trim_end());
-        }
-        if cross_check {
+        let mut cross_json: Option<Value> = None;
+        if let Some(stat) = &stat {
             // Join the static findings against every location any explored
-            // schedule hit — the union is the fairest dynamic baseline.
-            let stat = minicpp::analysis::analyze(&out.units);
+            // schedule hit — the union is the fairest dynamic baseline. An
+            // escaping-guarded-ref finding has no dynamic twin by kind; it
+            // is confirmed when a dynamic race lands on one of its
+            // post-release use sites.
             let dyn_keys: BTreeSet<_> =
                 summary.locations.iter().map(|h| join_key(&h.report)).collect();
+            let dyn_lines: BTreeSet<(String, u32)> =
+                summary.locations.iter().map(|h| (h.report.file.clone(), h.report.line)).collect();
+            let is_confirmed = |r: &Report| {
+                dyn_keys.contains(&join_key(r)) || escape_confirmed(r, &stat.escapes, &dyn_lines)
+            };
             let stat_keys: BTreeSet<_> = stat.reports.iter().map(join_key).collect();
-            let confirmed = stat.reports.iter().filter(|r| dyn_keys.contains(&join_key(r)));
-            let static_only = stat.reports.iter().filter(|r| !dyn_keys.contains(&join_key(r)));
+            let confirmed = stat.reports.iter().filter(|r| is_confirmed(r));
+            let static_only = stat.reports.iter().filter(|r| !is_confirmed(r));
             let dynamic_only =
                 summary.locations.iter().filter(|h| !stat_keys.contains(&join_key(&h.report)));
-            println!(
-                "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only",
-                confirmed.clone().count(),
-                static_only.clone().count(),
-                dynamic_only.clone().count()
+            if !json {
+                println!(
+                    "static cross-check: {} confirmed-both, {} static-only, {} dynamic-only",
+                    confirmed.clone().count(),
+                    static_only.clone().count(),
+                    dynamic_only.clone().count()
+                );
+                for r in confirmed.clone() {
+                    println!("[confirmed-both] {} at {}:{}", r.kind.name(), r.file, r.line);
+                }
+                for r in static_only.clone() {
+                    println!("[static-only] {} at {}:{}", r.kind.name(), r.file, r.line);
+                }
+                for h in dynamic_only.clone() {
+                    let r = &h.report;
+                    println!("[dynamic-only] {} at {}:{}", r.kind.name(), r.file, r.line);
+                }
+            }
+            let to_vals =
+                |rs: Vec<&Report>| Value::Array(rs.iter().map(|r| r.to_value()).collect());
+            cross_json = Some(Value::Object(vec![
+                ("confirmed_both".to_string(), to_vals(confirmed.collect())),
+                ("static_only".to_string(), to_vals(static_only.collect())),
+                ("dynamic_only".to_string(), to_vals(dynamic_only.map(|h| &h.report).collect())),
+                ("escapes".to_string(), escapes_json(&stat.escapes, &dyn_lines)),
+            ]));
+        }
+        if json {
+            let locs = Value::Array(
+                summary
+                    .locations
+                    .iter()
+                    .map(|h| {
+                        Value::Object(vec![
+                            ("hits".to_string(), Value::UInt(h.hits as u64)),
+                            ("first_run".to_string(), Value::UInt(h.first_run as u64)),
+                            ("report".to_string(), h.report.to_value()),
+                        ])
+                    })
+                    .collect(),
             );
-            for r in confirmed {
-                println!("[confirmed-both] {} at {}:{}", r.kind.name(), r.file, r.line);
+            let mut obj = vec![
+                ("runs".to_string(), Value::UInt(summary.runs as u64)),
+                ("completed_runs".to_string(), Value::UInt(summary.completed_runs as u64)),
+                ("clean_runs".to_string(), Value::UInt(summary.clean_runs as u64)),
+                ("deadlocked_runs".to_string(), Value::UInt(summary.deadlocked_runs as u64)),
+                ("timed_out".to_string(), Value::Bool(summary.timed_out)),
+                ("directed".to_string(), Value::Bool(directed)),
+                ("locations".to_string(), locs),
+            ];
+            if let Some(c) = cross_json {
+                obj.push(("static_cross_check".to_string(), c));
             }
-            for r in static_only {
-                println!("[static-only] {} at {}:{}", r.kind.name(), r.file, r.line);
-            }
-            for h in dynamic_only {
-                let r = &h.report;
-                println!("[dynamic-only] {} at {}:{}", r.kind.name(), r.file, r.line);
-            }
+            println!("{}", Value::Object(obj));
         }
         std::process::exit(if summary.locations.is_empty() { 0 } else { 1 });
     }
@@ -475,11 +643,14 @@ fn main() {
     let cross = cross_check.then(|| {
         let stat = minicpp::analysis::analyze(&out.units);
         let dyn_keys: BTreeSet<_> = dynamic.iter().map(join_key).collect();
+        let dyn_lines: BTreeSet<(String, u32)> =
+            dynamic.iter().map(|r| (r.file.clone(), r.line)).collect();
+        let is_confirmed = |r: &Report| {
+            dyn_keys.contains(&join_key(r)) || escape_confirmed(r, &stat.escapes, &dyn_lines)
+        };
         let stat_keys: BTreeSet<_> = stat.reports.iter().map(join_key).collect();
-        let confirmed: Vec<&Report> =
-            stat.reports.iter().filter(|r| dyn_keys.contains(&join_key(r))).collect();
-        let static_only: Vec<&Report> =
-            stat.reports.iter().filter(|r| !dyn_keys.contains(&join_key(r))).collect();
+        let confirmed: Vec<&Report> = stat.reports.iter().filter(|r| is_confirmed(r)).collect();
+        let static_only: Vec<&Report> = stat.reports.iter().filter(|r| !is_confirmed(r)).collect();
         let dynamic_only: Vec<&Report> =
             dynamic.iter().filter(|r| !stat_keys.contains(&join_key(r))).collect();
         let mut text = format!(
@@ -509,6 +680,7 @@ fn main() {
             ("confirmed_both".to_string(), to_vals(&confirmed)),
             ("static_only".to_string(), to_vals(&static_only)),
             ("dynamic_only".to_string(), to_vals(&dynamic_only)),
+            ("escapes".to_string(), escapes_json(&stat.escapes, &dyn_lines)),
         ]);
         (text, value)
     });

@@ -399,3 +399,124 @@ fn analyze_stats_reports_replay_engine_counters() {
     let _ = std::fs::remove_file(trace);
     let _ = std::fs::remove_file(trace2);
 }
+
+// -------------------------------------------------------------------
+// Escape analysis fixtures + static-finding-directed exploration.
+// -------------------------------------------------------------------
+
+const ESCAPE_SAMPLE: &str = "examples/programs/escaping_ref.mcpp";
+const COPY_SAMPLE: &str = "examples/programs/copy_out.mcpp";
+
+#[test]
+fn lint_flags_the_escaping_reference_fixture() {
+    let (stdout, stderr, code) = raceline(&["lint", ESCAPE_SAMPLE]);
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    assert!(stdout.contains("Possible EscapingGuardedRef"), "{stdout}");
+    assert!(stdout.contains("escaping_ref.mcpp:16"), "the returned reference\n{stdout}");
+    assert!(stdout.contains("escapes via return value"), "{stdout}");
+    assert!(stdout.contains("dereferenced after release at updateDomain"), "{stdout}");
+    assert!(stderr.contains("5 finding(s)"), "escape + 2x2 race sides\n{stderr}");
+}
+
+#[test]
+fn lint_stays_silent_on_the_copy_out_fixture() {
+    let (stdout, stderr, code) = raceline(&["lint", COPY_SAMPLE]);
+    assert_eq!(code, 0, "{stdout}{stderr}");
+    assert!(stderr.contains("0 finding(s)"), "{stderr}");
+    assert!(stdout.trim().is_empty(), "copy-outs of guarded values are safe\n{stdout}");
+}
+
+#[test]
+fn lint_json_carries_the_new_kind() {
+    let (stdout, _, code) = raceline(&["lint", ESCAPE_SAMPLE, "--json"]);
+    assert_eq!(code, 1);
+    let line = stdout.lines().next().unwrap_or_default();
+    assert!(line.contains("\"findings\":5"), "{stdout}");
+    assert!(line.contains("\"EscapingGuardedRef\""), "{stdout}");
+}
+
+#[test]
+fn check_json_cross_check_embeds_escapes_with_confirmed_status() {
+    let (stdout, _, _) = raceline(&["check", ESCAPE_SAMPLE, "--json", "--static-cross-check"]);
+    let line = stdout.lines().last().unwrap_or_default();
+    assert!(line.contains("\"escapes\""), "{stdout}");
+    assert!(line.contains("\"route\":\"return value\""), "{stdout}");
+    assert!(line.contains("\"confirmed\""), "{stdout}");
+}
+
+#[test]
+fn directed_flag_requires_the_cross_check() {
+    let (_, stderr, code) = raceline(&["check", ESCAPE_SAMPLE, "--explore", "4", "--directed"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(stderr.contains("--directed requires --static-cross-check"), "{stderr}");
+}
+
+#[test]
+fn directed_explore_labels_the_escape_confirmed_both() {
+    let (stdout, stderr, code) = raceline(&[
+        "check",
+        ESCAPE_SAMPLE,
+        "--explore",
+        "16",
+        "--static-cross-check",
+        "--directed",
+    ]);
+    assert_eq!(code, 1, "{stdout}{stderr}");
+    assert!(stderr.contains("probe target(s) from static findings"), "{stderr}");
+    assert!(
+        stdout.contains(
+            "[confirmed-both] EscapingGuardedRef at examples/programs/escaping_ref.mcpp:16"
+        ),
+        "the Fig 7 class is confirmed-both for the first time\n{stdout}"
+    );
+    assert!(
+        stdout.contains("[confirmed-both] Race (write) at examples/programs/escaping_ref.mcpp:21"),
+        "{stdout}"
+    );
+}
+
+/// Pull the first `"first_run": N` value out of an explore-mode JSON line.
+fn first_run_of(stdout: &str) -> u64 {
+    let tail = &stdout[stdout.find("\"first_run\":").expect("first_run in JSON") + 12..];
+    let digits: String = tail.chars().take_while(|c| c.is_ascii_digit()).collect();
+    digits.parse().expect("first_run value")
+}
+
+#[test]
+fn directed_explore_confirms_in_strictly_fewer_schedules() {
+    let (undirected, _, _) =
+        raceline(&["check", ESCAPE_SAMPLE, "--explore", "16", "--static-cross-check", "--json"]);
+    let (directed, _, _) = raceline(&[
+        "check",
+        ESCAPE_SAMPLE,
+        "--explore",
+        "16",
+        "--static-cross-check",
+        "--directed",
+        "--json",
+    ]);
+    let (u, d) = (first_run_of(&undirected), first_run_of(&directed));
+    assert_eq!(d, 1, "the first probe lands in the release/use window\n{directed}");
+    assert!(d < u, "directed ({d}) must beat undirected ({u})\n{undirected}");
+    assert!(directed.contains("\"confirmed\":true"), "{directed}");
+}
+
+#[test]
+fn directed_explore_is_bit_identical_across_jobs() {
+    let run = |jobs: &str| {
+        raceline(&[
+            "check",
+            ESCAPE_SAMPLE,
+            "--explore",
+            "24",
+            "--static-cross-check",
+            "--directed",
+            "--jobs",
+            jobs,
+        ])
+    };
+    let (a, _, code_a) = run("1");
+    let (b, _, code_b) = run("8");
+    assert_eq!(a, b, "directed sweeps must merge deterministically");
+    assert_eq!(code_a, code_b);
+}
