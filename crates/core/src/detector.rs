@@ -79,6 +79,10 @@ pub struct EngineStats {
     pub accesses: u64,
     /// Granules dropped on the floor after the shadow budget filled.
     pub shadow_overflow: u64,
+    /// Live shadow granules at the moment the stats were taken.
+    pub live_granules: usize,
+    /// High-water mark of live shadow granules over the engine's lifetime.
+    pub peak_granules: usize,
 }
 
 /// The Eraser/Helgrind lockset detector with lock-order deadlock
@@ -125,6 +129,8 @@ impl EraserDetector {
             name: "lockset",
             accesses: self.engine.accesses,
             shadow_overflow: self.engine.shadow_overflow(),
+            live_granules: self.engine.shadowed_granules(),
+            peak_granules: self.engine.peak_shadowed_granules(),
         }]
     }
 
@@ -217,6 +223,8 @@ impl DjitDetector {
             name: "hb",
             accesses: self.engine.accesses,
             shadow_overflow: self.engine.shadow_overflow(),
+            live_granules: self.engine.shadowed_granules(),
+            peak_granules: self.engine.peak_shadowed_granules(),
         }]
     }
 
@@ -297,11 +305,15 @@ impl HybridDetector {
                 name: "lockset",
                 accesses: self.lockset.accesses,
                 shadow_overflow: self.lockset.shadow_overflow(),
+                live_granules: self.lockset.shadowed_granules(),
+                peak_granules: self.lockset.peak_shadowed_granules(),
             },
             EngineStats {
                 name: "hb",
                 accesses: self.hb.accesses,
                 shadow_overflow: self.hb.shadow_overflow(),
+                live_granules: self.hb.shadowed_granules(),
+                peak_granules: self.hb.peak_shadowed_granules(),
             },
         ]
     }
@@ -345,6 +357,87 @@ impl Tool for HybridDetector {
 
     fn on_finish(&mut self, _vm: &VmView<'_>) {
         self.handle_finish();
+    }
+}
+
+/// A name-dispatched live detector: any of the three engines behind one
+/// concrete [`Tool`], for drivers that pick the engine at runtime (the
+/// soak loop, benches) without monomorphizing every call site. The
+/// offline twin is [`crate::replay::ReplayDetector`]; the name → engine
+/// mapping here matches the CLI's (`djit` → HB, `hybrid*` → hybrid,
+/// everything else → lockset with suppressions applied in the sink).
+#[allow(clippy::large_enum_variant)] // one detector per phase, never collections of them
+pub enum AnyDetector {
+    Eraser(EraserDetector),
+    Djit(DjitDetector),
+    Hybrid(HybridDetector),
+}
+
+impl AnyDetector {
+    pub fn by_name(name: &str, cfg: DetectorConfig, supp: SuppressionSet) -> Self {
+        match name {
+            "djit" => AnyDetector::Djit(DjitDetector::new(cfg)),
+            "hybrid" | "hybrid-queue" => AnyDetector::Hybrid(HybridDetector::new(cfg)),
+            _ => AnyDetector::Eraser(EraserDetector::with_suppressions(cfg, supp)),
+        }
+    }
+
+    pub fn truncated(&self) -> bool {
+        match self {
+            AnyDetector::Eraser(d) => d.truncated(),
+            AnyDetector::Djit(d) => d.truncated(),
+            AnyDetector::Hybrid(d) => d.truncated(),
+        }
+    }
+
+    pub fn engine_stats(&self) -> Vec<EngineStats> {
+        match self {
+            AnyDetector::Eraser(d) => d.engine_stats(),
+            AnyDetector::Djit(d) => d.engine_stats(),
+            AnyDetector::Hybrid(d) => d.engine_stats(),
+        }
+    }
+
+    pub fn guest_fault(&self) -> Option<&str> {
+        match self {
+            AnyDetector::Eraser(d) => d.guest_fault.as_deref(),
+            AnyDetector::Djit(d) => d.guest_fault.as_deref(),
+            AnyDetector::Hybrid(d) => d.guest_fault.as_deref(),
+        }
+    }
+
+    pub fn take_reports(&mut self) -> Vec<Report> {
+        match self {
+            AnyDetector::Eraser(d) => d.sink.take_reports(),
+            AnyDetector::Djit(d) => d.sink.take_reports(),
+            AnyDetector::Hybrid(d) => d.sink.take_reports(),
+        }
+    }
+}
+
+impl Tool for AnyDetector {
+    fn on_event(&mut self, ev: &Event, vm: &VmView<'_>) {
+        match self {
+            AnyDetector::Eraser(d) => d.on_event(ev, vm),
+            AnyDetector::Djit(d) => d.on_event(ev, vm),
+            AnyDetector::Hybrid(d) => d.on_event(ev, vm),
+        }
+    }
+
+    fn on_guest_fault(&mut self, err: &GuestError, vm: &VmView<'_>) {
+        match self {
+            AnyDetector::Eraser(d) => d.on_guest_fault(err, vm),
+            AnyDetector::Djit(d) => d.on_guest_fault(err, vm),
+            AnyDetector::Hybrid(d) => d.on_guest_fault(err, vm),
+        }
+    }
+
+    fn on_finish(&mut self, vm: &VmView<'_>) {
+        match self {
+            AnyDetector::Eraser(d) => d.on_finish(vm),
+            AnyDetector::Djit(d) => d.on_finish(vm),
+            AnyDetector::Hybrid(d) => d.on_finish(vm),
+        }
     }
 }
 

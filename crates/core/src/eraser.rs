@@ -447,6 +447,12 @@ impl LocksetEngine {
         self.shadow.len()
     }
 
+    /// High-water mark of live shadow granules (see
+    /// [`crate::shadowmem::PageTable::peak_len`]).
+    pub fn peak_shadowed_granules(&self) -> usize {
+        self.shadow.peak_len()
+    }
+
     /// True if any budget cap degraded this engine's state (dropped shadow
     /// granules or lock-set table overflow).
     pub fn truncated(&self) -> bool {

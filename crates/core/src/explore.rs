@@ -698,21 +698,27 @@ impl ExploreCheckpoint {
             Ok(ck) => return Ok((ck, false)),
             Err(e) => e,
         };
-        let trimmed = match text.rfind('\n') {
-            // No trailing newline: everything after the last newline is the
-            // torn tail.
-            Some(nl) if nl + 1 < text.len() => &text[..nl + 1],
-            // Trailing newline: the last complete line is the suspect.
-            Some(nl) => match text[..nl].rfind('\n') {
-                Some(prev) => &text[..prev + 1],
-                None => return Err(first_err),
-            },
-            None => return Err(first_err),
+        let Some(trimmed) = trim_torn_tail(text) else {
+            return Err(first_err);
         };
         match Self::parse(trimmed) {
             Ok(ck) => Ok((ck, true)),
             Err(_) => Err(first_err),
         }
+    }
+}
+
+/// The prefix of `text` with the torn tail removed: everything after the
+/// last newline when the text does not end in one (an interrupted write
+/// mid-line), otherwise the last *complete* line (an interrupted write
+/// that happened to stop on a line boundary — the line itself is
+/// suspect). `None` when nothing parseable would remain. Shared by every
+/// line-oriented checkpoint format's `parse_repair`.
+pub fn trim_torn_tail(text: &str) -> Option<&str> {
+    match text.rfind('\n') {
+        Some(nl) if nl + 1 < text.len() => Some(&text[..nl + 1]),
+        Some(nl) => text[..nl].rfind('\n').map(|prev| &text[..prev + 1]),
+        None => None,
     }
 }
 

@@ -375,6 +375,12 @@ impl HbEngine {
         self.shadow.len()
     }
 
+    /// High-water mark of live shadow granules (see
+    /// [`crate::shadowmem::PageTable::peak_len`]).
+    pub fn peak_shadowed_granules(&self) -> usize {
+        self.shadow.peak_len()
+    }
+
     /// True if the shadow budget degraded this engine's coverage.
     pub fn truncated(&self) -> bool {
         self.shadow_overflow > 0

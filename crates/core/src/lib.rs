@@ -43,18 +43,19 @@ pub mod vc;
 
 pub use budget::{BudgetSpec, DetectorBudget};
 pub use config::{BusLockModel, DetectorConfig};
-pub use detector::{DjitDetector, EngineStats, EraserDetector, HybridDetector};
+pub use detector::{AnyDetector, DjitDetector, EngineStats, EraserDetector, HybridDetector};
 pub use eraser::{LocksetEngine, RaceInfo, VarState};
 pub use explore::{
-    explore_schedules, explore_schedules_directed, explore_schedules_with, DirectedTarget,
-    ExploreCheckpoint, ExploreLimits, ExploreSummary, LocationHit,
+    explore_schedules, explore_schedules_directed, explore_schedules_with, trim_torn_tail,
+    DirectedTarget, ExploreCheckpoint, ExploreLimits, ExploreSummary, LocationHit,
 };
 pub use hb::{HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};
 pub use locksets::{LockId, LockSetId, LockSetTable};
 pub use offline::{analyze_trace, OfflineAnalysis};
 pub use replay::{
-    analyze_trace_bytes, warning_fingerprint, ReplayCtx, ReplayDetector, ReplayOutcome,
+    analyze_trace_bytes, analyze_trace_repair, warning_fingerprint, RepairInfo, ReplayCtx,
+    ReplayDetector, ReplayOutcome,
 };
 pub use report::{format_block_note, Report, ReportCtx, ReportKind, ReportSink, StackFrame};
 pub use segments::{SegmentGraph, SegmentId};

@@ -26,7 +26,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use raceline_trace::format::{TraceError, TraceFooter, TraceRecord};
-use raceline_trace::reader::{decode_epoch, parse_trace, ParsedTrace};
+use raceline_trace::reader::{decode_epoch, parse_trace, parse_trace_repair, ParsedTrace};
 use vexec::event::{Event, ThreadId};
 use vexec::ir::SrcLoc;
 use vexec::util::Symbol;
@@ -225,11 +225,46 @@ fn decode_epochs(
 /// still replayed) and primes lock state from that epoch's snapshot.
 pub fn analyze_trace_bytes(
     bytes: &[u8],
-    mut detector: ReplayDetector,
+    detector: ReplayDetector,
     jobs: usize,
     from_epoch: u64,
 ) -> Result<ReplayOutcome, TraceError> {
     let parsed = parse_trace(bytes)?;
+    analyze_parsed(bytes, parsed, detector, jobs, from_epoch)
+}
+
+/// What the tolerant analyze path recovered.
+#[derive(Clone, Copy, Debug)]
+pub struct RepairInfo {
+    /// `false` when the trace was whole and no repair was needed.
+    pub repaired: bool,
+    /// Torn-tail bytes discarded before analysis.
+    pub dropped_bytes: usize,
+}
+
+/// `analyze --repair`: like [`analyze_trace_bytes`], but a crash-truncated
+/// trace (missing or torn envelope trailer) is recovered via
+/// [`parse_trace_repair`] — the torn final epoch is dropped and the intact
+/// prefix analyzed. Real corruption (checksum mismatch, interior structure
+/// errors in a complete file) still propagates.
+pub fn analyze_trace_repair(
+    bytes: &[u8],
+    detector: ReplayDetector,
+    jobs: usize,
+    from_epoch: u64,
+) -> Result<(ReplayOutcome, RepairInfo), TraceError> {
+    let rt = parse_trace_repair(bytes)?;
+    let info = RepairInfo { repaired: rt.repaired, dropped_bytes: rt.dropped_bytes };
+    Ok((analyze_parsed(bytes, rt.parsed, detector, jobs, from_epoch)?, info))
+}
+
+fn analyze_parsed(
+    bytes: &[u8],
+    parsed: ParsedTrace,
+    mut detector: ReplayDetector,
+    jobs: usize,
+    from_epoch: u64,
+) -> Result<ReplayOutcome, TraceError> {
     let decoded = decode_epochs(bytes, &parsed, jobs)?;
 
     let blocks: BTreeMap<u64, (u64, u32, bool)> = parsed

@@ -67,6 +67,9 @@ pub struct PageTable<T> {
     cache: (u64, u32),
     /// Live granules across all pages — the budget-visible count.
     live: usize,
+    /// High-water mark of `live` over the table's lifetime; the
+    /// memory-flatness evidence `--mem-report` prints.
+    peak: usize,
 }
 
 impl<T> PageTable<T> {
@@ -81,6 +84,7 @@ impl<T> PageTable<T> {
             // so this sentinel can never alias a real page.
             cache: (u64::MAX, VIRGIN),
             live: 0,
+            peak: 0,
         }
     }
 
@@ -110,6 +114,14 @@ impl<T> PageTable<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// Highest live-granule count ever reached. Unlike [`Self::len`] this
+    /// is monotone: `reset_range` reclamation lowers `len` but never the
+    /// peak, so a flat peak across soak phases proves reclamation kept up.
+    #[inline]
+    pub fn peak_len(&self) -> usize {
+        self.peak
     }
 
     /// Mapped (non-virgin) pages — stats for benches and diagnostics.
@@ -194,6 +206,7 @@ impl<T> PageTable<T> {
         if s.is_none() {
             sec.live += 1;
             self.live += 1;
+            self.peak = self.peak.max(self.live);
         }
         *s = Some(value);
     }
@@ -211,6 +224,7 @@ impl<T> PageTable<T> {
         if s.is_none() {
             sec.live += 1;
             self.live += 1;
+            self.peak = self.peak.max(self.live);
             *s = Some(T::default());
         }
         s.as_mut().expect("slot populated above")
@@ -454,6 +468,27 @@ mod tests {
         let same_page_other_slot = 0x4000_0000 / page_bytes * page_bytes + 8;
         assert_eq!(t.get(same_page_other_slot), None);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn peak_is_monotone_across_reset_range() {
+        let mut t: PageTable<u64> = PageTable::new(8);
+        for round in 0..4u64 {
+            let base = 0x1000 + round * 0x10000;
+            for i in 0..100u64 {
+                t.insert(base + i * 8, i);
+            }
+            assert_eq!(t.len(), 100);
+            assert_eq!(t.peak_len(), 100, "flat peak: each round reclaims fully");
+            t.reset_range(base, 100 * 8);
+            assert_eq!(t.len(), 0);
+            assert_eq!(t.peak_len(), 100, "reclamation never lowers the peak");
+        }
+        // Growth past the old peak moves it.
+        for i in 0..150u64 {
+            t.insert(0x9000_0000 + i * 8, i);
+        }
+        assert_eq!(t.peak_len(), 150);
     }
 
     #[test]

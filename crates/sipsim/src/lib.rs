@@ -19,13 +19,21 @@ pub mod bugs;
 pub mod native;
 pub mod proxy;
 pub mod sip;
+pub mod soak;
 pub mod testcases;
 pub mod workload;
 
 pub use proxy::{build_proxy, BuiltProxy, Dispatch, ProxyConfig, SiteLabel, SiteMap};
 pub use sip::{Method, SipRequest};
+pub use soak::{
+    build_soak_phase, phase_fault_plan, phase_sched_seed, run_phase, CatEntry, PhaseEnd,
+    PhaseOutcome, PhaseStats, SoakLog,
+};
 pub use testcases::{
     reproduce_fig6, run_case, run_case_chaos, run_case_chaos_with, testcases, CaseResult,
     ChaosRunOutcome, Fig6Row, TestCase,
 };
-pub use workload::{apply_chaos, generate, ChaosSpec, FlowKind, ScenarioSpec};
+pub use workload::{
+    apply_chaos, generate, phase_cells, ChaosSpec, DialogCell, DialogClass, FlowKind, ScenarioSpec,
+    SoakSpec,
+};

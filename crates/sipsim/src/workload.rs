@@ -265,3 +265,172 @@ mod tests {
         assert_eq!(key(&r), key(&plain), "reorder must preserve the multiset");
     }
 }
+
+// ---------------------------------------------------------------------------
+// Generative soak load model
+// ---------------------------------------------------------------------------
+
+/// Parameters of the generative soak load: hundreds of thousands to
+/// millions of SIP dialogs sampled from a seeded mix, executed in phases
+/// by the soak driver (`sipsim::soak`). Everything downstream — the guest
+/// program, the kill schedule, the warning catalogue — is a pure function
+/// of this spec, which is what makes crash/resume byte-stable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SoakSpec {
+    /// Total dialogs generated across all phases.
+    pub dialogs: u64,
+    /// Number of traffic phases (each phase is one VM run).
+    pub phases: u32,
+    /// Master seed: dialog mix, lifetimes, kill schedule, VM schedules.
+    pub seed: u64,
+    /// Thread-pool workers spawned at phase start.
+    pub workers: u32,
+    /// Extra workers spawned mid-phase (thread-pool resize under load);
+    /// 0 disables the resize.
+    pub resize_workers: u32,
+    /// Maximum multi-proxy forwarding hops for call dialogs (1..=4).
+    pub hops: u32,
+    /// Fraction (‰) of dialogs that are REGISTER churn.
+    pub churn_permille: u32,
+    /// Fraction (‰) of dialogs that are OPTIONS keep-alives.
+    pub options_permille: u32,
+    /// Maximum mid-call re-INVITEs per call dialog.
+    pub max_reinvites: u32,
+    /// Kill rate (‰ per worker slot) in armed phases (odd phase indices).
+    pub kill_permille: u32,
+    /// Thread-death cap per armed phase.
+    pub max_kills_per_phase: u32,
+    /// Emit `HgCleanMemory` at dialog teardown so the detectors reclaim
+    /// dead-dialog shadow state (the bounded-memory knob).
+    pub reclaim: bool,
+}
+
+impl Default for SoakSpec {
+    fn default() -> Self {
+        SoakSpec {
+            dialogs: 10_000,
+            phases: 10,
+            seed: 0x50A4_2007,
+            workers: 4,
+            resize_workers: 2,
+            hops: 3,
+            churn_permille: 300,
+            options_permille: 100,
+            max_reinvites: 2,
+            kill_permille: 2,
+            max_kills_per_phase: 2,
+            reclaim: true,
+        }
+    }
+}
+
+impl SoakSpec {
+    /// One-line canonical rendering, stored in the soak log header so a
+    /// resume can refuse to continue a run with different parameters.
+    pub fn params_line(&self) -> String {
+        format!(
+            "dialogs={} phases={} seed={:#x} workers={} resize={} hops={} churn={} \
+             options={} reinvites={} kill={} max-kills={} reclaim={}",
+            self.dialogs,
+            self.phases,
+            self.seed,
+            self.workers,
+            self.resize_workers,
+            self.hops,
+            self.churn_permille,
+            self.options_permille,
+            self.max_reinvites,
+            self.kill_permille,
+            self.max_kills_per_phase,
+            u8::from(self.reclaim),
+        )
+    }
+
+    /// Dialogs generated in `phase` (remainder goes to the last phase).
+    pub fn phase_dialogs(&self, phase: u32) -> u64 {
+        let phases = self.phases.max(1) as u64;
+        let base = self.dialogs / phases;
+        if u64::from(phase) == phases - 1 {
+            base + self.dialogs % phases
+        } else {
+            base
+        }
+    }
+
+    /// Is the kill schedule armed in `phase`? Odd phases, so every run
+    /// alternates calm and hostile traffic and at least half the phases
+    /// exercise clean recovery paths.
+    pub fn phase_armed(&self, phase: u32) -> bool {
+        self.kill_permille > 0 && self.max_kills_per_phase > 0 && phase % 2 == 1
+    }
+}
+
+/// The dialog classes of the soak mix.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum DialogClass {
+    /// Registration churn: binding refresh against the registrar.
+    Register,
+    /// OPTIONS keep-alive (stateless, fully locked — the clean class).
+    Options,
+    /// INVITE dialog forwarded through `hops` proxies.
+    Call { hops: u32 },
+}
+
+/// One cell of the aggregated load: all dialogs sharing a class, a
+/// lifetime bucket and a re-INVITE count execute the same guest code
+/// path, so the guest program stays O(cells) while the dialog count only
+/// appears in loop bounds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct DialogCell {
+    pub class: DialogClass,
+    /// Lifetime bucket: per-dialog touch count, heavy-tailed (see
+    /// [`sample_touches`]).
+    pub touches: u32,
+    /// Mid-call re-INVITEs (call dialogs only).
+    pub reinvites: u32,
+}
+
+impl DialogCell {
+    /// Message code dispatched on by the guest (0 is the shutdown
+    /// sentinel; codes identify the handler class).
+    pub fn code(&self) -> u64 {
+        match self.class {
+            DialogClass::Register => 1,
+            DialogClass::Options => 2,
+            DialogClass::Call { hops } => 10 + u64::from(hops),
+        }
+    }
+}
+
+/// Heavy-tailed lifetime sample: bucket `2^k` with `P(bucket >= 2^k) =
+/// 2^-k` — a discrete bounded Pareto (tail index 1) capped at 256, drawn
+/// from the integer RNG only so the distribution is bit-reproducible on
+/// every platform (no libm).
+fn sample_touches(rng: &mut SplitMix64) -> u32 {
+    1u32 << rng.next_u64().trailing_zeros().min(8)
+}
+
+/// Sample `phase`'s dialogs and aggregate them into deterministic
+/// `(cell, count)` runs, sorted by cell. The per-phase RNG stream is
+/// derived from `(seed, phase)`, so any phase can be regenerated in
+/// isolation — the property crash/resume and `--jobs` sharding rely on.
+pub fn phase_cells(spec: &SoakSpec, phase: u32) -> Vec<(DialogCell, u64)> {
+    let mut rng =
+        SplitMix64::new(spec.seed ^ (u64::from(phase).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    let mut cells: std::collections::BTreeMap<DialogCell, u64> = std::collections::BTreeMap::new();
+    for _ in 0..spec.phase_dialogs(phase) {
+        let class_draw = rng.pick(1000) as u32;
+        let touches = sample_touches(&mut rng);
+        let cell = if class_draw < spec.churn_permille {
+            DialogCell { class: DialogClass::Register, touches, reinvites: 0 }
+        } else if class_draw < spec.churn_permille + spec.options_permille {
+            DialogCell { class: DialogClass::Options, touches, reinvites: 0 }
+        } else {
+            let hops = 1 + rng.pick(u64::from(spec.hops.clamp(1, 4))) as u32;
+            let reinvites = rng.pick(u64::from(spec.max_reinvites) + 1) as u32;
+            DialogCell { class: DialogClass::Call { hops }, touches, reinvites }
+        };
+        *cells.entry(cell).or_insert(0) += 1;
+    }
+    cells.into_iter().collect()
+}

@@ -297,6 +297,10 @@ pub enum TraceTermination {
     Deadlock(Vec<TraceWait>),
     GuestError(String),
     FuelExhausted,
+    /// The trace ends before the run did — a crash-truncated file whose
+    /// intact prefix was recovered by `parse_trace_repair`. Synthesized,
+    /// never produced by the writer.
+    Unknown,
 }
 
 /// One blocked thread at deadlock time.
@@ -875,6 +879,7 @@ pub fn encode_footer_body(out: &mut Vec<u8>, f: &TraceFooter) {
             out.extend_from_slice(msg.as_bytes());
         }
         TraceTermination::FuelExhausted => out.push(3),
+        TraceTermination::Unknown => out.push(4),
     }
     match &f.faults {
         None => out.push(0),
@@ -932,6 +937,7 @@ pub fn decode_footer_body(c: &mut Cursor<'_>) -> Result<TraceFooter, TraceError>
             TraceTermination::GuestError(s.to_string())
         }
         3 => TraceTermination::FuelExhausted,
+        4 => TraceTermination::Unknown,
         other => return Err(c.corrupt(format!("bad termination tag {other}"))),
     };
     let faults = match c.u8()? {

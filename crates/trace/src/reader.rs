@@ -17,8 +17,8 @@ use std::io::Read;
 
 use crate::format::{
     decode_footer_body, decode_header, decode_record, decode_snapshot, CodecState, Cursor,
-    EpochSnapshot, Fnv1a, TraceError, TraceFooter, TraceHeader, TraceRecord, END_MAGIC, MAGIC,
-    TAG_EPOCH, TAG_FOOTER, VERSION,
+    EpochSnapshot, Fnv1a, TraceError, TraceFooter, TraceHeader, TraceRecord, TraceTermination,
+    END_MAGIC, MAGIC, TAG_EPOCH, TAG_FOOTER, VERSION,
 };
 
 /// One epoch frame located by [`parse_trace`]: its snapshot plus the byte
@@ -103,6 +103,114 @@ pub fn parse_trace(bytes: &[u8]) -> Result<ParsedTrace, TraceError> {
             return Err(c.corrupt(format!("unknown frame tag {tag:#04x}")));
         }
     }
+}
+
+/// A crash-truncated trace recovered by [`parse_trace_repair`].
+#[derive(Clone, Debug)]
+pub struct RepairedTrace {
+    pub parsed: ParsedTrace,
+    /// `false` when the file was whole and no repair was needed.
+    pub repaired: bool,
+    /// Bytes of torn tail discarded (0 when `repaired` is false).
+    pub dropped_bytes: usize,
+}
+
+/// Tolerant parse for crash-truncated traces: when the envelope trailer is
+/// missing (the writer died before its final flush), re-walk the frame
+/// sequence keeping every epoch that is *completely* present, drop the
+/// torn tail, and synthesize a footer for the intact prefix — the offline
+/// twin of the soak log's torn-tail rule.
+///
+/// Only [`TraceError::Truncated`] triggers repair. A file whose trailer
+/// *is* present but whose body fails its checksum or structure is corrupt,
+/// not torn, and that error propagates unchanged — repair must never paper
+/// over real corruption.
+pub fn parse_trace_repair(bytes: &[u8]) -> Result<RepairedTrace, TraceError> {
+    match parse_trace(bytes) {
+        Ok(parsed) => return Ok(RepairedTrace { parsed, repaired: false, dropped_bytes: 0 }),
+        Err(TraceError::Truncated { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    // No trailer: everything after the version word is unverified body.
+    // The header must decode fully — without the symbol table nothing in
+    // the file can be interpreted.
+    let mut c = Cursor::new(bytes, 0);
+    let header = decode_header(&mut c)?;
+    let nsyms = header.symbols.len() as u32;
+    let after_header = c.pos;
+    let mut epochs: Vec<EpochDesc> = Vec::new();
+    let mut end_of_good = after_header;
+    while let Ok(tag) = c.u8() {
+        if tag != TAG_EPOCH {
+            // A footer tag here would mean the trailer was torn off a
+            // complete body; its epoch count can no longer be trusted
+            // against a checksum, so treat it like any other torn tail.
+            break;
+        }
+        let frame = (|| -> Result<EpochDesc, TraceError> {
+            let index = c.uvarint()?;
+            if index != epochs.len() as u64 {
+                return Err(c.corrupt(format!(
+                    "epoch index {index} out of order (expected {})",
+                    epochs.len()
+                )));
+            }
+            let snapshot = decode_snapshot(&mut c, index, nsyms)?;
+            let payload_len = c.count("payload byte", 1)?;
+            let payload_offset = c.pos;
+            c.bytes(payload_len)?;
+            Ok(EpochDesc { snapshot, payload_offset, payload_len })
+        })();
+        match frame {
+            Ok(desc) => {
+                end_of_good = c.pos;
+                epochs.push(desc);
+            }
+            Err(_) => break,
+        }
+    }
+    // An epoch frame can be structurally whole while its payload tail is
+    // garbage (the torn write landed inside the declared extent). Verify
+    // the final epochs actually decode, dropping any that do not.
+    while let Some(desc) = epochs.last() {
+        match decode_epoch(bytes, desc, nsyms) {
+            Ok(_) => break,
+            Err(_) => {
+                end_of_good = epochs[..epochs.len() - 1]
+                    .last()
+                    .map_or(after_header, |d| d.payload_offset + d.payload_len);
+                epochs.pop();
+            }
+        }
+    }
+    // The synthesized footer's event count must match the decoded stream
+    // (analyze cross-checks it): events before the last epoch are the sum
+    // of its snapshot's per-thread sequence numbers; the last epoch's own
+    // events need one decode.
+    let events = match epochs.last() {
+        None => 0,
+        Some(desc) => {
+            let before: u64 = desc.snapshot.threads.iter().map(|t| t.seq).sum();
+            let in_last = decode_epoch(bytes, desc, nsyms)
+                .expect("verified above")
+                .iter()
+                .filter(|r| matches!(r, TraceRecord::Event(_)))
+                .count() as u64;
+            before + in_last
+        }
+    };
+    let footer = TraceFooter {
+        events,
+        epochs: epochs.len() as u64,
+        slots: 0,
+        termination: TraceTermination::Unknown,
+        faults: None,
+    };
+    Ok(RepairedTrace {
+        parsed: ParsedTrace { header, epochs, footer },
+        repaired: true,
+        dropped_bytes: bytes.len() - end_of_good,
+    })
 }
 
 /// Decode one epoch's payload into records. Self-contained: the delta

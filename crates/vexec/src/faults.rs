@@ -74,17 +74,41 @@ impl FaultPlan {
     /// derived plan terminates with a structured [`crate::vm::Termination`].
     pub fn from_seed(seed: u64) -> Self {
         let mut r = SplitMix64::new(seed ^ 0x000F_A017_5EED);
+        let wakeup_permille = (r.next_u64() % 26) as u32;
+        let lockfail_permille = (r.next_u64() % 26) as u32;
+        let allocfail_permille = (r.next_u64() % 11) as u32;
+        // The kill knobs are sampled jointly: a rate without a cap (or a
+        // cap without a rate) is a dead knob that silently disarms the
+        // kill path, so the sampler never produces one — a sampled plan
+        // with `kill_permille > 0` always has `max_kills > 0`.
+        let kill_permille = (r.next_u64() % 6) as u32;
+        let max_kills = if kill_permille == 0 { 0 } else { 1 + (r.next_u64() % 2) as u32 };
         FaultPlan {
             seed,
-            wakeup_permille: (r.next_u64() % 26) as u32,
-            lockfail_permille: (r.next_u64() % 26) as u32,
-            allocfail_permille: (r.next_u64() % 11) as u32,
-            kill_permille: (r.next_u64() % 6) as u32,
-            max_kills: (r.next_u64() % 3) as u32,
+            wakeup_permille,
+            lockfail_permille,
+            allocfail_permille,
+            kill_permille,
+            max_kills,
         }
     }
 
-    /// True if no channel can ever fire.
+    /// Canonical form of the kill knobs: `kill_permille` and `max_kills`
+    /// arm and disarm together. If either is zero the pair can never fire
+    /// — a rate with no cap, or a cap with no rate — so both are zeroed,
+    /// keeping `Debug` output and downstream accounting honest about the
+    /// kill path being dead.
+    pub fn normalized(mut self) -> Self {
+        if self.kill_permille == 0 || self.max_kills == 0 {
+            self.kill_permille = 0;
+            self.max_kills = 0;
+        }
+        self
+    }
+
+    /// True if no channel can ever fire. The kill channel is dead when
+    /// *either* knob is zero (see [`Self::normalized`]), not only when
+    /// both are.
     pub fn is_noop(&self) -> bool {
         self.wakeup_permille == 0
             && self.lockfail_permille == 0
@@ -132,7 +156,7 @@ impl FaultPlan {
         if kill_rate_set && plan.kill_permille > 0 && plan.max_kills == 0 {
             plan.max_kills = 1;
         }
-        Ok(plan)
+        Ok(plan.normalized())
     }
 }
 
@@ -290,6 +314,50 @@ mod tests {
             assert!(a.max_kills <= 2);
         }
         assert_ne!(FaultPlan::from_seed(1), FaultPlan::from_seed(2));
+    }
+
+    #[test]
+    fn sampled_kill_knobs_are_coherent() {
+        // The dead-knob bug: independent sampling used to produce
+        // `kill_permille > 0` with `max_kills == 0` (silently disarmed)
+        // and vice versa. The sampler must never emit either shape.
+        let mut armed = 0;
+        for seed in 0..512u64 {
+            let p = FaultPlan::from_seed(seed);
+            assert_eq!(
+                p.kill_permille == 0,
+                p.max_kills == 0,
+                "seed {seed}: incoherent kill knobs {p:?}"
+            );
+            assert_eq!(p, p.normalized(), "sampled plans are already canonical");
+            if p.kill_permille > 0 {
+                armed += 1;
+            }
+        }
+        // The sweep still exercises both armed and disarmed kill paths.
+        assert!(armed > 0 && armed < 512, "{armed}/512 armed");
+    }
+
+    #[test]
+    fn normalized_zeroes_dead_kill_knobs() {
+        let rate_no_cap =
+            FaultPlan { seed: 1, kill_permille: 5, max_kills: 0, ..FaultPlan::disabled() };
+        let n = rate_no_cap.normalized();
+        assert_eq!((n.kill_permille, n.max_kills), (0, 0));
+        let cap_no_rate =
+            FaultPlan { seed: 1, kill_permille: 0, max_kills: 3, ..FaultPlan::disabled() };
+        let n = cap_no_rate.normalized();
+        assert_eq!((n.kill_permille, n.max_kills), (0, 0));
+        let armed = FaultPlan { seed: 1, kill_permille: 5, max_kills: 3, ..FaultPlan::disabled() };
+        assert_eq!(armed.normalized(), armed);
+    }
+
+    #[test]
+    fn parse_normalizes_dead_kill_cap() {
+        // A cap without a rate parses, but comes back canonicalized.
+        let p = FaultPlan::parse("max-kills=4").unwrap();
+        assert_eq!((p.kill_permille, p.max_kills), (0, 0));
+        assert!(p.is_noop());
     }
 
     #[test]

@@ -201,3 +201,74 @@ proptest! {
         }
     }
 }
+
+/// A kill-bait program: `workers` threads that only yield in a loop, so
+/// every slot a worker holds is a kill opportunity and nothing else (no
+/// locks, no allocation) can interfere with the fault channel under test.
+fn kill_bait_program(workers: usize, yields: u64) -> Program {
+    let mut pb = ProgramBuilder::new();
+    let loc = pb.loc("bait.cpp", 10, "spinner");
+    let mut w = ProcBuilder::new(0);
+    w.at(loc);
+    w.begin_repeat(yields);
+    w.yield_();
+    w.end_repeat();
+    w.ret(None);
+    let wid = pb.add_proc("spinner", w);
+
+    let mloc = pb.loc("bait.cpp", 30, "main");
+    let mut m = ProcBuilder::new(0);
+    m.at(mloc);
+    let mut handles = Vec::new();
+    for _ in 0..workers {
+        handles.push(m.spawn(wid, vec![]));
+    }
+    for h in handles {
+        m.join(h);
+    }
+    m.ret(None);
+    let main_id = pb.add_proc("main", m);
+    pb.set_entry(main_id);
+    pb.finish()
+}
+
+proptest! {
+    /// The dead-knob regression (sampler edition): every plan
+    /// `FaultPlan::from_seed` derives has coherent kill knobs, and every
+    /// *armed* plan actually kills when given enough opportunities — the
+    /// bait program offers tens of thousands of worker slots, so even a
+    /// 1-permille rate fires with probability 1 - 0.999^20000.
+    #[test]
+    fn armed_sampled_plans_actually_kill(seed in any::<u64>()) {
+        use vexec::faults::FaultPlan;
+        use vexec::vm::{run_flat, VmOptions};
+
+        let plan = FaultPlan::from_seed(seed);
+        prop_assert_eq!(
+            plan.kill_permille == 0,
+            plan.max_kills == 0,
+            "incoherent kill knobs: {:?}", plan
+        );
+        if plan.kill_permille == 0 {
+            return Ok(());
+        }
+        // Isolate the kill channel: other rates off, same seed and knobs.
+        let plan = FaultPlan {
+            wakeup_permille: 0,
+            lockfail_permille: 0,
+            allocfail_permille: 0,
+            ..plan
+        };
+        let prog = kill_bait_program(4, 5_000);
+        let flat = prog.lower();
+        let mut t = CountingTool::new();
+        let opts = VmOptions { faults: Some(plan), ..Default::default() };
+        let r = run_flat(&flat, &mut t, &mut RoundRobin::new(), opts);
+        prop_assert!(r.termination.is_clean(), "{:?}", r.termination);
+        let kills = r.faults.expect("plan attached").kills;
+        prop_assert!(
+            kills >= 1 && kills <= plan.max_kills as u64,
+            "armed plan {:?} killed {} times", plan, kills
+        );
+    }
+}

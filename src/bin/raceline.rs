@@ -75,7 +75,6 @@ use raceline_trace::format::{TraceFaultStats, TraceTermination};
 use raceline_trace::writer::TraceWriter;
 use serde::{Serialize, Value};
 use std::collections::{BTreeMap, BTreeSet};
-use std::io::Write as _;
 use vexec::faults::{parse_u64, FaultPlan, FaultStats};
 use vexec::filter::{FilterStats, FilterTool};
 use vexec::ir::lower::FlatProgram;
@@ -97,13 +96,19 @@ fn usage() -> ! {
          [--no-filter] [--stats]\n\
          \x20      raceline analyze <trace.rltrace> [--detector <name>] [--jobs <n>] \
          [--from-epoch <k>] [--suppressions <file>] [--gen-suppressions] [--budget <spec>] \
-         [--stats] [--json]\n\
+         [--repair] [--stats] [--json]\n\
+         \x20      raceline soak [--dialogs <n>] [--phases <n>] [--seed <s>] [--workers <n>] \
+         [--resize <n>] [--hops <n>] [--churn <permille>] [--options <permille>] \
+         [--reinvites <n>] [--kill <permille>] [--max-kills <n>] [--no-reclaim] \
+         [--detector <name>] [--budget <spec>] [--jobs <n>] [--checkpoint <file>] \
+         [--max-slots <n>] [--no-filter] [--mem-report]\n\
          \x20      raceline trace-diff <old.rltrace> <new.rltrace> [--detector <name>] \
          [--detector-a <name>] [--detector-b <name>] [--jobs <n>] [--json]\n\
          \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
          \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
          [--detector <name>] [--max-slots <n>] [--jobs <n>] [--no-filter] [--json]\n\
-         \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace]"
+         \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace] \
+         [--soak]"
     );
     std::process::exit(2);
 }
@@ -255,6 +260,9 @@ fn main() {
         }
         Some("chaos") => {
             run_chaos(args.collect());
+        }
+        Some("soak") => {
+            run_soak(args.collect());
         }
         Some("bench-snapshot") => {
             run_bench_snapshot(args.collect());
@@ -745,8 +753,9 @@ fn run_detector<T: Tool>(
 fn print_engine_stats(stats: &[helgrind_core::EngineStats]) {
     for s in stats {
         eprintln!(
-            "stats: engine {} processed {} access(es), shadow overflow {}",
-            s.name, s.accesses, s.shadow_overflow
+            "stats: engine {} processed {} access(es), shadow overflow {}, \
+             live granules {} (peak {})",
+            s.name, s.accesses, s.shadow_overflow, s.live_granules, s.peak_granules
         );
     }
 }
@@ -796,6 +805,9 @@ fn end_of_trace(t: &TraceTermination) -> (EndKind, String) {
             (EndKind::GuestError(e.clone()), format!("GuestError({e})"))
         }
         TraceTermination::FuelExhausted => (EndKind::TimedOut, "FuelExhausted".to_string()),
+        // Repaired traces end mid-run: the analyzed prefix is valid, the
+        // outcome of the original run is simply not in the file.
+        TraceTermination::Unknown => (EndKind::Clean, "Unknown".to_string()),
     }
 }
 
@@ -896,16 +908,44 @@ fn finish_run(
     std::process::exit(if warnings == 0 { 0 } else { EXIT_FINDINGS });
 }
 
-/// Write a checkpoint through a buffered writer, flushing after every
-/// line: an interrupt mid-save tears at most the final line, which
-/// `parse_repair` drops on resume.
-fn write_checkpoint(path: &str, rendered: &str) -> std::io::Result<()> {
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+/// Crash-injection hook for the resume tests: with
+/// `RACELINE_TEST_TORN_WRITE=N` in the environment, the Nth line written
+/// through [`write_lines`] (counted process-wide, across every checkpoint
+/// write and soak-log append) is cut in half, flushed, and the process
+/// exits 42 — a reproducible harness crash mid-checkpoint-write.
+fn torn_write_limit() -> Option<usize> {
+    static LIMIT: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *LIMIT
+        .get_or_init(|| std::env::var("RACELINE_TEST_TORN_WRITE").ok().and_then(|v| v.parse().ok()))
+}
+
+/// Write `rendered` line by line, flushing after every line so an
+/// interrupt tears at most the final line — which both the explore
+/// checkpoint's and the soak log's `parse_repair` drop on resume.
+fn write_lines(w: &mut impl std::io::Write, rendered: &str) -> std::io::Result<()> {
+    static WRITTEN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
     for line in rendered.split_inclusive('\n') {
+        let n = WRITTEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if torn_write_limit() == Some(n) {
+            w.write_all(&line.as_bytes()[..line.len() / 2])?;
+            w.flush()?;
+            std::process::exit(42);
+        }
         w.write_all(line.as_bytes())?;
         w.flush()?;
     }
     w.flush()
+}
+
+fn write_checkpoint(path: &str, rendered: &str) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_lines(&mut w, rendered)
+}
+
+/// Append one committed block to an existing soak log.
+fn append_log(path: &str, block: &str) -> std::io::Result<()> {
+    let mut w = std::io::BufWriter::new(std::fs::OpenOptions::new().append(true).open(path)?);
+    write_lines(&mut w, block)
 }
 
 /// Build the replay-side detector exactly the way the inline `check` path
@@ -943,6 +983,7 @@ fn run_analyze(args: Vec<String>) -> ! {
     let mut budget: Option<BudgetSpec> = None;
     let mut json = false;
     let mut stats = false;
+    let mut repair = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -955,6 +996,7 @@ fn run_analyze(args: Vec<String>) -> ! {
                 from_epoch = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
             "--stats" => stats = true,
+            "--repair" => repair = true,
             "--suppressions" => {
                 let path = it.next().unwrap_or_else(|| usage());
                 let text = read_source(path);
@@ -989,11 +1031,26 @@ fn run_analyze(args: Vec<String>) -> ! {
         cfg.budget = b.detector;
     }
     let detector = build_replay_detector(&detector_name, cfg, &suppressions);
-    let outcome =
+    let outcome = if repair {
+        let (outcome, info) =
+            helgrind_core::analyze_trace_repair(&bytes, detector, jobs.max(1), from_epoch)
+                .unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                });
+        if info.repaired {
+            eprintln!(
+                "repaired: dropped {} torn byte(s), analyzing {} intact epoch(s)",
+                info.dropped_bytes, outcome.footer.epochs
+            );
+        }
+        outcome
+    } else {
         analyze_trace_bytes(&bytes, detector, jobs.max(1), from_epoch).unwrap_or_else(|e| {
             eprintln!("{path}: {e}");
             std::process::exit(EXIT_ERROR);
-        });
+        })
+    };
     eprintln!(
         "analyzed {} event(s) from {} epoch(s) [{detector_name}]",
         outcome.events, outcome.footer.epochs
@@ -1358,6 +1415,196 @@ fn run_chaos(args: Vec<String>) -> ! {
     std::process::exit(if ok { 0 } else { EXIT_ERROR });
 }
 
+/// `raceline soak`: phased generative load (the §3.3 long-run scenario at
+/// scale) through the VM under a kill schedule, with the warning catalogue
+/// checkpointed between phases.
+///
+/// Every phase is a pure function of `(spec, phase)`: a fresh guest
+/// program, schedule, and detector. That makes `--jobs N` byte-identical
+/// to sequential, and makes crash/resume exact — the append-only log
+/// commits each phase's deduped `warn` lines *before* the `phase` line, so
+/// a harness crash mid-append loses only an uncommitted block that the
+/// resumed run recomputes bit-identically. Exit contract: 0 = clean run,
+/// 1 = catalogue non-empty or a phase deadlocked, 2 = tool/guest error.
+fn run_soak(args: Vec<String>) -> ! {
+    use helgrind_core::AnyDetector;
+    use sipsim::{run_phase, PhaseEnd, SoakLog, SoakSpec};
+
+    let mut spec = SoakSpec::default();
+    let mut detector_name = "hybrid".to_string();
+    let mut budget: Option<BudgetSpec> = None;
+    let mut jobs: usize = 1;
+    let mut checkpoint_path: Option<String> = None;
+    let mut max_slots: Option<u64> = None;
+    let mut no_filter = false;
+    let mut mem_report = false;
+
+    let mut it = args.iter();
+    let num = |it: &mut std::slice::Iter<String>| -> u64 {
+        it.next().and_then(|x| parse_u64(x).ok()).unwrap_or_else(|| usage())
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--dialogs" => spec.dialogs = num(&mut it),
+            "--phases" => spec.phases = num(&mut it).max(1) as u32,
+            "--seed" => spec.seed = num(&mut it),
+            "--workers" => spec.workers = num(&mut it).max(1) as u32,
+            "--resize" => spec.resize_workers = num(&mut it) as u32,
+            "--hops" => spec.hops = num(&mut it).clamp(1, 4) as u32,
+            "--churn" => spec.churn_permille = num(&mut it).min(1000) as u32,
+            "--options" => spec.options_permille = num(&mut it).min(1000) as u32,
+            "--reinvites" => spec.max_reinvites = num(&mut it) as u32,
+            "--kill" => spec.kill_permille = num(&mut it).min(1000) as u32,
+            "--max-kills" => spec.max_kills_per_phase = num(&mut it) as u32,
+            "--no-reclaim" => spec.reclaim = false,
+            "--detector" => detector_name = it.next().unwrap_or_else(|| usage()).clone(),
+            "--budget" => {
+                let s = it.next().unwrap_or_else(|| usage());
+                budget = Some(BudgetSpec::parse(s).unwrap_or_else(|e| {
+                    eprintln!("--budget: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }));
+            }
+            "--jobs" => jobs = num(&mut it).max(1) as usize,
+            "--checkpoint" => checkpoint_path = Some(it.next().unwrap_or_else(|| usage()).clone()),
+            "--max-slots" => max_slots = Some(num(&mut it)),
+            "--no-filter" => no_filter = true,
+            "--mem-report" => mem_report = true,
+            _ => usage(),
+        }
+    }
+    let mut cfg = parse_detector(&detector_name);
+    if let Some(b) = &budget {
+        cfg.budget = b.detector;
+    }
+    if let Some(b) = &budget {
+        if let Some(slots) = b.max_slots {
+            max_slots.get_or_insert(slots);
+        }
+    }
+    let use_filter = !no_filter;
+
+    // Resume from a checkpoint if one exists; otherwise start fresh (and
+    // seed the log file with its header so appends have a base).
+    let mut log = SoakLog::new(&spec);
+    if let Some(path) = &checkpoint_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let (parsed, repaired) = SoakLog::parse_repair(&text).unwrap_or_else(|e| {
+                    eprintln!("soak: checkpoint {path}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                });
+                if parsed.params != log.params {
+                    eprintln!(
+                        "soak: checkpoint {path} was recorded with different parameters\n  \
+                         checkpoint: {}\n  requested:  {}",
+                        parsed.params, log.params
+                    );
+                    std::process::exit(EXIT_ERROR);
+                }
+                if repaired {
+                    // The dropped tail was never committed; rewrite the
+                    // file to the committed prefix so appends line up.
+                    let mut rendered = parsed.header();
+                    // Committed phases cannot be re-rendered from the
+                    // folded catalogue (hits are merged), so keep the
+                    // original committed bytes instead: everything up to
+                    // the end of the last `phase` line.
+                    if let Some(end) = last_commit_end(&text) {
+                        rendered = text[..end].to_string();
+                    }
+                    if let Err(e) = write_checkpoint(path, &rendered) {
+                        eprintln!("soak: cannot rewrite {path}: {e}");
+                        std::process::exit(EXIT_ERROR);
+                    }
+                    eprintln!(
+                        "soak: checkpoint repaired (dropped uncommitted tail); \
+                         resuming at phase {}",
+                        parsed.next_phase()
+                    );
+                } else if parsed.next_phase() > 0 {
+                    eprintln!("soak: resuming at phase {}", parsed.next_phase());
+                }
+                log = parsed;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                if let Err(e) = write_checkpoint(path, &log.header()) {
+                    eprintln!("soak: cannot write {path}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }
+            }
+            Err(e) => {
+                eprintln!("soak: cannot read {path}: {e}");
+                std::process::exit(EXIT_ERROR);
+            }
+        }
+    }
+
+    // Phases still to run, in chunks of `jobs`: each phase is independent,
+    // so the chunk fans out over the worker pool and the in-order fold
+    // (and the appended log) is identical to a sequential run.
+    let mut phase = log.next_phase();
+    while phase < spec.phases {
+        let chunk = jobs.min((spec.phases - phase) as usize);
+        let outcomes = run_indexed(jobs, chunk, |i| {
+            let det =
+                AnyDetector::by_name(&detector_name, cfg, helgrind_core::SuppressionSet::new());
+            run_phase(&spec, phase + i as u32, Some(det), use_filter, max_slots)
+        });
+        for out in outcomes {
+            if let Some(path) = &checkpoint_path {
+                if let Err(e) = append_log(path, &SoakLog::phase_block(&out)) {
+                    eprintln!("soak: cannot append to {path}: {e}");
+                    std::process::exit(EXIT_ERROR);
+                }
+            }
+            let s = &out.stats;
+            eprintln!(
+                "soak: phase {}/{}: {} dialog(s), {} event(s), {} kill(s), {} warning(s), \
+                 peak granules {}, {}",
+                s.phase + 1,
+                spec.phases,
+                s.dialogs,
+                s.events,
+                s.kills,
+                s.warnings,
+                s.peak_granules,
+                match &s.end {
+                    PhaseEnd::Clean => "clean".to_string(),
+                    PhaseEnd::Deadlock(n) => format!("DEADLOCK ({n} blocked)"),
+                    PhaseEnd::GuestError(e) => format!("guest error: {e}"),
+                    PhaseEnd::FuelExhausted => "slot budget exhausted".to_string(),
+                }
+            );
+            log.fold_phase(&out);
+        }
+        phase += chunk as u32;
+    }
+
+    print!("{}", log.render_summary(mem_report));
+    let guest_err = log.phases.iter().any(|p| matches!(p.end, PhaseEnd::GuestError(_)));
+    let deadlocked = log.phases.iter().any(|p| matches!(p.end, PhaseEnd::Deadlock(_)));
+    if guest_err {
+        eprintln!("soak: guest error: exiting with status {EXIT_ERROR}");
+        std::process::exit(EXIT_ERROR);
+    }
+    std::process::exit(if log.catalogue.is_empty() && !deadlocked { 0 } else { EXIT_FINDINGS });
+}
+
+/// Byte offset just past the final committed `phase` line of a soak log
+/// (i.e. past its newline), or `None` if nothing is committed.
+fn last_commit_end(text: &str) -> Option<usize> {
+    let mut end = None;
+    let mut pos = 0;
+    for line in text.split_inclusive('\n') {
+        if line.starts_with("phase ") && line.ends_with('\n') {
+            end = Some(pos + line.len());
+        }
+        pos += line.len();
+    }
+    end
+}
+
 /// Run `n` independent jobs on a scoped worker pool and return the results
 /// in index order. Workers claim indices from a shared counter; because
 /// every job is a pure function of its index, the merged vector — and any
@@ -1410,6 +1657,7 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
     let mut out_path: Option<String> = None;
     let mut samples: usize = 15;
     let mut trace_mode = false;
+    let mut soak_mode = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -1419,12 +1667,16 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
             }
             "--quick" => samples = 3,
             "--trace" => trace_mode = true,
+            "--soak" => soak_mode = true,
             _ => usage(),
         }
     }
     samples = samples.max(1);
     if trace_mode {
         run_bench_trace(samples, out_path.unwrap_or_else(|| "BENCH_trace.json".to_string()));
+    }
+    if soak_mode {
+        run_bench_soak(samples, out_path.unwrap_or_else(|| "BENCH_soak.json".to_string()));
     }
     let out_path = out_path.unwrap_or_else(|| "BENCH_overhead.json".to_string());
 
@@ -1567,6 +1819,74 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
         ratio(vm, native),
         ratio(ns_of("vm-eraser-hwlc-dr"), vm),
         ratio(ns_of("vm-hybrid"), ns_of("vm-hybrid-filter"))
+    );
+    std::process::exit(0);
+}
+
+/// `raceline bench-snapshot --soak`: soak-phase throughput in dialogs per
+/// second, detection-on (hybrid behind the redundant-access filter, the
+/// soak default) against detection-off (counting tool), plus the peak
+/// live-granule count — the bounded-memory headline number.
+fn run_bench_soak(samples: usize, out_path: String) -> ! {
+    use helgrind_core::{AnyDetector, SuppressionSet};
+    use sipsim::{run_phase, SoakSpec};
+
+    // One calm phase (kills disarm even phases) of the default mix, big
+    // enough that per-phase setup noise vanishes.
+    let spec = SoakSpec { dialogs: 20_000, phases: 1, kill_permille: 0, ..SoakSpec::default() };
+    let dialogs = spec.phase_dialogs(0);
+    let hybrid = || AnyDetector::by_name("hybrid", DetectorConfig::hybrid(), SuppressionSet::new());
+
+    let probe = run_phase(&spec, 0, Some(hybrid()), true, None);
+    let detect_ns = median_ns(samples, || {
+        let out = run_phase(&spec, 0, Some(hybrid()), true, None);
+        std::hint::black_box(out.stats.warnings);
+    });
+    let off_ns = median_ns(samples, || {
+        let out = run_phase(&spec, 0, None, false, None);
+        std::hint::black_box(out.stats.events);
+    });
+    let per_sec = |ns: u64| if ns == 0 { 0.0 } else { dialogs as f64 / (ns as f64 / 1e9) };
+    let ratio = if detect_ns == 0 { 0.0 } else { off_ns as f64 / detect_ns as f64 };
+
+    let obj = Value::Object(vec![
+        (
+            "workload".to_string(),
+            Value::Object(vec![
+                ("dialogs".to_string(), Value::UInt(dialogs)),
+                ("workers".to_string(), Value::UInt(u64::from(spec.workers))),
+                ("events".to_string(), Value::UInt(probe.stats.events)),
+            ]),
+        ),
+        ("samples".to_string(), Value::UInt(samples as u64)),
+        (
+            "median_ns".to_string(),
+            Value::Object(vec![
+                ("soak-hybrid-filter".to_string(), Value::UInt(detect_ns)),
+                ("soak-detection-off".to_string(), Value::UInt(off_ns)),
+            ]),
+        ),
+        (
+            "dialogs_per_sec".to_string(),
+            Value::Object(vec![
+                ("soak-hybrid-filter".to_string(), Value::Float(per_sec(detect_ns))),
+                ("soak-detection-off".to_string(), Value::Float(per_sec(off_ns))),
+            ]),
+        ),
+        ("detection-off/hybrid-filter".to_string(), Value::Float(ratio)),
+        ("peak_live_granules".to_string(), Value::UInt(probe.stats.peak_granules as u64)),
+        ("warnings".to_string(), Value::UInt(probe.stats.warnings as u64)),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, format!("{obj}\n")) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(EXIT_ERROR);
+    }
+    eprintln!(
+        "bench-snapshot --soak: wrote {out_path} ({:.0} dialogs/s detected vs {:.0} off, \
+         peak {} granule(s))",
+        per_sec(detect_ns),
+        per_sec(off_ns),
+        probe.stats.peak_granules
     );
     std::process::exit(0);
 }

@@ -1,0 +1,243 @@
+//! Integration tests for `raceline soak` and the crash-recovery story,
+//! driven through the real executable: the exit-code contract, `--jobs`
+//! byte-identity, a harness crash injected *mid-checkpoint-write* (via the
+//! `RACELINE_TEST_TORN_WRITE` hook) with byte-identical resume, and the
+//! `analyze --repair` recovery of a crash-truncated trace.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn raceline(args: &[&str]) -> (String, String, i32) {
+    raceline_env(args, &[])
+}
+
+/// Like [`raceline`] but with extra environment variables — the torn-write
+/// crash hook is armed through the environment so the *child* tears, not
+/// the test harness.
+fn raceline_env(args: &[&str], envs: &[(&str, &str)]) -> (String, String, i32) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_raceline"));
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("run raceline");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("raceline_soak_cli_{name}"))
+}
+
+const SAMPLE: &str = "examples/programs/session.mcpp";
+
+/// The standard small soak profile used across these tests: enough traffic
+/// to hit every planted site, kills armed, a couple of seconds of work.
+const SOAK: &[&str] =
+    &["soak", "--dialogs", "2000", "--phases", "4", "--seed", "77", "--kill", "30", "--mem-report"];
+
+#[test]
+fn soak_finds_the_planted_races_and_exits_one() {
+    let (stdout, stderr, code) = raceline(SOAK);
+    assert_eq!(code, 1, "planted races => exit 1\n{stdout}{stderr}");
+    // Every planted site and nothing else: the registrar expiry counter,
+    // the two call statistics, and one forward counter per proxy hop.
+    for site in [
+        "registrar.cpp:55",
+        "stats.cpp:20",
+        "stats.cpp:25",
+        "routing.cpp:115",
+        "routing.cpp:125",
+        "routing.cpp:135",
+    ] {
+        assert!(stdout.contains(site), "missing planted site {site}\n{stdout}");
+    }
+    assert!(stdout.contains("catalogue: 12 warning location(s)"), "{stdout}");
+    assert!(stdout.contains("mem-verdict: flat"), "reclamation keeps granules flat\n{stdout}");
+    assert!(stderr.contains("soak: phase 4/4:"), "per-phase progress on stderr\n{stderr}");
+}
+
+#[test]
+fn soak_single_thread_profile_is_clean_and_exits_zero() {
+    let (stdout, stderr, code) = raceline(&[
+        "soak",
+        "--dialogs",
+        "600",
+        "--phases",
+        "2",
+        "--workers",
+        "1",
+        "--resize",
+        "0",
+        "--kill",
+        "0",
+        "--seed",
+        "9",
+    ]);
+    assert_eq!(code, 0, "one worker, no kills => no races => exit 0\n{stdout}{stderr}");
+    assert!(stdout.contains("catalogue: 0 warning location(s)"), "{stdout}");
+}
+
+#[test]
+fn soak_rejects_bad_usage_with_exit_two() {
+    let (_, _, code) = raceline(&["soak", "--dialogs"]);
+    assert_eq!(code, 2);
+    let (_, _, code) = raceline(&["soak", "--frobnicate"]);
+    assert_eq!(code, 2);
+}
+
+#[test]
+fn soak_jobs_are_byte_identical() {
+    let base = raceline(SOAK);
+    for jobs in ["2", "8"] {
+        let mut args = SOAK.to_vec();
+        args.extend_from_slice(&["--jobs", jobs]);
+        let (stdout, _, code) = raceline_env(&args, &[]);
+        assert_eq!(code, base.2, "jobs {jobs}");
+        assert_eq!(stdout, base.0, "summary must be byte-identical under --jobs {jobs}");
+    }
+}
+
+/// The S3 contract: kill the harness *mid-checkpoint-write*, resume, and
+/// get a summary — and a checkpoint log — byte-identical to the same-seed
+/// uninterrupted run.
+#[test]
+fn soak_crash_mid_checkpoint_write_resumes_byte_identical() {
+    // Reference: uninterrupted run with a checkpoint.
+    let ref_ck = tmp("ref.soaklog");
+    let _ = std::fs::remove_file(&ref_ck);
+    let mut args = SOAK.to_vec();
+    let ref_p = ref_ck.to_str().unwrap().to_string();
+    args.extend_from_slice(&["--checkpoint", &ref_p]);
+    let (ref_out, _, ref_code) = raceline(&args);
+    assert_eq!(ref_code, 1);
+    let ref_log = std::fs::read_to_string(&ref_ck).expect("reference log written");
+    let lines = ref_log.lines().count();
+    assert!(lines > 6, "need a multi-phase log to tear\n{ref_log}");
+
+    // Crash run: same spec, torn write halfway through the line stream.
+    let crash_ck = tmp("crash.soaklog");
+    let _ = std::fs::remove_file(&crash_ck);
+    let crash_p = crash_ck.to_str().unwrap().to_string();
+    let mut args = SOAK.to_vec();
+    args.extend_from_slice(&["--checkpoint", &crash_p]);
+    let torn_at = (lines / 2).to_string();
+    let (_, stderr, code) = raceline_env(&args, &[("RACELINE_TEST_TORN_WRITE", &torn_at)]);
+    assert_eq!(code, 42, "armed torn write must crash the harness\n{stderr}");
+    let torn = std::fs::read_to_string(&crash_ck).expect("partial log on disk");
+    assert!(!torn.ends_with('\n'), "the final line must be torn mid-write");
+    assert!(ref_log.len() > torn.len(), "crash log is a strict prefix");
+
+    // Resume: repair the torn tail, finish the remaining phases.
+    let (stdout, stderr, code) = raceline(&args);
+    assert_eq!(code, 1, "{stderr}");
+    assert!(
+        stderr.contains("checkpoint repaired") || stderr.contains("resuming at phase"),
+        "resume must announce itself\n{stderr}"
+    );
+    assert_eq!(stdout, ref_out, "resumed summary must be byte-identical");
+    let resumed = std::fs::read_to_string(&crash_ck).unwrap();
+    assert_eq!(resumed, ref_log, "resumed log must be byte-identical");
+}
+
+/// A divergent spec must not silently resume into someone else's log.
+#[test]
+fn soak_refuses_a_checkpoint_from_a_different_spec() {
+    let ck = tmp("mismatch.soaklog");
+    let _ = std::fs::remove_file(&ck);
+    let p = ck.to_str().unwrap().to_string();
+    let mut args = SOAK.to_vec();
+    args.extend_from_slice(&["--checkpoint", &p]);
+    let (_, _, code) = raceline(&args);
+    assert_eq!(code, 1);
+    let (_, stderr, code) = raceline(&[
+        "soak",
+        "--dialogs",
+        "2000",
+        "--phases",
+        "4",
+        "--seed",
+        "78",
+        "--checkpoint",
+        &p,
+    ]);
+    assert_eq!(code, 2, "spec mismatch is an error\n{stderr}");
+    assert!(stderr.contains("different parameters"), "{stderr}");
+}
+
+/// Same crash hook against the explore sweep's checkpoint writer: tear the
+/// save mid-line, then resume and converge on the identical summary.
+#[test]
+fn explore_checkpoint_crash_mid_write_resumes_identically() {
+    let (ref_out, _, ref_code) = raceline(&["check", SAMPLE, "--explore", "6"]);
+    assert_eq!(ref_code, 1);
+
+    let ck = tmp("explore.checkpoint");
+    let _ = std::fs::remove_file(&ck);
+    let p = ck.to_str().unwrap().to_string();
+    let args = ["check", SAMPLE, "--explore", "6", "--checkpoint", &p];
+    let (_, stderr, code) = raceline_env(&args, &[("RACELINE_TEST_TORN_WRITE", "3")]);
+    assert_eq!(code, 42, "torn write must crash the save\n{stderr}");
+    let torn = std::fs::read_to_string(&ck).expect("partial checkpoint on disk");
+    assert!(!torn.ends_with('\n'), "final line torn mid-write");
+
+    let (stdout, stderr, code) = raceline(&args);
+    assert_eq!(code, ref_code, "{stderr}");
+    assert!(stderr.contains("repaired truncated checkpoint"), "{stderr}");
+    assert_eq!(stdout, ref_out, "post-resume summary matches the uninterrupted sweep");
+}
+
+/// `analyze --repair` on a crash-truncated trace: strict mode refuses,
+/// repair mode analyzes the intact prefix and says what it dropped.
+#[test]
+fn analyze_repair_recovers_a_crash_truncated_trace() {
+    let trace = tmp("repair.rltrace");
+    let trace_p = trace.to_str().unwrap().to_string();
+    let (_, stderr, code) = raceline(&["record", SAMPLE, "--out", &trace_p, "--epoch-events", "8"]);
+    assert_eq!(code, 0, "{stderr}");
+    let bytes = std::fs::read(&trace).unwrap();
+
+    // A whole trace under --repair is the identity.
+    let strict = raceline(&["analyze", &trace_p]);
+    let (stdout, stderr, code) = raceline(&["analyze", &trace_p, "--repair"]);
+    assert_eq!((stdout, code), (strict.0.clone(), strict.2));
+    assert!(!stderr.contains("repaired:"), "whole trace needs no repair\n{stderr}");
+
+    // Tear the trace the way a dying recorder would: drop the tail.
+    let torn = tmp("repair_torn.rltrace");
+    let torn_p = torn.to_str().unwrap().to_string();
+    std::fs::write(&torn, &bytes[..bytes.len() * 3 / 4]).unwrap();
+    let (_, stderr, code) = raceline(&["analyze", &torn_p]);
+    assert_eq!(code, 2, "strict analyze refuses a torn trace\n{stderr}");
+    let (stdout, stderr, code) = raceline(&["analyze", &torn_p, "--repair"]);
+    assert!(code == 0 || code == 1, "repair analyzes the prefix\n{stderr}");
+    assert!(stderr.contains("repaired: dropped"), "{stderr}");
+    assert!(stderr.contains("intact epoch"), "{stderr}");
+    // Deterministic across --jobs, same as the strict path.
+    let sharded = raceline(&["analyze", &torn_p, "--repair", "--jobs", "8"]);
+    assert_eq!((sharded.0, sharded.2), (stdout, code));
+}
+
+/// `bench-snapshot --soak` emits the soak benchmark schema.
+#[test]
+fn bench_snapshot_soak_emits_schema() {
+    let out = tmp("bench_soak.json");
+    let out_p = out.to_str().unwrap().to_string();
+    let (_, stderr, code) =
+        raceline(&["bench-snapshot", "--soak", "--samples", "1", "--out", &out_p]);
+    assert_eq!(code, 0, "{stderr}");
+    let json = std::fs::read_to_string(&out).unwrap();
+    for key in [
+        "\"workload\"",
+        "\"median_ns\"",
+        "\"soak-hybrid-filter\"",
+        "\"soak-detection-off\"",
+        "\"dialogs_per_sec\"",
+        "\"peak_live_granules\"",
+    ] {
+        assert!(json.contains(key), "missing {key} in\n{json}");
+    }
+}

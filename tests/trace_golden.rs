@@ -6,11 +6,11 @@
 //! trace anywhere yields a structured error, never a panic or a wrong
 //! answer.
 
-use helgrind_core::replay::{analyze_trace_bytes, ReplayDetector};
+use helgrind_core::replay::{analyze_trace_bytes, analyze_trace_repair, ReplayDetector};
 use helgrind_core::{
     DetectorConfig, DjitDetector, EraserDetector, HybridDetector, Report, SuppressionSet,
 };
-use raceline_trace::reader::parse_trace;
+use raceline_trace::reader::{parse_trace, parse_trace_repair};
 use raceline_trace::writer::TraceWriter;
 use vexec::sched::RoundRobin;
 use vexec::vm::{run_flat, Termination, VmOptions};
@@ -146,6 +146,124 @@ fn every_truncation_is_detected() {
             Ok(Ok(())) => panic!("prefix of {len} bytes parsed as a complete trace"),
             Err(_) => panic!("prefix of {len} bytes caused a panic"),
         }
+    }
+}
+
+// -------------------------------------------------------------------
+// `--repair`: crash-truncated traces recover to their intact prefix.
+// -------------------------------------------------------------------
+
+#[test]
+fn repair_of_a_whole_trace_is_the_identity() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 256);
+    let rt = parse_trace_repair(&bytes).expect("whole trace");
+    assert!(!rt.repaired);
+    assert_eq!(rt.dropped_bytes, 0);
+    let strict = analyze(&bytes, "hwlc-dr", 1);
+    let (outcome, info) =
+        analyze_trace_repair(&bytes, replay_detector("hwlc-dr"), 1, 0).expect("whole trace");
+    assert!(!info.repaired);
+    let tolerant: Vec<String> = outcome.reports.iter().map(Report::render).collect();
+    assert_eq!((tolerant, outcome.truncated), strict);
+}
+
+/// Every truncation point either fails cleanly or recovers an intact
+/// prefix whose analysis is a *prefix* of the full run's reports — a
+/// crash can lose the tail of the story but never rewrite it.
+#[test]
+fn every_truncation_repairs_to_an_intact_prefix() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 256);
+    let full_epochs = parse_trace(&bytes).expect("valid trace").epochs.len();
+    assert!(full_epochs > 1, "need several epochs for this test to bite");
+    let (full_reports, _) = analyze(&bytes, "hwlc-dr", 1);
+
+    let mut prev_kept = 0usize;
+    let mut recovered_any = false;
+    for len in 0..bytes.len() {
+        let r = std::panic::catch_unwind(|| parse_trace_repair(&bytes[..len]));
+        let rt = match r {
+            Ok(Ok(rt)) => rt,
+            Ok(Err(_)) => continue, // torn before anything usable: clean error
+            Err(_) => panic!("repairing a {len}-byte prefix panicked"),
+        };
+        assert!(rt.repaired, "a strict prefix of {len} bytes cannot be a whole trace");
+        // A cut inside the trailer keeps every epoch — the body is whole.
+        let kept = rt.parsed.epochs.len();
+        assert!(kept <= full_epochs, "prefix of {len} bytes grew epochs: {kept} > {full_epochs}");
+        assert!(kept >= prev_kept, "kept epochs went backwards at {len}: {prev_kept} -> {kept}");
+        assert!(rt.dropped_bytes <= len, "dropped more bytes than the prefix holds at {len}");
+        // Analyzing every recoverable prefix is quadratic; do it whenever
+        // the recovered epoch count changes and on a fixed stride between.
+        if kept > prev_kept || len % 97 == 0 {
+            let (outcome, info) =
+                analyze_trace_repair(&bytes[..len], replay_detector("hwlc-dr"), 1, 0)
+                    .expect("recovered prefix must analyze cleanly");
+            assert!(info.repaired);
+            let reports: Vec<String> = outcome.reports.iter().map(Report::render).collect();
+            assert!(
+                full_reports.starts_with(&reports[..]),
+                "prefix of {len} bytes ({kept} epochs) produced reports that are not a \
+                 prefix of the full run's:\n{reports:#?}\nvs\n{full_reports:#?}"
+            );
+            recovered_any = true;
+        }
+        prev_kept = prev_kept.max(kept);
+    }
+    assert!(recovered_any, "no truncation point recovered any epochs");
+    assert!(prev_kept > 0, "repair never kept a single epoch");
+}
+
+/// Repair must never paper over real corruption: flipping any byte of a
+/// *complete* file either propagates a structured error or — when the
+/// flip is indistinguishable from a torn tail (e.g. a payload length
+/// byte) — visibly drops epochs. It never passes the trace off as whole.
+#[test]
+fn repair_declines_interior_corruption() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 256);
+    let full_epochs = parse_trace(&bytes).expect("valid trace").epochs.len();
+    for i in 0..bytes.len() {
+        let mut mutated = bytes.clone();
+        mutated[i] ^= 0xFF;
+        let r = std::panic::catch_unwind(|| parse_trace_repair(&mutated));
+        match r {
+            Ok(Err(_)) => {}
+            Ok(Ok(rt)) => {
+                // A flip that mimics a torn tail (e.g. a payload length
+                // byte, or a footer byte) may recover — but the recovery
+                // is always *flagged*, never passed off as a whole trace.
+                assert!(rt.repaired, "flipping byte {i} was silently accepted as a whole trace");
+                assert!(rt.parsed.epochs.len() <= full_epochs, "flipping byte {i} grew epochs");
+            }
+            Err(_) => panic!("flipping byte {i} caused a panic in repair"),
+        }
+    }
+}
+
+/// Sharded repair analysis is bit-identical to sequential, same as the
+/// strict path: the synthesized footer feeds the same shard planner.
+#[test]
+fn repaired_sharded_analysis_matches_sequential() {
+    let tc = &sipsim::testcases()[0];
+    let flat = tc.build().program.lower();
+    let bytes = record_bytes(&flat, 128);
+    // Tear the trace inside its final epoch's payload.
+    let cut = bytes.len() - 9;
+    let rt = parse_trace_repair(&bytes[..cut]).expect("recoverable");
+    assert!(rt.repaired && !rt.parsed.epochs.is_empty());
+    let render = |jobs: usize| {
+        let (outcome, _) = analyze_trace_repair(&bytes[..cut], replay_detector("hybrid"), jobs, 0)
+            .expect("recovered prefix analyzes");
+        outcome.reports.iter().map(Report::render).collect::<Vec<_>>()
+    };
+    let seq = render(1);
+    for jobs in [2, 4, 8] {
+        assert_eq!(render(jobs), seq, "jobs {jobs}");
     }
 }
 
