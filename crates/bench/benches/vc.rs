@@ -1,0 +1,138 @@
+//! Vector-clock vs FastTrack-epoch micro-benchmarks.
+//!
+//! Isolates the two costs the adaptive epoch representation trades
+//! between:
+//!
+//! * `epoch-*` — the O(1) fast paths: a same-epoch scalar compare and an
+//!   `Epoch::visible_to` bounds-checked single-lane read;
+//! * `vc-*` — the O(width) work each fast-path hit avoids: cloning a
+//!   read vector clock, folding in the new read, and a full `leq` scan;
+//! * `hb-soup-*` — the whole `HbEngine` on a read-heavy event soup, once
+//!   with the adaptive lattice and once in `hb_reference` mode, so the
+//!   end-to-end win (not just the inner-loop delta) is on record.
+//!
+//! Run with: `cargo bench -p race-bench --bench vc`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use helgrind_core::{DetectorConfig, Epoch, HbEngine, SmallVc, VectorClock};
+use std::hint::black_box;
+use vexec::event::{AccessKind, AcqMode, Event, SyncId, ThreadId};
+use vexec::ir::{SrcLoc, SyncKind};
+
+const LOC: SrcLoc = SrcLoc::UNKNOWN;
+
+fn access(tid: u32, addr: u64, kind: AccessKind) -> Event {
+    Event::Access { tid: ThreadId(tid), addr, size: 8, kind, loc: LOC }
+}
+
+fn bench_vc_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vc");
+    group.sample_size(10);
+
+    let mut tvc = VectorClock::new();
+    for t in 0..8usize {
+        tvc.set(t, 42 + t as u32);
+    }
+    let e = Epoch { tid: 3, clock: 41 };
+
+    // Same-epoch compare: the write/read fast path's first test.
+    group.bench_function("epoch-same-compare-10k", |b| {
+        let cur = Epoch { tid: 3, clock: 41 };
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(black_box(e) == black_box(cur));
+            }
+        })
+    });
+
+    // Epoch visibility: one lane read + compare against the accessor's
+    // clock — the ordered-read / ordered-write check.
+    group.bench_function("epoch-visible-to-10k", |b| {
+        b.iter(|| {
+            for _ in 0..10_000 {
+                black_box(black_box(e).visible_to(black_box(&tvc)));
+            }
+        })
+    });
+
+    // The full-VC read update the epoch lattice avoids: clone the read
+    // clock, fold in the new read, scan it against the thread clock.
+    group.bench_function("vc-clone-set-leq-10k", |b| {
+        let mut reads = VectorClock::new();
+        for t in 0..8usize {
+            reads.set(t, 7 * t as u32);
+        }
+        b.iter(|| {
+            for _ in 0..10_000 {
+                let mut j = black_box(&reads).clone();
+                j.set(e.tid as usize, e.clock);
+                black_box(j.leq(black_box(&tvc)));
+            }
+        })
+    });
+
+    // Promoted read-share state: the inline small-VC update + scan used
+    // once two concurrent readers exist (no heap traffic below 8 lanes).
+    group.bench_function("smallvc-set-leq-10k", |b| {
+        let base = SmallVc::pair(Epoch { tid: 1, clock: 5 }, Epoch { tid: 2, clock: 9 });
+        b.iter(|| {
+            for _ in 0..10_000 {
+                let mut svc = black_box(&base).clone();
+                svc.set(e.tid as usize, e.clock);
+                black_box(svc.leq(black_box(&tvc)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_hb_soup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hb-soup");
+    group.sample_size(10);
+
+    // Read-heavy lock-protected soup: 4 threads round-robin over 64
+    // granules, 7 reads per write, each burst under a common mutex so
+    // every read after the first is thread-local or ordered — the case
+    // the epoch lattice keeps in Single(e) with O(1) checks.
+    let mut soup: Vec<Event> = Vec::new();
+    for round in 0..2_000u64 {
+        let t = (round % 4) as u32;
+        soup.push(Event::Acquire {
+            tid: ThreadId(t),
+            sync: SyncId(0),
+            kind: SyncKind::Mutex,
+            mode: AcqMode::Exclusive,
+            loc: LOC,
+        });
+        let a = 0x4000 + (round % 64) * 8;
+        soup.push(access(t, a, AccessKind::Write));
+        for _ in 0..7 {
+            soup.push(access(t, a, AccessKind::Read));
+        }
+        soup.push(Event::Release {
+            tid: ThreadId(t),
+            sync: SyncId(0),
+            kind: SyncKind::Mutex,
+            loc: LOC,
+        });
+    }
+
+    for (name, reference) in [("adaptive", false), ("reference", true)] {
+        group.bench_function(name, |b| {
+            let cfg = DetectorConfig { hb_reference: reference, ..DetectorConfig::djit() };
+            b.iter(|| {
+                let mut eng = HbEngine::new(cfg);
+                for ev in &soup {
+                    black_box(eng.on_event(ev));
+                }
+                black_box(eng.shadowed_granules())
+            })
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_vc_micro, bench_hb_soup);
+criterion_main!(benches);

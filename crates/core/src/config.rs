@@ -53,6 +53,12 @@ pub struct DetectorConfig {
     pub atomic_sync: bool,
     /// Semaphore post → wait happens-before edges (HB engines).
     pub sem_hb: bool,
+    /// Run the HB engines' read shadow state as a reference full vector
+    /// clock instead of the adaptive FastTrack epoch lattice. Reports are
+    /// identical either way — the epoch/reference golden suites and the
+    /// event-soup proptest pin that — so this mode exists purely as the
+    /// equivalence oracle (`raceline ... --hb-reference`).
+    pub hb_reference: bool,
     /// State caps with graceful degradation (see [`crate::budget`]).
     /// Unlimited in every preset; narrowed by `raceline --budget`.
     pub budget: DetectorBudget,
@@ -72,6 +78,7 @@ impl DetectorConfig {
             condvar_hb: false,
             atomic_sync: true,
             sem_hb: true,
+            hb_reference: false,
             budget: DetectorBudget::unlimited(),
         }
     }

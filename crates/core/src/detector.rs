@@ -19,7 +19,7 @@
 
 use crate::config::DetectorConfig;
 use crate::eraser::{LocksetEngine, RaceInfo};
-use crate::hb::{HbEngine, HbRaceInfo};
+use crate::hb::{EpochStats, HbEngine, HbRaceInfo};
 use crate::lockorder::{CycleInfo, LockOrderGraph};
 use crate::report::{resolve_context, Report, ReportCtx, ReportKind, ReportSink};
 use crate::suppress::SuppressionSet;
@@ -83,6 +83,9 @@ pub struct EngineStats {
     pub live_granules: usize,
     /// High-water mark of live shadow granules over the engine's lifetime.
     pub peak_granules: usize,
+    /// Adaptive epoch-representation counters; `None` for engines that do
+    /// not carry happens-before shadow state (the lockset engine).
+    pub epoch: Option<EpochStats>,
 }
 
 /// The Eraser/Helgrind lockset detector with lock-order deadlock
@@ -131,6 +134,7 @@ impl EraserDetector {
             shadow_overflow: self.engine.shadow_overflow(),
             live_granules: self.engine.shadowed_granules(),
             peak_granules: self.engine.peak_shadowed_granules(),
+            epoch: None,
         }]
     }
 
@@ -225,6 +229,7 @@ impl DjitDetector {
             shadow_overflow: self.engine.shadow_overflow(),
             live_granules: self.engine.shadowed_granules(),
             peak_granules: self.engine.peak_shadowed_granules(),
+            epoch: Some(self.engine.epoch_stats()),
         }]
     }
 
@@ -307,6 +312,7 @@ impl HybridDetector {
                 shadow_overflow: self.lockset.shadow_overflow(),
                 live_granules: self.lockset.shadowed_granules(),
                 peak_granules: self.lockset.peak_shadowed_granules(),
+                epoch: None,
             },
             EngineStats {
                 name: "hb",
@@ -314,6 +320,7 @@ impl HybridDetector {
                 shadow_overflow: self.hb.shadow_overflow(),
                 live_granules: self.hb.shadowed_granules(),
                 peak_granules: self.hb.peak_shadowed_granules(),
+                epoch: Some(self.hb.epoch_stats()),
             },
         ]
     }

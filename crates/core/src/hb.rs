@@ -22,32 +22,76 @@
 
 use crate::config::DetectorConfig;
 use crate::shadowmem::PageTable;
-use crate::vc::{Epoch, VectorClock};
+use crate::vc::{Epoch, SmallVc, VectorClock};
 use vexec::event::{AccessKind, ClientEv, Event, SyncId, ThreadId};
 use vexec::ir::{SrcLoc, SyncKind};
 use vexec::util::FxHashMap;
 
-/// Read history of a granule: adaptive epoch/vector-clock representation.
+/// Read history of a granule: the adaptive FastTrack lattice
+/// (`None → Single → Shared`, demoted back by the next write), plus the
+/// reference full-VC representation the equivalence gates run against.
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum ReadState {
     None,
-    /// All relevant reads by one thread (the common case).
+    /// All relevant reads collapse to one epoch (the common case: a
+    /// single thread, or each reader ordered after the previous one).
     Single(Epoch),
-    /// Concurrent readers: full vector clock of read epochs.
-    Shared(VectorClock),
+    /// Genuinely concurrent readers: promoted to a read-share clock,
+    /// inline in the shadow slot (no allocation for tids below
+    /// [`crate::vc::SMALL_VC_LANES`]).
+    Shared(SmallVc),
+    /// `cfg.hb_reference`: every read keeps its component in a full
+    /// clock; never constructed by the adaptive path.
+    Ref(Box<RefReads>),
+}
+
+/// Reference-mode read state. `vc` is the ground truth the verdict is
+/// computed from; `last`/`chain` mirror what the adaptive lattice would
+/// hold so the conflict *strings* also come out byte-identical.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct RefReads {
+    vc: VectorClock,
+    /// Most recent read epoch (the adaptive `Single` survivor while
+    /// `chain` holds).
+    last: Epoch,
+    /// True while every read so far satisfied the adaptive collapse
+    /// condition (same thread as, or visible to, the next reader) — i.e.
+    /// while the adaptive engine would still be in `Single` state.
+    chain: bool,
 }
 
 #[derive(Clone, Debug)]
 struct HbVar {
-    last_write: Option<Epoch>,
+    /// Epoch of the last write. `Epoch::ZERO` means "never written" —
+    /// real epochs have `clock >= 1`, and `ZERO` is visible to every
+    /// clock, so the virgin case needs no separate branch on the hot
+    /// path (and no `Option` tag in the shadow slot).
+    last_write: Epoch,
     reads: ReadState,
     reported: bool,
 }
 
 impl Default for HbVar {
     fn default() -> Self {
-        HbVar { last_write: None, reads: ReadState::None, reported: false }
+        HbVar { last_write: Epoch::ZERO, reads: ReadState::None, reported: false }
     }
+}
+
+/// Adaptive-representation counters, surfaced by `--stats` (stderr).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochStats {
+    /// Accesses fully served by the O(1) same-epoch fast paths (shadow
+    /// state already holds exactly the current epoch; no transition).
+    pub epoch_hits: u64,
+    /// Single-reader epochs promoted to a read-share clock because a
+    /// second thread read concurrently.
+    pub promotions: u64,
+    /// Read-share states demoted back to a plain write epoch by the next
+    /// write.
+    pub demotions: u64,
+    /// Accesses that did full vector-clock work on the shadow state
+    /// (read-share compares/updates; every read in reference mode).
+    pub vc_fallbacks: u64,
 }
 
 /// A race found by the happens-before engine.
@@ -76,6 +120,7 @@ pub struct HbEngine {
     pub accesses: u64,
     /// Granules never tracked because the shadow budget was exhausted.
     shadow_overflow: u64,
+    epoch_stats: EpochStats,
 }
 
 impl HbEngine {
@@ -93,6 +138,7 @@ impl HbEngine {
             report_once: true,
             accesses: 0,
             shadow_overflow: 0,
+            epoch_stats: EpochStats::default(),
         }
     }
 
@@ -278,10 +324,15 @@ impl HbEngine {
         // `cur` (also initialising the thread's clock) is taken once; the
         // loop then reads the clock through a shared borrow of `threads`
         // while mutating `shadow` — disjoint fields, so the per-access
-        // vector-clock clone the old code paid is gone.
+        // vector-clock clone the old code paid is gone. Representation
+        // counters accumulate in locals for the same reason and flush
+        // after the loop.
         let cur = self.epoch(tid);
         let tidx = tid.index();
+        let is_write = kind.is_write();
+        let reference = self.cfg.hb_reference;
         let mut race = None;
+        let (mut hits, mut promotions, mut demotions, mut fallbacks) = (0u64, 0u64, 0u64, 0u64);
         let mut a = start;
         while a <= end {
             // Budget degradation: once the shadow map is full, untracked
@@ -294,18 +345,28 @@ impl HbEngine {
             }
             let tvc = &self.threads[tidx];
             let var = self.shadow.get_or_insert_default(a);
+
+            // FastTrack same-epoch write rule: the granule's whole shadow
+            // state is already exactly `cur` (this thread wrote in this
+            // epoch, nothing read since) — re-writing cannot conflict and
+            // moves nothing.
+            if is_write && var.last_write == cur && matches!(var.reads, ReadState::None) {
+                hits += 1;
+                a += g_size;
+                continue;
+            }
+
             let mut conflict: Option<String> = None;
             // Write-X conflict: the previous write must be visible.
-            if let Some(w) = var.last_write {
-                if !w.visible_to(tvc) {
-                    conflict = Some(format!(
-                        "unordered prior write by thread {} (epoch {})",
-                        w.tid, w.clock
-                    ));
-                }
+            // `Epoch::ZERO` (never written) is visible to every clock, so
+            // the virgin case needs no separate branch.
+            let w = var.last_write;
+            if !w.visible_to(tvc) {
+                conflict =
+                    Some(format!("unordered prior write by thread {} (epoch {})", w.tid, w.clock));
             }
             // Read-write conflict: a write must also see all prior reads.
-            if kind.is_write() && conflict.is_none() {
+            if is_write && conflict.is_none() {
                 match &var.reads {
                     ReadState::None => {}
                     ReadState::Single(e) => {
@@ -313,9 +374,24 @@ impl HbEngine {
                             conflict = Some(format!("unordered prior read by thread {}", e.tid));
                         }
                     }
-                    ReadState::Shared(vc) => {
-                        if !vc.leq(tvc) {
+                    ReadState::Shared(svc) => {
+                        fallbacks += 1;
+                        if !svc.leq(tvc) {
                             conflict = Some("unordered prior reads".to_string());
+                        }
+                    }
+                    ReadState::Ref(r) => {
+                        fallbacks += 1;
+                        if !r.vc.leq(tvc) {
+                            // While the collapse chain held, the adaptive
+                            // lattice would still be `Single(last)` and the
+                            // verdicts agree by visibility transitivity;
+                            // after a break it would be `Shared`.
+                            conflict = Some(if r.chain {
+                                format!("unordered prior read by thread {}", r.last.tid)
+                            } else {
+                                "unordered prior reads".to_string()
+                            });
                         }
                     }
                 }
@@ -330,10 +406,38 @@ impl HbEngine {
                     }
                 }
             }
-            // Update shadow.
-            if kind.is_write() {
-                var.last_write = Some(cur);
+            // Shadow transition.
+            if is_write {
+                // Demotion: every write collapses the read state back to a
+                // plain write epoch (the lattice's downward step).
+                if matches!(var.reads, ReadState::Shared(_)) {
+                    demotions += 1;
+                }
+                var.last_write = cur;
                 var.reads = ReadState::None;
+            } else if reference {
+                // Reference mode: the verdict clock keeps every reader's
+                // component; `last`/`chain` shadow the adaptive lattice.
+                fallbacks += 1;
+                let mut r = match std::mem::replace(&mut var.reads, ReadState::None) {
+                    ReadState::Ref(r) => r,
+                    _ => Box::new(RefReads {
+                        vc: VectorClock::new(),
+                        last: Epoch::ZERO,
+                        chain: true,
+                    }),
+                };
+                if r.chain {
+                    r.chain = r.last.tid == cur.tid || r.last.visible_to(tvc);
+                }
+                r.vc.set(cur.tid as usize, cur.clock);
+                r.last = cur;
+                var.reads = ReadState::Ref(r);
+            } else if matches!(&var.reads, ReadState::Single(e) if *e == cur) {
+                // FastTrack same-epoch read rule: the state already holds
+                // exactly this epoch; only the O(1) write-visibility check
+                // above was needed.
+                hits += 1;
             } else {
                 var.reads = match std::mem::replace(&mut var.reads, ReadState::None) {
                     ReadState::None => ReadState::Single(cur),
@@ -341,31 +445,44 @@ impl HbEngine {
                         if e.tid == cur.tid || e.visible_to(tvc) {
                             ReadState::Single(cur)
                         } else {
-                            let mut vc = VectorClock::new();
-                            vc.set(e.tid as usize, e.clock);
-                            vc.set(cur.tid as usize, cur.clock);
-                            ReadState::Shared(vc)
+                            // Promotion: a second thread read concurrently.
+                            promotions += 1;
+                            ReadState::Shared(SmallVc::pair(e, cur))
                         }
                     }
-                    ReadState::Shared(mut vc) => {
-                        vc.set(cur.tid as usize, cur.clock);
-                        ReadState::Shared(vc)
+                    ReadState::Shared(mut svc) => {
+                        fallbacks += 1;
+                        svc.set(cur.tid as usize, cur.clock);
+                        ReadState::Shared(svc)
                     }
+                    // `cfg.hb_reference` is fixed at construction, so the
+                    // adaptive path never sees reference state.
+                    r @ ReadState::Ref(_) => r,
                 };
             }
             a += g_size;
         }
+        self.epoch_stats.epoch_hits += hits;
+        self.epoch_stats.promotions += promotions;
+        self.epoch_stats.demotions += demotions;
+        self.epoch_stats.vc_fallbacks += fallbacks;
 
-        // Publish the atomic clock after the access.
+        // Publish the atomic clock after the access. Disjoint-field
+        // borrows (`threads` read, `atomics` written) plus `clone_from`
+        // keep the steady state allocation-free: a republish overwrites
+        // the existing clock's buffer in place instead of dropping it
+        // and cloning a fresh one.
         if kind == AccessKind::AtomicRmw && self.cfg.atomic_sync {
-            let tvc = self.vc_mut(tid).clone();
+            let tvc = &self.threads[tidx];
             let mut a = start;
             while a <= end {
-                self.atomics.insert(a, tvc.clone());
+                self.atomics
+                    .entry(a)
+                    .and_modify(|avc| avc.clone_from(tvc))
+                    .or_insert_with(|| tvc.clone());
                 a += g_size;
             }
-            let idx = tid.index();
-            self.vc_mut(tid).inc(idx);
+            self.threads[tidx].inc(tidx);
         }
         race
     }
@@ -389,6 +506,11 @@ impl HbEngine {
     /// Granules dropped by the shadow budget.
     pub fn shadow_overflow(&self) -> u64 {
         self.shadow_overflow
+    }
+
+    /// Adaptive-representation counters (`--stats`).
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.epoch_stats
     }
 }
 
@@ -589,5 +711,87 @@ mod tests {
         e.on_event(&acc(T1, 0xA000, AccessKind::Write));
         assert!(e.on_event(&acc(T2, 0xA000, AccessKind::Write)).is_some());
         assert!(e.on_event(&acc(T1, 0xA000, AccessKind::Write)).is_none());
+    }
+
+    #[test]
+    fn epoch_stats_count_hits_promotions_demotions() {
+        let mut e = HbEngine::new(DetectorConfig::djit());
+        e.on_event(&acc(T0, 0x5000, AccessKind::Write));
+        // Same epoch, nothing read since: the O(1) write fast path.
+        e.on_event(&acc(T0, 0x5000, AccessKind::Write));
+        e.on_event(&create(T0, T1));
+        e.on_event(&create(T0, T2));
+        e.on_event(&acc(T1, 0x5000, AccessKind::Read));
+        // Same epoch re-read: the O(1) read fast path.
+        e.on_event(&acc(T1, 0x5000, AccessKind::Read));
+        // Concurrent second reader: promotion to a read-share clock.
+        e.on_event(&acc(T2, 0x5000, AccessKind::Read));
+        // Next write demotes back to an epoch (and races, which is fine).
+        e.on_event(&acc(T1, 0x5000, AccessKind::Write));
+        let s = e.epoch_stats();
+        assert_eq!(s.epoch_hits, 2);
+        assert_eq!(s.promotions, 1);
+        assert_eq!(s.demotions, 1);
+        assert_eq!(s.vc_fallbacks, 1, "the demoting write compared the read-share clock");
+    }
+
+    fn assert_modes_agree(evs: &[Event]) {
+        let cfg = DetectorConfig::djit();
+        let rcfg = DetectorConfig { hb_reference: true, ..cfg };
+        let mut adaptive = HbEngine::new(cfg);
+        let mut reference = HbEngine::new(rcfg);
+        for ev in evs {
+            let a = adaptive.on_event(ev).map(|x| x.conflict);
+            let r = reference.on_event(ev).map(|x| x.conflict);
+            assert_eq!(a, r, "modes diverge on {ev:?}");
+        }
+        assert_eq!(adaptive.shadowed_granules(), reference.shadowed_granules());
+        assert_eq!(adaptive.peak_shadowed_granules(), reference.peak_shadowed_granules());
+    }
+
+    #[test]
+    fn reference_mode_matches_adaptive_reports() {
+        // Chained readers collapse to a single epoch; the unordered write
+        // then names the chain survivor in both modes.
+        assert_modes_agree(&[
+            create(T0, T1),
+            create(T0, T2),
+            acc(T1, 0x5000, AccessKind::Read),
+            lock(T1, 0),
+            unlock(T1, 0),
+            lock(T2, 0),
+            acc(T2, 0x5000, AccessKind::Read),
+            unlock(T2, 0),
+            acc(T0, 0x5000, AccessKind::Write),
+        ]);
+        // Concurrent readers promote; the write then sees "prior reads".
+        assert_modes_agree(&[
+            acc(T0, 0x6000, AccessKind::Write),
+            create(T0, T1),
+            create(T0, T2),
+            acc(T1, 0x6000, AccessKind::Read),
+            acc(T2, 0x6000, AccessKind::Read),
+            acc(T0, 0x6000, AccessKind::Write),
+        ]);
+        // Unordered write-write names the prior write's epoch identically.
+        assert_modes_agree(&[
+            create(T0, T1),
+            create(T0, T2),
+            acc(T1, 0x7000, AccessKind::Write),
+            acc(T2, 0x7000, AccessKind::Write),
+            acc(T2, 0x7000, AccessKind::Read),
+        ]);
+    }
+
+    #[test]
+    fn reference_mode_counts_every_read_as_fallback() {
+        let cfg = DetectorConfig { hb_reference: true, ..DetectorConfig::djit() };
+        let mut e = HbEngine::new(cfg);
+        e.on_event(&create(T0, T1));
+        e.on_event(&acc(T1, 0x5000, AccessKind::Read));
+        e.on_event(&acc(T1, 0x5000, AccessKind::Read));
+        let s = e.epoch_stats();
+        assert_eq!(s.vc_fallbacks, 2);
+        assert_eq!(s.promotions, 0);
     }
 }

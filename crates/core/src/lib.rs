@@ -49,7 +49,7 @@ pub use explore::{
     explore_schedules, explore_schedules_directed, explore_schedules_with, trim_torn_tail,
     DirectedTarget, ExploreCheckpoint, ExploreLimits, ExploreSummary, LocationHit,
 };
-pub use hb::{HbEngine, HbRaceInfo};
+pub use hb::{EpochStats, HbEngine, HbRaceInfo};
 pub use lockorder::{CycleInfo, LockOrderGraph};
 pub use locksets::{LockId, LockSetId, LockSetTable};
 pub use offline::{analyze_trace, OfflineAnalysis};
@@ -61,4 +61,4 @@ pub use report::{format_block_note, Report, ReportCtx, ReportKind, ReportSink, S
 pub use segments::{SegmentGraph, SegmentId};
 pub use shadowmem::PageTable;
 pub use suppress::{Suppression, SuppressionSet};
-pub use vc::{Epoch, VectorClock};
+pub use vc::{Epoch, SmallVc, VectorClock, SMALL_VC_LANES};

@@ -20,6 +20,13 @@
 //! lock state with synthetic `Acquire` events from the target epoch's
 //! held-lock snapshot; shadow memory starts virgin, like attaching a
 //! detector to a live process.
+//!
+//! The HB engines' adaptive epoch lattice (§13) is below this layer:
+//! `DetectorConfig::hb_reference` selects the read-state representation
+//! inside [`crate::HbEngine`], so `analyze ... --hb-reference` flows
+//! through the same [`ReplayDetector`] plumbing and must stay
+//! byte-identical to the adaptive default — the CI epoch job cmp-gates
+//! sharded analyze across both modes.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};

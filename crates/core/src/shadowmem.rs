@@ -198,6 +198,7 @@ impl<T> PageTable<T> {
         idx
     }
 
+    #[inline]
     pub fn insert(&mut self, addr: u64, value: T) {
         let (page, slot) = self.page_of(addr);
         let idx = self.materialize(page);
@@ -213,6 +214,7 @@ impl<T> PageTable<T> {
 
     /// Shadow of the granule containing `addr`, created as `T::default()`
     /// if untracked (the happens-before engine's access pattern).
+    #[inline]
     pub fn get_or_insert_default(&mut self, addr: u64) -> &mut T
     where
         T: Default,

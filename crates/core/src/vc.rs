@@ -79,6 +79,86 @@ impl Epoch {
     }
 }
 
+/// Thread lanes stored inline in a [`SmallVc`] before it spills to the
+/// heap. Covers the worker-pool sizes the workloads actually run; higher
+/// thread ids fall back to a boxed full clock with identical semantics.
+pub const SMALL_VC_LANES: usize = 8;
+
+/// A flat small-footprint vector clock for read-share shadow state — the
+/// FastTrack promotion target. The common case (every reader tid below
+/// [`SMALL_VC_LANES`]) lives in a fixed inline array inside the shadow
+/// page slot: promotion allocates nothing and `leq` is a short scalar
+/// loop with no pointer chase. Missing components are zero, exactly like
+/// [`VectorClock`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SmallVc {
+    Inline([u32; SMALL_VC_LANES]),
+    Spill(Box<VectorClock>),
+}
+
+impl SmallVc {
+    /// Read-share clock holding exactly two read epochs (the promotion
+    /// step: a second thread read concurrently with `a`'s epoch).
+    pub fn pair(a: Epoch, b: Epoch) -> Self {
+        let mut vc = SmallVc::Inline([0; SMALL_VC_LANES]);
+        vc.set(a.tid as usize, a.clock);
+        vc.set(b.tid as usize, b.clock);
+        vc
+    }
+
+    #[inline]
+    pub fn get(&self, tid: usize) -> u32 {
+        match self {
+            SmallVc::Inline(lanes) => lanes.get(tid).copied().unwrap_or(0),
+            SmallVc::Spill(vc) => vc.get(tid),
+        }
+    }
+
+    /// Set component `tid`, spilling to a boxed full clock when the tid
+    /// does not fit the inline lanes.
+    pub fn set(&mut self, tid: usize, value: u32) {
+        match self {
+            SmallVc::Inline(lanes) if tid < SMALL_VC_LANES => lanes[tid] = value,
+            SmallVc::Inline(lanes) => {
+                let mut vc = VectorClock::new();
+                for (i, &v) in lanes.iter().enumerate() {
+                    if v != 0 {
+                        vc.set(i, v);
+                    }
+                }
+                vc.set(tid, value);
+                *self = SmallVc::Spill(Box::new(vc));
+            }
+            SmallVc::Spill(vc) => vc.set(tid, value),
+        }
+    }
+
+    /// Pointwise `self ≤ other` against a full observer clock.
+    #[inline]
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        match self {
+            SmallVc::Inline(lanes) => lanes.iter().enumerate().all(|(i, &v)| v <= other.get(i)),
+            SmallVc::Spill(vc) => vc.leq(other),
+        }
+    }
+
+    /// Expand to a full [`VectorClock`] (tests and equivalence checks).
+    pub fn to_full(&self) -> VectorClock {
+        match self {
+            SmallVc::Inline(lanes) => {
+                let mut vc = VectorClock::new();
+                for (i, &v) in lanes.iter().enumerate() {
+                    if v != 0 {
+                        vc.set(i, v);
+                    }
+                }
+                vc
+            }
+            SmallVc::Spill(vc) => (**vc).clone(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +241,52 @@ mod tests {
         let vc = VectorClock::singleton(2, 9);
         assert_eq!(vc.get(2), 9);
         assert_eq!(vc.get(0), 0);
+    }
+
+    #[test]
+    fn small_vc_pair_and_set_roundtrip() {
+        let mut svc = SmallVc::pair(Epoch { tid: 1, clock: 3 }, Epoch { tid: 2, clock: 5 });
+        assert!(matches!(svc, SmallVc::Inline(_)));
+        assert_eq!(svc.get(1), 3);
+        assert_eq!(svc.get(2), 5);
+        assert_eq!(svc.get(0), 0);
+        svc.set(1, 7);
+        assert_eq!(svc.get(1), 7);
+        assert_eq!(svc.to_full(), {
+            let mut vc = VectorClock::new();
+            vc.set(1, 7);
+            vc.set(2, 5);
+            vc
+        });
+    }
+
+    #[test]
+    fn small_vc_spills_on_wide_tid_and_keeps_semantics() {
+        let mut svc = SmallVc::pair(Epoch { tid: 1, clock: 3 }, Epoch { tid: 2, clock: 5 });
+        svc.set(SMALL_VC_LANES + 3, 9);
+        assert!(matches!(svc, SmallVc::Spill(_)));
+        assert_eq!(svc.get(1), 3);
+        assert_eq!(svc.get(2), 5);
+        assert_eq!(svc.get(SMALL_VC_LANES + 3), 9);
+        assert_eq!(svc.get(0), 0);
+    }
+
+    #[test]
+    fn small_vc_leq_matches_full_clock_leq() {
+        let mut svc = SmallVc::pair(Epoch { tid: 0, clock: 2 }, Epoch { tid: 3, clock: 4 });
+        let mut obs = VectorClock::new();
+        obs.set(0, 2);
+        obs.set(3, 4);
+        assert!(svc.leq(&obs));
+        assert_eq!(svc.leq(&obs), svc.to_full().leq(&obs));
+        obs.set(3, 3);
+        assert!(!svc.leq(&obs));
+        assert_eq!(svc.leq(&obs), svc.to_full().leq(&obs));
+        // Spilled representation answers identically.
+        svc.set(SMALL_VC_LANES + 1, 1);
+        assert!(!svc.leq(&obs));
+        let mut obs2 = svc.to_full();
+        obs2.set(0, 9);
+        assert!(svc.leq(&obs2));
     }
 }

@@ -8,7 +8,7 @@
 //! raceline trace-diff old.rltrace new.rltrace [--detector <name>] [--json]
 //! raceline lint  app.mcpp [lib.mcpp ...] [--raw <file>] [--json]
 //! raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3] [--jobs <n>] [options]
-//! raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace]
+//! raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace] [--soak]
 //!
 //! check options:
 //!   --detector original|hwlc|hwlc-dr|djit|hybrid|hybrid-queue   (default hwlc-dr)
@@ -37,8 +37,14 @@
 //!                           only saves time — also valid for record,
 //!                           --explore and chaos)
 //!   --stats                 print per-engine access counts, filter hit
-//!                           rate and shadow-overflow counters to stderr
+//!                           rate, epoch-representation counters and
+//!                           shadow-overflow counters to stderr
 //!                           (also valid for analyze; stdout is unchanged)
+//!   --hb-reference          run the HB engines on the reference full-VC
+//!                           read state instead of the adaptive FastTrack
+//!                           epoch lattice (reports are identical; the
+//!                           epoch-equivalence gates pin it — also valid
+//!                           for analyze, chaos and soak)
 //!   --static-cross-check    also run the static analysis and label each
 //!                           finding confirmed-both / static-only /
 //!                           dynamic-only (joined by kind, file, line; an
@@ -89,24 +95,25 @@ fn usage() -> ! {
          [--schedule rr|random:<seed>|pct:<seed>:<depth>] \
          [--suppressions <file>] [--gen-suppressions] [--explore <n>] \
          [--checkpoint <file>] [--faults <spec>] [--budget <spec>] \
-         [--jobs <n>] [--static-cross-check] [--directed] [--no-filter] [--stats] [--json] \
-         [--emit-annotated] [--emit-ir]\n\
+         [--jobs <n>] [--static-cross-check] [--directed] [--no-filter] [--hb-reference] \
+         [--stats] [--json] [--emit-annotated] [--emit-ir]\n\
          \x20      raceline record <file.mcpp>... [--out <trace.rltrace>] \
          [--epoch-events <n>] [--schedule ...] [--faults <spec>] [--budget <spec>] \
          [--no-filter] [--stats]\n\
          \x20      raceline analyze <trace.rltrace> [--detector <name>] [--jobs <n>] \
          [--from-epoch <k>] [--suppressions <file>] [--gen-suppressions] [--budget <spec>] \
-         [--repair] [--stats] [--json]\n\
+         [--repair] [--hb-reference] [--stats] [--json]\n\
          \x20      raceline soak [--dialogs <n>] [--phases <n>] [--seed <s>] [--workers <n>] \
          [--resize <n>] [--hops <n>] [--churn <permille>] [--options <permille>] \
          [--reinvites <n>] [--kill <permille>] [--max-kills <n>] [--no-reclaim] \
          [--detector <name>] [--budget <spec>] [--jobs <n>] [--checkpoint <file>] \
-         [--max-slots <n>] [--no-filter] [--mem-report]\n\
+         [--max-slots <n>] [--no-filter] [--hb-reference] [--mem-report]\n\
          \x20      raceline trace-diff <old.rltrace> <new.rltrace> [--detector <name>] \
          [--detector-a <name>] [--detector-b <name>] [--jobs <n>] [--json]\n\
          \x20      raceline lint <file.mcpp>... [--raw <file.mcpp>]... [--json]\n\
          \x20      raceline chaos [--runs <n>] [--seed <s>] [--cases T1,T3,...] \
-         [--detector <name>] [--max-slots <n>] [--jobs <n>] [--no-filter] [--json]\n\
+         [--detector <name>] [--max-slots <n>] [--jobs <n>] [--no-filter] \
+         [--hb-reference] [--json]\n\
          \x20      raceline bench-snapshot [--out <file>] [--samples <n>] [--quick] [--trace] \
          [--soak]"
     );
@@ -288,6 +295,7 @@ fn main() {
     let mut record_out: Option<String> = None;
     let mut epoch_events: Option<u64> = None;
     let mut no_filter = false;
+    let mut hb_reference = false;
     let mut stats = false;
 
     let args: Vec<String> = args.collect();
@@ -334,6 +342,7 @@ fn main() {
             "--emit-ir" => emit_ir = true,
             "--json" => json = true,
             "--no-filter" => no_filter = true,
+            "--hb-reference" => hb_reference = true,
             "--stats" => stats = true,
             "--static-cross-check" => cross_check = true,
             "--directed" => directed = true,
@@ -383,6 +392,7 @@ fn main() {
     if let Some(b) = &budget {
         cfg.budget = b.detector;
     }
+    cfg.hb_reference = hb_reference;
 
     // Exploration mode: aggregate warnings across many schedules.
     if let Some(runs) = explore {
@@ -757,6 +767,13 @@ fn print_engine_stats(stats: &[helgrind_core::EngineStats]) {
              live granules {} (peak {})",
             s.name, s.accesses, s.shadow_overflow, s.live_granules, s.peak_granules
         );
+        if let Some(e) = s.epoch {
+            eprintln!(
+                "stats: engine {} epochs: {} hit(s), {} promotion(s), \
+                 {} demotion(s), {} vc fallback(s)",
+                s.name, e.epoch_hits, e.promotions, e.demotions, e.vc_fallbacks
+            );
+        }
     }
 }
 
@@ -984,6 +1001,7 @@ fn run_analyze(args: Vec<String>) -> ! {
     let mut json = false;
     let mut stats = false;
     let mut repair = false;
+    let mut hb_reference = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -997,6 +1015,7 @@ fn run_analyze(args: Vec<String>) -> ! {
             }
             "--stats" => stats = true,
             "--repair" => repair = true,
+            "--hb-reference" => hb_reference = true,
             "--suppressions" => {
                 let path = it.next().unwrap_or_else(|| usage());
                 let text = read_source(path);
@@ -1030,6 +1049,7 @@ fn run_analyze(args: Vec<String>) -> ! {
     if let Some(b) = &budget {
         cfg.budget = b.detector;
     }
+    cfg.hb_reference = hb_reference;
     let detector = build_replay_detector(&detector_name, cfg, &suppressions);
     let outcome = if repair {
         let (outcome, info) =
@@ -1197,11 +1217,13 @@ fn run_chaos(args: Vec<String>) -> ! {
     let mut jobs: usize = 1;
     let mut json = false;
     let mut no_filter = false;
+    let mut hb_reference = false;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--no-filter" => no_filter = true,
+            "--hb-reference" => hb_reference = true,
             "--jobs" => {
                 jobs = it.next().and_then(|x| x.parse().ok()).unwrap_or_else(|| usage());
             }
@@ -1231,7 +1253,8 @@ fn run_chaos(args: Vec<String>) -> ! {
             _ => usage(),
         }
     }
-    let cfg = parse_detector(&detector_name);
+    let mut cfg = parse_detector(&detector_name);
+    cfg.hb_reference = hb_reference;
 
     let cases: Vec<sipsim::TestCase> = sipsim::testcases()
         .into_iter()
@@ -1438,6 +1461,7 @@ fn run_soak(args: Vec<String>) -> ! {
     let mut max_slots: Option<u64> = None;
     let mut no_filter = false;
     let mut mem_report = false;
+    let mut hb_reference = false;
 
     let mut it = args.iter();
     let num = |it: &mut std::slice::Iter<String>| -> u64 {
@@ -1470,6 +1494,7 @@ fn run_soak(args: Vec<String>) -> ! {
             "--max-slots" => max_slots = Some(num(&mut it)),
             "--no-filter" => no_filter = true,
             "--mem-report" => mem_report = true,
+            "--hb-reference" => hb_reference = true,
             _ => usage(),
         }
     }
@@ -1477,6 +1502,7 @@ fn run_soak(args: Vec<String>) -> ! {
     if let Some(b) = &budget {
         cfg.budget = b.detector;
     }
+    cfg.hb_reference = hb_reference;
     if let Some(b) = &budget {
         if let Some(slots) = b.max_slots {
             max_slots.get_or_insert(slots);
@@ -1683,79 +1709,110 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
     const SPEC: WorkloadSpec = WorkloadSpec { threads: 4, iterations: 1_000, parse_reads: 32 };
     let prog = vm_workload_program(SPEC);
 
-    let mut medians: Vec<(&str, u64)> = Vec::new();
-    medians.push((
-        "native-threads",
-        median_ns(samples, || {
-            std::hint::black_box(native_workload(SPEC));
-        }),
-    ));
-    medians.push((
-        "vm-no-tool",
-        median_ns(samples, || {
-            let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
-            std::hint::black_box(r.stats.events);
-        }),
-    ));
-    medians.push((
-        "vm-eraser-original",
-        median_ns(samples, || {
-            let mut det = EraserDetector::new(DetectorConfig::original());
-            run_program(&prog, &mut det, &mut RoundRobin::new());
-            std::hint::black_box(det.sink.location_count());
-        }),
-    ));
-    medians.push((
-        "vm-eraser-hwlc-dr",
-        median_ns(samples, || {
-            let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
-            run_program(&prog, &mut det, &mut RoundRobin::new());
-            std::hint::black_box(det.sink.location_count());
-        }),
-    ));
-    medians.push((
-        "vm-djit",
-        median_ns(samples, || {
-            let mut det = DjitDetector::new(DetectorConfig::djit());
-            run_program(&prog, &mut det, &mut RoundRobin::new());
-            std::hint::black_box(det.sink.location_count());
-        }),
-    ));
-    medians.push((
-        "vm-hybrid",
-        median_ns(samples, || {
-            let mut det = HybridDetector::new(DetectorConfig::hybrid());
-            run_program(&prog, &mut det, &mut RoundRobin::new());
-            std::hint::black_box(det.sink.location_count());
-        }),
-    ));
-    // Filter-on twins of the detector rows (the plain rows are filter-off,
-    // matching what earlier snapshots measured). `check` defaults to the
-    // filtered path, so these are what users actually get.
-    medians.push((
-        "vm-eraser-hwlc-dr-filter",
-        median_ns(samples, || {
-            let mut tool = FilterTool::new(EraserDetector::new(DetectorConfig::hwlc_dr()));
-            run_program(&prog, &mut tool, &mut RoundRobin::new());
-            std::hint::black_box(tool.inner().sink.location_count());
-        }),
-    ));
-    medians.push((
-        "vm-djit-filter",
-        median_ns(samples, || {
-            let mut tool = FilterTool::new(DjitDetector::new(DetectorConfig::djit()));
-            run_program(&prog, &mut tool, &mut RoundRobin::new());
-            std::hint::black_box(tool.inner().sink.location_count());
-        }),
-    ));
-    medians.push((
-        "vm-hybrid-filter",
-        median_ns(samples, || {
-            let mut tool = FilterTool::new(HybridDetector::new(DetectorConfig::hybrid()));
-            run_program(&prog, &mut tool, &mut RoundRobin::new());
-            std::hint::black_box(tool.inner().sink.location_count());
-        }),
-    ));
+    // Every row as a closure so sampling can interleave them: one timed
+    // call per row per round, not all of row A before any of row B. The
+    // headline numbers are *ratios* between rows, and on a busy host
+    // sequential sampling lets clock-speed drift between rows masquerade
+    // as detector overhead; round-robin sampling gives each row the same
+    // exposure to the machine's moods.
+    let rows: Vec<BenchRow<'_>> = vec![
+        (
+            "native-threads",
+            Box::new(|| {
+                std::hint::black_box(native_workload(SPEC));
+            }),
+        ),
+        (
+            "vm-no-tool",
+            Box::new(|| {
+                let r = run_program(&prog, &mut NullTool, &mut RoundRobin::new());
+                std::hint::black_box(r.stats.events);
+            }),
+        ),
+        (
+            "vm-eraser-original",
+            Box::new(|| {
+                let mut det = EraserDetector::new(DetectorConfig::original());
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+        (
+            "vm-eraser-hwlc-dr",
+            Box::new(|| {
+                let mut det = EraserDetector::new(DetectorConfig::hwlc_dr());
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+        (
+            "vm-djit",
+            Box::new(|| {
+                let mut det = DjitDetector::new(DetectorConfig::djit());
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+        (
+            "vm-hybrid",
+            Box::new(|| {
+                let mut det = HybridDetector::new(DetectorConfig::hybrid());
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+        // Filter-on twins of the detector rows (the plain rows are
+        // filter-off, matching what earlier snapshots measured). `check`
+        // defaults to the filtered path, so these are what users get.
+        (
+            "vm-eraser-hwlc-dr-filter",
+            Box::new(|| {
+                let mut tool = FilterTool::new(EraserDetector::new(DetectorConfig::hwlc_dr()));
+                run_program(&prog, &mut tool, &mut RoundRobin::new());
+                std::hint::black_box(tool.inner().sink.location_count());
+            }),
+        ),
+        (
+            "vm-djit-filter",
+            Box::new(|| {
+                let mut tool = FilterTool::new(DjitDetector::new(DetectorConfig::djit()));
+                run_program(&prog, &mut tool, &mut RoundRobin::new());
+                std::hint::black_box(tool.inner().sink.location_count());
+            }),
+        ),
+        (
+            "vm-hybrid-filter",
+            Box::new(|| {
+                let mut tool = FilterTool::new(HybridDetector::new(DetectorConfig::hybrid()));
+                run_program(&prog, &mut tool, &mut RoundRobin::new());
+                std::hint::black_box(tool.inner().sink.location_count());
+            }),
+        ),
+        // Reference-VC twins of the HB rows: the same detectors with the
+        // adaptive epoch lattice disabled (`--hb-reference`), i.e. the
+        // full vector-clock read state the FastTrack representation
+        // replaced. Reports are byte-identical; only the per-access cost
+        // differs.
+        (
+            "vm-djit-reference",
+            Box::new(|| {
+                let cfg = DetectorConfig { hb_reference: true, ..DetectorConfig::djit() };
+                let mut det = DjitDetector::new(cfg);
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+        (
+            "vm-hybrid-reference",
+            Box::new(|| {
+                let cfg = DetectorConfig { hb_reference: true, ..DetectorConfig::hybrid() };
+                let mut det = HybridDetector::new(cfg);
+                run_program(&prog, &mut det, &mut RoundRobin::new());
+                std::hint::black_box(det.sink.location_count());
+            }),
+        ),
+    ];
+    let medians = median_ns_interleaved(samples, rows);
 
     let ns_of = |name: &str| medians.iter().find(|(n, _)| *n == name).unwrap().1 as f64;
     let native = ns_of("native-threads");
@@ -1783,6 +1840,51 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
             Value::Float(ratio(ns_of(base), ns_of(&format!("{base}-filter")))),
         ));
     }
+    // Epoch wins: reference-VC over adaptive per HB detector. >1.0 means
+    // the FastTrack lattice is paying for itself on this workload.
+    for base in ["vm-djit", "vm-hybrid"] {
+        multiples.push((
+            format!("{base}-reference/{base}"),
+            Value::Float(ratio(ns_of(&format!("{base}-reference")), ns_of(base))),
+        ));
+    }
+
+    // Micro-comparison of the per-access HB read check: one
+    // `Epoch::visible_to` (the O(1) fast path) against a full
+    // vector-clock clone+join+leq (the O(width) state update the epoch
+    // representation avoids). Measured over a fixed iteration count so
+    // the per-op cost is `ns / iterations`.
+    let vc_micro = {
+        use helgrind_core::{Epoch, VectorClock};
+        const ITERS: u32 = 100_000;
+        let e = Epoch { tid: 3, clock: 41 };
+        let mut tvc = VectorClock::new();
+        for t in 0..8usize {
+            tvc.set(t, 42 + t as u32);
+        }
+        let epoch_ns = median_ns(samples, || {
+            for _ in 0..ITERS {
+                std::hint::black_box(e.visible_to(std::hint::black_box(&tvc)));
+            }
+        });
+        let mut reads = VectorClock::new();
+        for t in 0..8usize {
+            reads.set(t, 7 * t as u32);
+        }
+        let vc_ns = median_ns(samples, || {
+            for _ in 0..ITERS {
+                let mut j = std::hint::black_box(&reads).clone();
+                j.set(e.tid as usize, e.clock);
+                std::hint::black_box(j.leq(std::hint::black_box(&tvc)));
+            }
+        });
+        Value::Object(vec![
+            ("iterations".to_string(), Value::UInt(ITERS as u64)),
+            ("epoch_visible_to_ns".to_string(), Value::UInt(epoch_ns)),
+            ("vc_clone_set_leq_ns".to_string(), Value::UInt(vc_ns)),
+            ("speedup".to_string(), Value::Float(ratio(vc_ns as f64, epoch_ns as f64))),
+        ])
+    };
 
     let obj = Value::Object(vec![
         (
@@ -1801,6 +1903,7 @@ fn run_bench_snapshot(args: Vec<String>) -> ! {
             ),
         ),
         ("multiples".to_string(), Value::Object(multiples)),
+        ("vc_micro".to_string(), vc_micro),
         (
             "paper".to_string(),
             Value::Str("§4.5: analysis 20-30x slower than native; bare Valgrind 8-10x".to_string()),
@@ -1905,6 +2008,35 @@ fn median_ns(samples: usize, mut f: impl FnMut()) -> u64 {
         .collect();
     times.sort_unstable();
     times[times.len() / 2]
+}
+
+/// A named bench workload; boxed so heterogeneous closures can share one
+/// interleaved sampling loop.
+type BenchRow<'a> = (&'a str, Box<dyn FnMut() + 'a>);
+
+/// Per-row median wall-clock nanoseconds with round-robin sampling: each
+/// round times every row once, so slow machine drift hits all rows
+/// equally instead of biasing whichever row happened to run last. One
+/// untimed warm-up round absorbs lazy init and cold caches.
+fn median_ns_interleaved<'a>(samples: usize, mut rows: Vec<BenchRow<'a>>) -> Vec<(&'a str, u64)> {
+    for (_, f) in rows.iter_mut() {
+        f();
+    }
+    let mut times: Vec<Vec<u64>> = vec![Vec::with_capacity(samples); rows.len()];
+    for _ in 0..samples {
+        for (i, (_, f)) in rows.iter_mut().enumerate() {
+            let t = std::time::Instant::now();
+            f();
+            times[i].push(t.elapsed().as_nanos() as u64);
+        }
+    }
+    rows.iter()
+        .zip(times.iter_mut())
+        .map(|((name, _), ts)| {
+            ts.sort_unstable();
+            (*name, ts[ts.len() / 2])
+        })
+        .collect()
 }
 
 /// `raceline bench-snapshot --trace`: measure what recording costs. Two
